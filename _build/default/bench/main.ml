@@ -1,0 +1,219 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table/figure of the paper's evaluation
+   (Sect. 3 verdicts, Figs. 3-8) and prints the same series the paper
+   plots; EXPERIMENTS.md records the paper-vs-measured comparison.
+
+   Part 2 runs Bechamel micro-benchmarks — one Test.make per figure driver
+   (at reduced sweep size, so the harness stays in the minutes range) plus
+   the core algorithms (parsing, state-space construction, weak
+   bisimulation, CTMC solution, simulation).
+
+   Run with: dune exec bench/main.exe
+   Pass "quick" to shrink the figure sweeps:  dune exec bench/main.exe -- quick *)
+
+module Figures = Dpma_models.Figures
+module Rpc = Dpma_models.Rpc
+module Streaming = Dpma_models.Streaming
+module General = Dpma_core.General
+module Markov = Dpma_core.Markov
+module NI = Dpma_core.Noninterference
+module Lts = Dpma_lts.Lts
+module Bisim = Dpma_lts.Bisim
+module Ctmc = Dpma_ctmc.Ctmc
+module Sim = Dpma_sim.Sim
+module Elaborate = Dpma_adl.Elaborate
+module Prng = Dpma_util.Prng
+
+let quick = Array.exists (String.equal "quick") Sys.argv
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: figure regeneration                                         *)
+
+let figures () =
+  let rpc_sim =
+    if quick then
+      { General.default_sim_params with runs = 10; duration = 10_000.0; warmup = 1_000.0 }
+    else { General.default_sim_params with duration = 30_000.0; warmup = 3_000.0 }
+  in
+  let streaming_sim =
+    if quick then
+      { General.default_sim_params with runs = 5; duration = 50_000.0; warmup = 3_000.0 }
+    else
+      { General.default_sim_params with runs = 10; duration = 120_000.0; warmup = 5_000.0 }
+  in
+  let timeouts =
+    if quick then [ 0.5; 2.0; 5.0; 10.0; 12.5; 25.0 ] else Figures.default_rpc_timeouts
+  in
+  let awakes =
+    if quick then [ 1.0; 100.0; 400.0; 800.0 ] else Figures.default_awake_periods
+  in
+  Format.printf "%a@.@." Figures.pp_sec3 (Figures.sec3_noninterference ());
+  let fig3m = Figures.fig3_markov ~timeouts () in
+  Format.printf "%a@.@." (Figures.pp_rpc_rows ~title:"Fig. 3 (left): rpc Markovian") fig3m;
+  let fig3g = Figures.fig3_general ~timeouts ~sim:rpc_sim () in
+  Format.printf "%a@.@." (Figures.pp_rpc_rows ~title:"Fig. 3 (right): rpc general") fig3g;
+  let fig4 = Figures.fig4_markov ~awake_periods:awakes () in
+  Format.printf "%a@.@."
+    (Figures.pp_streaming_rows ~title:"Fig. 4: streaming Markovian") fig4;
+  Format.printf "%a@.@." Figures.pp_validation_rows
+    (Figures.fig5_validation ~sim:rpc_sim ());
+  let fig6 = Figures.fig6_general ~awake_periods:awakes ~sim:streaming_sim () in
+  Format.printf "%a@.@."
+    (Figures.pp_streaming_rows ~title:"Fig. 6: streaming general") fig6;
+  Figures.pp_fig7 ~markov:fig3m ~general:fig3g Format.std_formatter ();
+  Format.printf "@.@.";
+  Figures.pp_fig8 ~markov:fig4 ~general:fig6 Format.std_formatter ();
+  Format.printf "@.@.";
+  (* Design-choice ablations (not figures of the paper; see DESIGN.md). *)
+  Format.printf "%a@.@." Figures.pp_policy_rows (Figures.ablation_rpc_policy ());
+  Format.printf "%a@.@." Figures.pp_lumping_rows (Figures.ablation_lumping ());
+  Format.printf "%a@.@." Figures.pp_family_rows
+    (Figures.ablation_distribution_family
+       ~sim:
+         (if quick then
+            { General.default_sim_params with runs = 5; duration = 8_000.0; warmup = 800.0 }
+          else
+            { General.default_sim_params with runs = 10; duration = 15_000.0; warmup = 1_500.0 })
+       ());
+  (* Battery lifetime (the title's unit): see lib/models/battery.ml. *)
+  let battery = Dpma_models.Battery.default_params in
+  Format.printf
+    "== Battery lifetime (capacity %d quanta, rpc appliance) ==@."
+    battery.Dpma_models.Battery.capacity;
+  Format.printf "%-9s | %-12s %-12s %s@." "timeout" "with DPM" "without" "extension";
+  List.iter
+    (fun (t, l) ->
+      Format.printf "%-9.1f | %-12.2f %-12.2f %+.0f%%@." t
+        l.Dpma_models.Battery.with_dpm l.Dpma_models.Battery.without_dpm
+        (100.0 *. l.Dpma_models.Battery.extension))
+    (Dpma_models.Battery.lifetime_sweep battery
+       ~timeouts:(if quick then [ 1.0; 10.0 ] else [ 0.5; 1.0; 2.0; 5.0; 10.0; 25.0 ]));
+  Format.printf "@.";
+  (* Third case study: the disk-drive break-even sweep. *)
+  Format.printf "== Disk drive: spin-down break-even (third case study) ==@.";
+  Format.printf "%-16s | %-12s %-12s | %-8s %s@." "interarrival(s)" "e/req DPM"
+    "e/req no" "drop DPM" "verdict";
+  List.iter
+    (fun inter ->
+      let w, wo =
+        Dpma_models.Disk.compare_dpm
+          { Dpma_models.Disk.default_params with
+            Dpma_models.Disk.interarrival_mean = inter }
+      in
+      Format.printf "%-16.1f | %-12.0f %-12.0f | %-8.4f %s@."
+        (inter /. 1000.0) w.Dpma_models.Disk.energy_per_request
+        wo.Dpma_models.Disk.energy_per_request w.Dpma_models.Disk.drop_ratio
+        (if
+           w.Dpma_models.Disk.energy_per_request
+           < wo.Dpma_models.Disk.energy_per_request
+         then "DPM wins"
+         else "DPM counterproductive"))
+    (if quick then [ 2_000.0; 30_000.0 ]
+     else [ 500.0; 2_000.0; 8_000.0; 15_000.0; 30_000.0; 120_000.0 ]);
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks                                   *)
+
+open Bechamel
+open Toolkit
+
+let rpc_params = Rpc.default_params
+
+let rpc_spec =
+  lazy (Rpc.elaborate ~mode:Rpc.Markovian ~monitors:true rpc_params).Elaborate.spec
+
+let rpc_lts = lazy (Lts.of_spec (Lazy.force rpc_spec))
+
+let rpc_general =
+  lazy
+    (let el = Rpc.elaborate ~mode:Rpc.General ~monitors:true rpc_params in
+     ( Lts.of_spec el.Elaborate.spec,
+       General.timing_of_list el.Elaborate.general_timings ))
+
+let paper_text = Format.asprintf "%a" Dpma_adl.Ast.pp (Rpc.simplified_archi ())
+
+let micro_tests =
+  let t name f = Test.make ~name (Staged.stage f) in
+  [
+    (* Core algorithm benches. *)
+    t "adl/parse-rpc" (fun () -> ignore (Dpma_adl.Parser.parse paper_text));
+    t "lts/build-rpc" (fun () -> ignore (Lts.of_spec (Lazy.force rpc_spec)));
+    t "bisim/weak-equivalence-rpc" (fun () ->
+        let lts = Lazy.force rpc_lts in
+        let hidden, removed =
+          NI.observed_pair lts
+            ~high:(fun a -> List.mem a Rpc.high_actions)
+            ~low:(fun a -> List.mem a Rpc.low_actions)
+        in
+        ignore (Bisim.weak_equivalent hidden removed));
+    t "ctmc/solve-rpc" (fun () ->
+        let c = Ctmc.of_lts (Lazy.force rpc_lts) in
+        ignore (Ctmc.steady_state c));
+    t "sim/run-rpc-1000ms" (fun () ->
+        let lts, timing = Lazy.force rpc_general in
+        ignore (Sim.run ~timing ~lts ~duration:1_000.0 ~estimands:[] (Prng.create 7)));
+    (* One Test.make per figure driver (reduced sweeps). *)
+    t "fig/sec3" (fun () -> ignore (Figures.sec3_noninterference ()));
+    t "fig/fig3-markov-point" (fun () ->
+        ignore (Figures.fig3_markov ~timeouts:[ 5.0 ] ()));
+    t "fig/fig3-general-point" (fun () ->
+        ignore
+          (Figures.fig3_general ~timeouts:[ 5.0 ]
+             ~sim:
+               { General.default_sim_params with runs = 2; duration = 2_000.0; warmup = 200.0 }
+             ()));
+    t "fig/fig4-markov-point" (fun () ->
+        ignore (Figures.fig4_markov ~awake_periods:[ 100.0 ] ()));
+    t "fig/fig5-validation-point" (fun () ->
+        ignore
+          (Figures.fig5_validation ~timeouts:[ 5.0 ]
+             ~sim:
+               { General.default_sim_params with runs = 2; duration = 2_000.0; warmup = 200.0 }
+             ()));
+    t "fig/fig6-general-point" (fun () ->
+        ignore
+          (Figures.fig6_general ~awake_periods:[ 100.0 ]
+             ~sim:
+               { General.default_sim_params with runs = 1; duration = 5_000.0; warmup = 500.0 }
+             ()));
+  ]
+
+let run_micro () =
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200
+      ~quota:(Time.second (if quick then 0.5 else 1.5))
+      ~kde:None ~stabilize:false ()
+  in
+  let grouped = Test.make_grouped ~name:"dpma" micro_tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Format.printf "== Bechamel micro-benchmarks (monotonic clock, OLS) ==@.";
+  Format.printf "%-36s %14s %8s@." "benchmark" "time/run" "r^2";
+  let rows =
+    Hashtbl.fold (fun name v acc -> (name, v) :: acc) results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, v) ->
+      let estimate =
+        match Analyze.OLS.estimates v with Some (e :: _) -> e | _ -> nan
+      in
+      let r2 = Option.value ~default:nan (Analyze.OLS.r_square v) in
+      let pretty =
+        if estimate > 1e9 then Printf.sprintf "%.3f s" (estimate /. 1e9)
+        else if estimate > 1e6 then Printf.sprintf "%.3f ms" (estimate /. 1e6)
+        else if estimate > 1e3 then Printf.sprintf "%.3f us" (estimate /. 1e3)
+        else Printf.sprintf "%.1f ns" estimate
+      in
+      Format.printf "%-36s %14s %8.4f@." name pretty r2)
+    rows
+
+let () =
+  figures ();
+  run_micro ()

@@ -1,0 +1,649 @@
+(* dpma — command-line front end to the DPM assessment toolset.
+
+   Subcommands mirror the tool workflow of the paper (TwoTowers-style):
+   parse / lts / minimize / noninterference / solve / simulate / validate
+   operate on .aem architectural descriptions; figures / sec3 regenerate
+   the paper's evaluation artifacts. *)
+
+open Cmdliner
+
+module Ast = Dpma_adl.Ast
+module Parser = Dpma_adl.Parser
+module Elaborate = Dpma_adl.Elaborate
+module Lts = Dpma_lts.Lts
+module Bisim = Dpma_lts.Bisim
+module NI = Dpma_core.Noninterference
+module Markov = Dpma_core.Markov
+module General = Dpma_core.General
+module Measure = Dpma_measures.Measure
+module Figures = Dpma_models.Figures
+module Stats = Dpma_util.Stats
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Shared error handling: turn toolset exceptions into exit code 1 with a
+   one-line diagnostic. *)
+let handle f =
+  try f () with
+  | Parser.Parse_error { line; col; message } ->
+      Printf.eprintf "syntax error at line %d, column %d: %s\n" line col message;
+      exit 1
+  | Dpma_adl.Lexer.Lex_error { line; col; message } ->
+      Printf.eprintf "lexical error at line %d, column %d: %s\n" line col message;
+      exit 1
+  | Elaborate.Check_error msg ->
+      Printf.eprintf "static error: %s\n" msg;
+      exit 1
+  | Dpma_ctmc.Ctmc.Build_error msg ->
+      Printf.eprintf "markovian error: %s\n" msg;
+      exit 1
+  | Dpma_sim.Sim.Simulation_error msg ->
+      Printf.eprintf "simulation error: %s\n" msg;
+      exit 1
+  | Measure.Parse_error msg ->
+      Printf.eprintf "measure syntax error: %s\n" msg;
+      exit 1
+  | Lts.Too_many_states n ->
+      Printf.eprintf "state space exceeds %d states (raise --max-states)\n" n;
+      exit 1
+  | Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+
+let load path = Elaborate.elaborate (Parser.parse (read_file path))
+
+let load_measures path = Measure.parse (read_file path)
+
+(* Common arguments *)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Architectural description (.aem).")
+
+let max_states_arg =
+  Arg.(
+    value & opt int 500_000
+    & info [ "max-states" ] ~docv:"N" ~doc:"State-space bound.")
+
+let measures_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "measures"; "m" ] ~docv:"FILE"
+        ~doc:"Measure definitions in the companion language.")
+
+let runs_arg =
+  Arg.(value & opt int 30 & info [ "runs" ] ~doc:"Simulation replications.")
+
+let duration_arg =
+  Arg.(
+    value & opt float 20_000.0
+    & info [ "duration" ] ~doc:"Measurement window per run (model time units).")
+
+let warmup_arg =
+  Arg.(
+    value & opt float 2_000.0
+    & info [ "warmup" ] ~doc:"Warm-up period excluded from measurement.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
+
+let sim_params runs duration warmup seed =
+  { General.default_sim_params with runs; duration; warmup; seed }
+
+(* parse *)
+
+let cmd_parse =
+  let run file pretty =
+    handle (fun () ->
+        let archi = Parser.parse (read_file file) in
+        Elaborate.check archi;
+        if pretty then Format.printf "%a@." Ast.pp archi
+        else begin
+          Format.printf "%s: %d element types, %d instances, %d attachments@."
+            archi.Ast.name
+            (List.length archi.Ast.elem_types)
+            (List.length archi.Ast.instances)
+            (List.length archi.Ast.attachments);
+          let el = Elaborate.elaborate archi in
+          (match el.Elaborate.unattached_interactions with
+          | [] -> ()
+          | open_ports ->
+              Format.printf "open ports: %s@." (String.concat ", " open_ports));
+          match el.Elaborate.general_timings with
+          | [] -> ()
+          | ts ->
+              Format.printf "general timings:@.";
+              List.iter
+                (fun (a, d) ->
+                  Format.printf "  %s := %s@." a (Dpma_dist.Dist.to_string d))
+                ts
+        end)
+  in
+  let pretty =
+    Arg.(value & flag & info [ "pp" ] ~doc:"Pretty-print the parsed description.")
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse and statically check an architectural description")
+    Term.(const run $ file_arg $ pretty)
+
+(* lts *)
+
+let cmd_lts =
+  let run file max_states verbose dot =
+    handle (fun () ->
+        let el = load file in
+        let lts = Lts.of_spec ~max_states el.Elaborate.spec in
+        Format.printf "%a@." Lts.pp_stats lts;
+        (match Lts.deadlock_states lts with
+        | [] -> Format.printf "deadlock free@."
+        | ds ->
+            Format.printf "%d deadlock state(s); first: %s@." (List.length ds)
+              (lts.Lts.state_name (List.hd ds)));
+        if verbose then begin
+          Format.printf "labels:@.";
+          List.iter (fun l -> Format.printf "  %a@." Lts.pp_label l) (Lts.labels lts)
+        end;
+        match dot with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            let ppf = Format.formatter_of_out_channel oc in
+            Lts.pp_dot ppf lts;
+            Format.pp_print_flush ppf ();
+            close_out oc;
+            Format.printf "graphviz rendering written to %s@." path)
+  in
+  let verbose =
+    Arg.(value & flag & info [ "labels" ] ~doc:"List the transition labels.")
+  in
+  let dot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Write a graphviz rendering to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "lts" ~doc:"Build the labelled transition system and report its size")
+    Term.(const run $ file_arg $ max_states_arg $ verbose $ dot)
+
+(* minimize *)
+
+let cmd_minimize =
+  let run file max_states weak =
+    handle (fun () ->
+        let el = load file in
+        let lts = Lts.of_spec ~max_states el.Elaborate.spec in
+        Format.printf "original : %a@." Lts.pp_stats lts;
+        let minimized =
+          if weak then Bisim.minimize_weak lts else Bisim.minimize_strong lts
+        in
+        Format.printf "minimized: %a (%s bisimulation)@." Lts.pp_stats minimized
+          (if weak then "weak" else "strong"))
+  in
+  let weak =
+    Arg.(value & flag & info [ "weak" ] ~doc:"Minimize up to weak bisimulation.")
+  in
+  Cmd.v
+    (Cmd.info "minimize" ~doc:"Minimize the state space up to (weak) bisimulation")
+    Term.(const run $ file_arg $ max_states_arg $ weak)
+
+(* noninterference *)
+
+let cmd_noninterference =
+  let run file max_states high low branching =
+    handle (fun () ->
+        if high = [] then begin
+          Printf.eprintf "--high must list at least one DPM command action\n";
+          exit 2
+        end;
+        if low = [] then begin
+          Printf.eprintf "--low must list the client-observable actions\n";
+          exit 2
+        end;
+        let el = load file in
+        if branching then begin
+          if NI.branching_secure_spec ~max_states el.Elaborate.spec ~high ~low
+          then
+            Format.printf
+              "SECURE (branching bisimulation): the DPM does not interfere \
+               with the low behavior@."
+          else begin
+            Format.printf "INSECURE under branching bisimulation";
+            (match NI.check_spec ~max_states el.Elaborate.spec ~high ~low with
+            | NI.Secure ->
+                Format.printf
+                  " (but the paper's weak-bisimulation check passes: only the \
+                   branching structure of internal stuttering differs)@."
+            | NI.Insecure _ as v -> Format.printf "@.%a@." NI.pp_verdict v);
+            exit 1
+          end
+        end
+        else begin
+          let verdict = NI.check_spec ~max_states el.Elaborate.spec ~high ~low in
+          Format.printf "%a@." NI.pp_verdict verdict;
+          match verdict with NI.Secure -> () | NI.Insecure _ -> exit 1
+        end)
+  in
+  let branching =
+    Arg.(
+      value & flag
+      & info [ "branching" ]
+          ~doc:"Use branching bisimilarity (stricter than the paper's weak check).")
+  in
+  let high =
+    Arg.(
+      value & opt (list string) []
+      & info [ "high" ] ~docv:"ACTIONS" ~doc:"DPM command actions (comma separated).")
+  in
+  let low =
+    Arg.(
+      value & opt (list string) []
+      & info [ "low" ] ~docv:"ACTIONS"
+          ~doc:"Client-observable actions (comma separated).")
+  in
+  Cmd.v
+    (Cmd.info "noninterference"
+       ~doc:"Check that the high actions are transparent to the low observer")
+    Term.(const run $ file_arg $ max_states_arg $ high $ low $ branching)
+
+(* solve *)
+
+let cmd_solve =
+  let run file max_states measures_file =
+    handle (fun () ->
+        let el = load file in
+        let measures = load_measures measures_file in
+        let analysis = Markov.analyze ~max_states el.Elaborate.spec measures in
+        Format.printf "%d reachable states, %d tangible@." analysis.Markov.states
+          analysis.Markov.tangible;
+        List.iter
+          (fun (name, v) -> Format.printf "%-24s %.6g@." name v)
+          analysis.Markov.values)
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:"Solve the underlying CTMC and evaluate reward-based measures")
+    Term.(const run $ file_arg $ max_states_arg $ measures_arg)
+
+(* simulate *)
+
+let cmd_simulate =
+  let run file max_states measures_file runs duration warmup seed exponential
+      batches =
+    handle (fun () ->
+        let el = load file in
+        let measures = load_measures measures_file in
+        let lts = Lts.of_spec ~max_states el.Elaborate.spec in
+        let timing = General.timing_of_list el.Elaborate.general_timings in
+        let timing =
+          if exponential then Dpma_sim.Sim.exponential_assignment timing
+          else timing
+        in
+        let named_summaries =
+          if batches > 0 then begin
+            (* Single long run, batch-means estimation: [duration] is the
+               per-batch window. *)
+            let compiled = Measure.compile_sim lts measures in
+            let summaries =
+              Dpma_sim.Sim.batch_means ~timing ~warmup ~lts ~batches
+                ~batch_duration:duration
+                ~estimands:(Measure.estimands compiled)
+                ~seed ()
+            in
+            Measure.values compiled summaries
+          end
+          else
+            General.simulate lts ~timing ~measures
+              (sim_params runs duration warmup seed)
+            |> List.map (fun { General.measure; summary } -> (measure, summary))
+        in
+        List.iter
+          (fun (measure, (summary : Stats.summary)) ->
+            Format.printf "%-24s %.6g +/- %.4g (%d %s, %.0f%% CI)@." measure
+              summary.Stats.mean summary.Stats.half_width summary.Stats.n
+              (if batches > 0 then "batches" else "runs")
+              (100.0 *. summary.Stats.confidence))
+          named_summaries)
+  in
+  let exponential =
+    Arg.(
+      value & flag
+      & info [ "exponential" ]
+          ~doc:"Replace every general distribution by the exponential of the same mean.")
+  in
+  let batches =
+    Arg.(
+      value & opt int 0
+      & info [ "batches" ] ~docv:"N"
+          ~doc:
+            "Use single-run batch-means estimation with $(docv) batches of \
+             --duration each, instead of independent replications.")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Simulate the general-distribution model and estimate the measures")
+    Term.(
+      const run $ file_arg $ max_states_arg $ measures_arg $ runs_arg
+      $ duration_arg $ warmup_arg $ seed_arg $ exponential $ batches)
+
+(* validate *)
+
+let cmd_validate =
+  let run file max_states measures_file runs duration warmup seed =
+    handle (fun () ->
+        let el = load file in
+        let measures = load_measures measures_file in
+        let lts = Lts.of_spec ~max_states el.Elaborate.spec in
+        let timing = General.timing_of_list el.Elaborate.general_timings in
+        let v =
+          General.validate lts ~timing ~measures (sim_params runs duration warmup seed)
+        in
+        Format.printf "%a@." General.pp_validation v;
+        if not v.General.consistent then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Cross-validate the general model against the Markovian solution")
+    Term.(
+      const run $ file_arg $ max_states_arg $ measures_arg $ runs_arg
+      $ duration_arg $ warmup_arg $ seed_arg)
+
+(* assess: the full three-phase pipeline *)
+
+let cmd_assess =
+  let run file max_states measures_file high low runs duration warmup seed =
+    handle (fun () ->
+        if high = [] || low = [] then begin
+          Printf.eprintf "--high and --low are required for the functional phase\n";
+          exit 2
+        end;
+        let el = load file in
+        let measures = load_measures measures_file in
+        let study =
+          {
+            Dpma_core.Pipeline.study_name = Filename.basename file;
+            spec = el.Elaborate.spec;
+            functional_spec = None;
+            high;
+            low;
+            measures;
+            general_timings = el.Elaborate.general_timings;
+          }
+        in
+        let report =
+          Dpma_core.Pipeline.assess ~max_states
+            ~sim_params:(sim_params runs duration warmup seed)
+            study
+        in
+        Format.printf "%a@." Dpma_core.Pipeline.pp_report report)
+  in
+  Cmd.v
+    (Cmd.info "assess"
+       ~doc:
+         "Run the paper's full incremental methodology: noninterference, \
+          Markovian comparison, validation, general-model simulation")
+    Term.(
+      const run $ file_arg $ max_states_arg $ measures_arg
+      $ Arg.(
+          value & opt (list string) []
+          & info [ "high" ] ~docv:"ACTIONS" ~doc:"DPM command actions.")
+      $ Arg.(
+          value & opt (list string) []
+          & info [ "low" ] ~docv:"ACTIONS" ~doc:"Client-observable actions.")
+      $ runs_arg $ duration_arg $ warmup_arg $ seed_arg)
+
+(* trace *)
+
+let cmd_trace =
+  let run file max_states events seed exponential =
+    handle (fun () ->
+        let el = load file in
+        let lts = Lts.of_spec ~max_states el.Elaborate.spec in
+        let timing = General.timing_of_list el.Elaborate.general_timings in
+        let timing =
+          if exponential then Dpma_sim.Sim.exponential_assignment timing
+          else timing
+        in
+        let remaining = ref events in
+        let trace ~time ~action ~state =
+          if !remaining > 0 then begin
+            decr remaining;
+            Format.printf "%12.4f  %-48s -> %s@." time action
+              (lts.Lts.state_name state)
+          end;
+          if !remaining = 0 then raise Exit
+        in
+        Format.printf "%12s  %-48s    %s@." "time" "action" "entered state";
+        (try
+           ignore
+             (Dpma_sim.Sim.run ~timing ~trace ~lts ~duration:1e12
+                ~estimands:[]
+                (Dpma_util.Prng.create seed))
+         with Exit -> ()))
+  in
+  let events =
+    Arg.(
+      value & opt int 25
+      & info [ "events"; "n" ] ~docv:"N" ~doc:"Number of events to print.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Print the first events of one simulation run (debugging aid)")
+    Term.(
+      const run $ file_arg $ max_states_arg $ events $ seed_arg
+      $ Arg.(
+          value & flag
+          & info [ "exponential" ]
+              ~doc:"Exponentialize the general distributions first."))
+
+(* transient *)
+
+let cmd_transient =
+  let run file max_states measures_file time =
+    handle (fun () ->
+        let el = load file in
+        let measures = load_measures measures_file in
+        let lts = Lts.of_spec ~max_states el.Elaborate.spec in
+        let ctmc = Dpma_ctmc.Ctmc.of_lts lts in
+        Format.printf "state-reward measures at t = %g:@." time;
+        List.iter
+          (fun m ->
+            let state_clauses =
+              List.filter
+                (fun c -> c.Measure.kind = Measure.State_reward)
+                m.Measure.clauses
+            in
+            if state_clauses <> [] then begin
+              let reward s =
+                List.fold_left
+                  (fun acc c ->
+                    if
+                      List.exists (String.equal c.Measure.action)
+                        ctmc.Dpma_ctmc.Ctmc.enabled_actions.(s)
+                    then acc +. c.Measure.reward
+                    else acc)
+                  0.0 state_clauses
+              in
+              Format.printf "%-24s %.6g@." m.Measure.name
+                (Dpma_ctmc.Ctmc.transient_reward ctmc time reward)
+            end)
+          measures)
+  in
+  let time =
+    Arg.(
+      required
+      & opt (some float) None
+      & info [ "time"; "t" ] ~docv:"T" ~doc:"Time point (model time units).")
+  in
+  Cmd.v
+    (Cmd.info "transient"
+       ~doc:"Evaluate state-reward measures at a time point (uniformization)")
+    Term.(const run $ file_arg $ max_states_arg $ measures_arg $ time)
+
+(* firstpassage *)
+
+let cmd_firstpassage =
+  let run file max_states action =
+    handle (fun () ->
+        let el = load file in
+        let lts = Lts.of_spec ~max_states el.Elaborate.spec in
+        let ctmc = Dpma_ctmc.Ctmc.of_lts lts in
+        let target s =
+          List.exists (String.equal action)
+            ctmc.Dpma_ctmc.Ctmc.enabled_actions.(s)
+        in
+        let any_target = ref false in
+        for s = 0 to ctmc.Dpma_ctmc.Ctmc.n - 1 do
+          if target s then any_target := true
+        done;
+        if not !any_target then
+          Format.printf
+            "note: no tangible state enables %s — immediate actions only \
+             occur in vanishing states, which the CTMC eliminates; pick a \
+             timed or monitor action instead@."
+            action;
+        let p = Dpma_ctmc.Ctmc.reachability_probability ctmc ~target in
+        let t = Dpma_ctmc.Ctmc.mean_time_to ctmc ~target in
+        Format.printf "target: states enabling %s@." action;
+        Format.printf "reachability probability: %.6g@." p;
+        if t = infinity then
+          Format.printf
+            "mean first-passage time: infinite (a reachable state cannot \
+             reach the target)@."
+        else Format.printf "mean first-passage time: %.6g@." t)
+  in
+  let action =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "enables"; "e" ] ~docv:"ACTION"
+          ~doc:"Target: the set of states enabling this action.")
+  in
+  Cmd.v
+    (Cmd.info "firstpassage"
+       ~doc:"Mean time until a state enabling the given action is first reached")
+    Term.(const run $ file_arg $ max_states_arg $ action)
+
+(* sec3 / figures *)
+
+let cmd_sec3 =
+  let run () =
+    handle (fun () ->
+        Format.printf "%a@." Figures.pp_sec3 (Figures.sec3_noninterference ()))
+  in
+  Cmd.v
+    (Cmd.info "sec3" ~doc:"Reproduce the Sect. 3 noninterference results of the paper")
+    Term.(const run $ const ())
+
+let cmd_figures =
+  let run which fast =
+    handle (fun () ->
+        let rpc_sim =
+          if fast then
+            { General.default_sim_params with runs = 10; duration = 10_000.0; warmup = 1_000.0 }
+          else { General.default_sim_params with duration = 30_000.0; warmup = 3_000.0 }
+        in
+        let streaming_sim =
+          if fast then
+            { General.default_sim_params with runs = 5; duration = 60_000.0; warmup = 3_000.0 }
+          else
+            { General.default_sim_params with runs = 15; duration = 150_000.0; warmup = 5_000.0 }
+        in
+        let timeouts =
+          if fast then [ 0.5; 2.0; 5.0; 10.0; 12.5; 25.0 ]
+          else Figures.default_rpc_timeouts
+        in
+        let awakes =
+          if fast then [ 1.0; 50.0; 100.0; 400.0; 800.0 ]
+          else Figures.default_awake_periods
+        in
+        let want name = which = [] || List.mem name which in
+        if want "sec3" then
+          Format.printf "%a@.@." Figures.pp_sec3 (Figures.sec3_noninterference ());
+        let fig3m =
+          if want "fig3" || want "fig7" then Some (Figures.fig3_markov ~timeouts ())
+          else None
+        in
+        let fig3g =
+          if want "fig3" || want "fig7" then
+            Some (Figures.fig3_general ~timeouts ~sim:rpc_sim ())
+          else None
+        in
+        (match fig3m with
+        | Some rows ->
+            Format.printf "%a@.@."
+              (Figures.pp_rpc_rows ~title:"Fig. 3 (left): rpc Markovian") rows
+        | None -> ());
+        (match fig3g with
+        | Some rows ->
+            Format.printf "%a@.@."
+              (Figures.pp_rpc_rows ~title:"Fig. 3 (right): rpc general") rows
+        | None -> ());
+        if want "fig5" then
+          Format.printf "%a@.@." Figures.pp_validation_rows
+            (Figures.fig5_validation ~sim:rpc_sim ());
+        let fig4 =
+          if want "fig4" || want "fig8" then
+            Some (Figures.fig4_markov ~awake_periods:awakes ())
+          else None
+        in
+        let fig6 =
+          if want "fig6" || want "fig8" then
+            Some (Figures.fig6_general ~awake_periods:awakes ~sim:streaming_sim ())
+          else None
+        in
+        (match fig4 with
+        | Some rows ->
+            Format.printf "%a@.@."
+              (Figures.pp_streaming_rows ~title:"Fig. 4: streaming Markovian") rows
+        | None -> ());
+        (match fig6 with
+        | Some rows ->
+            Format.printf "%a@.@."
+              (Figures.pp_streaming_rows ~title:"Fig. 6: streaming general") rows
+        | None -> ());
+        (match (fig3m, fig3g) with
+        | Some m, Some g when want "fig7" ->
+            Figures.pp_fig7 ~markov:m ~general:g Format.std_formatter ();
+            Format.printf "@.@."
+        | _ -> ());
+        match (fig4, fig6) with
+        | Some m, Some g when want "fig8" ->
+            Figures.pp_fig8 ~markov:m ~general:g Format.std_formatter ();
+            Format.printf "@."
+        | _ -> ())
+  in
+  let which =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FIGURE"
+          ~doc:
+            "Subset to regenerate: sec3, fig3, fig4, fig5, fig6, fig7, fig8. \
+             Default: all.")
+  in
+  let fast =
+    Arg.(value & flag & info [ "fast" ] ~doc:"Smaller sweeps and shorter simulations.")
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Regenerate the paper's evaluation figures")
+    Term.(const run $ which $ fast)
+
+let () =
+  let doc = "assess dynamic power management: functionality and performance" in
+  let info = Cmd.info "dpma" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            cmd_parse; cmd_lts; cmd_minimize; cmd_noninterference; cmd_solve;
+            cmd_simulate; cmd_validate; cmd_assess; cmd_transient; cmd_firstpassage;
+            cmd_trace; cmd_sec3; cmd_figures;
+          ]))

@@ -1,0 +1,1 @@
+examples/adl_tour.ml: Dpma_adl Dpma_lts Dpma_measures Dpma_models Format List String

@@ -1,0 +1,1 @@
+examples/adl_tour.mli:

@@ -1,0 +1,1 @@
+examples/battery_lifetime.ml: Dpma_models Format List

@@ -1,0 +1,1 @@
+examples/first_passage.ml: Array Dpma_adl Dpma_ctmc Dpma_lts Dpma_models Format List String

@@ -1,0 +1,1 @@
+examples/first_passage.mli:

@@ -1,0 +1,1 @@
+examples/policy_tuning.ml: Dpma_core Dpma_models Format List

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dpma_adl Dpma_core Dpma_lts Dpma_measures Dpma_util Format List

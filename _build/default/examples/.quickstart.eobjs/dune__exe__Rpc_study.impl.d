@@ -1,0 +1,1 @@
+examples/rpc_study.ml: Dpma_adl Dpma_core Dpma_models Format

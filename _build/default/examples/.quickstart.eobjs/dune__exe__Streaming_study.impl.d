@@ -1,0 +1,1 @@
+examples/streaming_study.ml: Dpma_adl Dpma_core Dpma_lts Dpma_models Format

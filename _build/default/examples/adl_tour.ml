@@ -1,0 +1,69 @@
+(* A tour of the front end as a library: lexing/parsing diagnostics,
+   pretty-printing, static checks, elaboration internals, LTS inspection,
+   minimization, and the measure language.
+
+   Run with: dune exec examples/adl_tour.exe *)
+
+module Ast = Dpma_adl.Ast
+module Parser = Dpma_adl.Parser
+module Elaborate = Dpma_adl.Elaborate
+module Lts = Dpma_lts.Lts
+module Bisim = Dpma_lts.Bisim
+module Measure = Dpma_measures.Measure
+module Rpc = Dpma_models.Rpc
+
+let () =
+  (* Syntax errors come with positions. *)
+  Format.printf "--- parse errors carry positions ---@.";
+  (match Parser.parse_result "ARCHI_TYPE Broken(void)\nARCHI_ELEM_TYPES\nELEM_TYPE X(" with
+  | Ok _ -> assert false
+  | Error e -> Format.printf "  %s@.@." e);
+
+  (* Static checks reject ill-formed topologies. *)
+  Format.printf "--- static checks ---@.";
+  let bad =
+    {|ARCHI_TYPE Bad(void)
+      ARCHI_ELEM_TYPES
+      ELEM_TYPE A_Type(void)
+      BEHAVIOR A_Beh(void; void) = <out, exp(1.0)> . A_Beh()
+      INPUT_INTERACTIONS void OUTPUT_INTERACTIONS UNI out
+      ARCHI_TOPOLOGY
+      ARCHI_ELEM_INSTANCES A1 : A_Type(); A2 : A_Type()
+      ARCHI_ATTACHMENTS FROM A1.out TO A2.out
+      END|}
+  in
+  (match Elaborate.check (Parser.parse bad) with
+  | () -> assert false
+  | exception Elaborate.Check_error msg -> Format.printf "  rejected: %s@.@." msg);
+
+  (* The revised rpc model pretty-prints back to parseable, equal text. *)
+  Format.printf "--- pretty-printing round trip ---@.";
+  let archi = Rpc.archi Rpc.default_params in
+  let printed = Format.asprintf "%a" Ast.pp archi in
+  let reparsed = Parser.parse printed in
+  Format.printf "  roundtrip equal: %b (%d chars of concrete syntax)@.@."
+    (reparsed = archi) (String.length printed);
+
+  (* Elaboration exposes the wiring. *)
+  Format.printf "--- elaboration ---@.";
+  let el = Elaborate.elaborate archi in
+  Format.printf "  instance S has actions:@.";
+  List.iter (Format.printf "    %s@.") (Elaborate.actions_of_instance el "S");
+  Format.printf "  general timings: %d, open ports: %d@.@."
+    (List.length el.Elaborate.general_timings)
+    (List.length el.Elaborate.unattached_interactions);
+
+  (* LTS inspection and minimization. *)
+  Format.printf "--- state space ---@.";
+  let lts = Lts.of_spec el.Elaborate.spec in
+  Format.printf "  full: %a@." Lts.pp_stats lts;
+  let minimized = Bisim.minimize_strong lts in
+  Format.printf "  strong-minimized: %a@." Lts.pp_stats minimized;
+  let observed = Lts.hide_all_but lts ~keep:(fun a -> List.mem a Rpc.low_actions) in
+  let weak_min = Bisim.minimize_weak observed in
+  Format.printf "  client view, weak-minimized: %a@.@." Lts.pp_stats weak_min;
+
+  (* The measure language in concrete syntax. *)
+  Format.printf "--- measure language ---@.";
+  let measures = Measure.parse Rpc.measures_source in
+  List.iter (fun m -> Format.printf "%a@." Measure.pp m) measures

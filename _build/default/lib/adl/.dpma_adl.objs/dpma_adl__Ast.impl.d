@@ -1,0 +1,1 @@
+lib/adl/ast.ml: Dpma_dist Dpma_util Format List Printf String

@@ -1,0 +1,1 @@
+lib/adl/ast.mli: Dpma_dist Format

@@ -1,0 +1,1 @@
+lib/adl/elaborate.ml: Ast Dpma_dist Dpma_pa Format Hashtbl List Option Printf Queue String

@@ -1,0 +1,1 @@
+lib/adl/elaborate.mli: Ast Dpma_dist Dpma_pa

@@ -1,0 +1,1 @@
+lib/adl/lexer.ml: Format List Printf String

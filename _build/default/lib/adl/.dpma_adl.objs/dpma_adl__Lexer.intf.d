@@ -1,0 +1,1 @@
+lib/adl/lexer.mli: Format

@@ -1,0 +1,1 @@
+lib/adl/parser.ml: Array Ast Dpma_dist Float Format Lexer List Printf String

@@ -1,0 +1,1 @@
+lib/adl/parser.mli: Ast

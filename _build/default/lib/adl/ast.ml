@@ -1,0 +1,202 @@
+type rate_expr =
+  | Passive of float
+  | Exp of float
+  | Inf of int * float
+  | Gen of Dpma_dist.Dist.t
+
+let fr = Dpma_util.Floatfmt.repr
+
+let pp_rate_expr ppf = function
+  | Passive w ->
+      if w = 1.0 then Format.pp_print_string ppf "_"
+      else Format.fprintf ppf "_(%s)" (fr w)
+  | Exp r -> Format.fprintf ppf "exp(%s)" (fr r)
+  | Inf (p, w) -> Format.fprintf ppf "inf(%d,%s)" p (fr w)
+  | Gen d -> Dpma_dist.Dist.pp ppf d
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+
+type expr =
+  | Int of int
+  | Bool of bool
+  | Var of string
+  | Neg of expr
+  | Not of expr
+  | Binop of binop * expr * expr
+
+let binop_symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "mod"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "="
+  | Ne -> "!="
+  | And -> "&&"
+  | Or -> "||"
+
+(* Precedence levels used both for printing and parsing: higher binds
+   tighter. *)
+let binop_level = function
+  | Or -> 1
+  | And -> 2
+  | Lt | Le | Gt | Ge | Eq | Ne -> 3
+  | Add | Sub -> 4
+  | Mul | Div | Mod -> 5
+
+let rec pp_expr_level level ppf e =
+  match e with
+  | Int n -> Format.pp_print_int ppf n
+  | Bool b -> Format.pp_print_string ppf (if b then "true" else "false")
+  | Var x -> Format.pp_print_string ppf x
+  | Neg e -> Format.fprintf ppf "-%a" (pp_expr_level 6) e
+  | Not e -> Format.fprintf ppf "!%a" (pp_expr_level 6) e
+  | Binop (op, a, b) ->
+      let l = binop_level op in
+      let body ppf () =
+        (* Left-associative: the right operand needs one level more. *)
+        Format.fprintf ppf "%a %s %a" (pp_expr_level l) a (binop_symbol op)
+          (pp_expr_level (l + 1)) b
+      in
+      if l < level then Format.fprintf ppf "(%a)" body ()
+      else body ppf ()
+
+let pp_expr = pp_expr_level 0
+
+type value = VInt of int | VBool of bool
+
+let pp_value ppf = function
+  | VInt n -> Format.pp_print_int ppf n
+  | VBool b -> Format.pp_print_string ppf (if b then "true" else "false")
+
+let value_equal a b =
+  match (a, b) with
+  | VInt x, VInt y -> x = y
+  | VBool x, VBool y -> x = y
+  | (VInt _ | VBool _), _ -> false
+
+type ptype = TInt | TBool
+
+type param = { p_name : string; p_type : ptype }
+
+type bterm =
+  | Stop
+  | Prefix of string * rate_expr * bterm
+  | Choice of bterm list
+  | Call of string * expr list
+  | Guard of expr * bterm
+
+type equation = { eq_name : string; eq_params : param list; eq_body : bterm }
+
+type elem_type = {
+  et_name : string;
+  et_consts : param list;
+  equations : equation list;
+  inputs : string list;
+  outputs : string list;
+}
+
+type instance = {
+  inst_name : string;
+  inst_type : string;
+  inst_args : expr list;
+}
+
+type attachment = {
+  from_inst : string;
+  from_port : string;
+  to_inst : string;
+  to_port : string;
+}
+
+type archi = {
+  name : string;
+  elem_types : elem_type list;
+  instances : instance list;
+  attachments : attachment list;
+}
+
+let channel_name a =
+  Printf.sprintf "%s.%s#%s.%s" a.from_inst a.from_port a.to_inst a.to_port
+
+let qualified inst action = inst ^ "." ^ action
+
+let pp_ptype ppf = function
+  | TInt -> Format.pp_print_string ppf "integer"
+  | TBool -> Format.pp_print_string ppf "boolean"
+
+let pp_params ~const ppf = function
+  | [] -> Format.pp_print_string ppf "void"
+  | ps ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+        (fun ppf p ->
+          Format.fprintf ppf "%s%a %s"
+            (if const then "const " else "")
+            pp_ptype p.p_type p.p_name)
+        ppf ps
+
+let pp_args ppf = function
+  | [] -> ()
+  | args ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+        pp_expr ppf args
+
+let rec pp_bterm ppf = function
+  | Stop -> Format.pp_print_string ppf "stop"
+  | Prefix (a, r, k) ->
+      Format.fprintf ppf "<%s, %a> . %a" a pp_rate_expr r pp_bterm k
+  | Choice ts ->
+      Format.fprintf ppf "@[<v 2>choice {@,%a@;<0 -2>}@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@,")
+           pp_bterm)
+        ts
+  | Call (name, args) -> Format.fprintf ppf "%s(%a)" name pp_args args
+  | Guard (e, t) -> Format.fprintf ppf "cond(%a) ->@ %a" pp_expr e pp_bterm t
+
+let pp_interactions ppf = function
+  | [] -> Format.pp_print_string ppf "void"
+  | names -> Format.fprintf ppf "UNI %s" (String.concat "; " names)
+
+let pp_elem_type ppf (et : elem_type) =
+  Format.fprintf ppf "@[<v 2>ELEM_TYPE %s(%a)@,BEHAVIOR@," et.et_name
+    (pp_params ~const:true) et.et_consts;
+  List.iteri
+    (fun i { eq_name; eq_params; eq_body } ->
+      let sep = if i < List.length et.equations - 1 then ";" else "" in
+      Format.fprintf ppf "@[<v 2>%s(%a; void) =@,%a%s@]@," eq_name
+        (pp_params ~const:false) eq_params pp_bterm eq_body sep)
+    et.equations;
+  Format.fprintf ppf "INPUT_INTERACTIONS %a@,OUTPUT_INTERACTIONS %a@]@,"
+    pp_interactions et.inputs pp_interactions et.outputs
+
+let pp ppf (a : archi) =
+  Format.fprintf ppf "@[<v>ARCHI_TYPE %s(void)@,@,ARCHI_ELEM_TYPES@,@," a.name;
+  List.iter (fun et -> Format.fprintf ppf "%a@," pp_elem_type et) a.elem_types;
+  Format.fprintf ppf "ARCHI_TOPOLOGY@,@,@[<v 2>ARCHI_ELEM_INSTANCES@,%a@]@,@,"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@,")
+       (fun ppf (i : instance) ->
+         Format.fprintf ppf "%s : %s(%a)" i.inst_name i.inst_type pp_args
+           i.inst_args))
+    a.instances;
+  (match a.attachments with
+  | [] -> Format.fprintf ppf "ARCHI_ATTACHMENTS void@,"
+  | ats ->
+      Format.fprintf ppf "@[<v 2>ARCHI_ATTACHMENTS@,%a@]@,"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@,")
+           (fun ppf (at : attachment) ->
+             Format.fprintf ppf "FROM %s.%s TO %s.%s" at.from_inst at.from_port
+               at.to_inst at.to_port))
+        ats);
+  Format.fprintf ppf "@,END@]"

@@ -1,0 +1,45 @@
+(** Static checks and elaboration of an ADL architecture onto the process
+    algebra kernel.
+
+    Every instance becomes a sequential term whose actions are qualified by
+    the instance name ("S.awake"); every attachment fuses its two ports into
+    a single synchronized action named in TwoTowers style
+    ("C.send_rpc_packet#RCS.get_packet"); the topology becomes a tree of
+    parallel compositions synchronizing exactly on those fused names.
+
+    Generally-distributed rates ([det], [norm], …) are kept exponential
+    (same mean) in the rate annotations — that is precisely the Markovian
+    view used for validation — and returned separately as per-action
+    distribution overrides for the simulator. *)
+
+exception Check_error of string
+
+type elaborated = {
+  spec : Dpma_pa.Term.spec;
+  general_timings : (string * Dpma_dist.Dist.t) list;
+      (** final action name -> general distribution override *)
+  instance_actions : (string * string list) list;
+      (** instance name -> final names of its actions (channels included) *)
+  unattached_interactions : string list;
+      (** declared interactions left unattached (open ports) *)
+}
+
+val check : Ast.archi -> unit
+(** Raises {!Check_error} on: duplicate names; undefined element types or
+    equations; declared interactions missing from the behavior
+    (used-but-undeclared actions are internal by convention); overlapping
+    input/output declarations; attachments on undeclared ports or with a
+    port attached twice; the reserved action name [tau]; and data-parameter
+    errors — arity or type mismatches in calls and instance arguments,
+    non-boolean guards, unbound parameters, non-closed const arguments,
+    data parameters on an initial behavior. *)
+
+val elaborate : ?max_expansions:int -> Ast.archi -> elaborated
+(** Runs {!check} first. Behavior equations with data parameters are
+    expanded into one process constant per reachable argument tuple
+    (["B.Buffer(3)"]); guards are resolved during the expansion.
+    [max_expansions] (default 200_000) bounds the total number of expanded
+    constants, catching unbounded data recursion with a clear error. *)
+
+val actions_of_instance : elaborated -> string -> string list
+(** Final action names of one instance ([Check_error] if unknown). *)

@@ -1,0 +1,161 @@
+type token =
+  | IDENT of string
+  | NUMBER of float
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LANGLE
+  | RANGLE
+  | DOT
+  | COMMA
+  | SEMI
+  | COLON
+  | EQUALS
+  | UNDERSCORE
+  | ARROW
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | LE
+  | GE
+  | NEQ
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+type located = { token : token; line : int; col : int }
+
+exception Lex_error of { line : int; col : int; message : string }
+
+let pp_token ppf = function
+  | IDENT s -> Format.fprintf ppf "identifier %S" s
+  | NUMBER f -> Format.fprintf ppf "number %g" f
+  | LPAREN -> Format.pp_print_string ppf "'('"
+  | RPAREN -> Format.pp_print_string ppf "')'"
+  | LBRACE -> Format.pp_print_string ppf "'{'"
+  | RBRACE -> Format.pp_print_string ppf "'}'"
+  | LANGLE -> Format.pp_print_string ppf "'<'"
+  | RANGLE -> Format.pp_print_string ppf "'>'"
+  | DOT -> Format.pp_print_string ppf "'.'"
+  | COMMA -> Format.pp_print_string ppf "','"
+  | SEMI -> Format.pp_print_string ppf "';'"
+  | COLON -> Format.pp_print_string ppf "':'"
+  | EQUALS -> Format.pp_print_string ppf "'='"
+  | UNDERSCORE -> Format.pp_print_string ppf "'_'"
+  | ARROW -> Format.pp_print_string ppf "'->'"
+  | PLUS -> Format.pp_print_string ppf "'+'"
+  | MINUS -> Format.pp_print_string ppf "'-'"
+  | STAR -> Format.pp_print_string ppf "'*'"
+  | SLASH -> Format.pp_print_string ppf "'/'"
+  | LE -> Format.pp_print_string ppf "'<='"
+  | GE -> Format.pp_print_string ppf "'>='"
+  | NEQ -> Format.pp_print_string ppf "'!='"
+  | ANDAND -> Format.pp_print_string ppf "'&&'"
+  | OROR -> Format.pp_print_string ppf "'||'"
+  | BANG -> Format.pp_print_string ppf "'!'"
+  | EOF -> Format.pp_print_string ppf "end of input"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '_'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let pos = ref 0 in
+  let emit token = tokens := { token; line = !line; col = !col } :: !tokens in
+  let advance () =
+    if !pos < n then begin
+      if src.[!pos] = '\n' then begin
+        incr line;
+        col := 1
+      end
+      else incr col;
+      incr pos
+    end
+  in
+  let error message = raise (Lex_error { line = !line; col = !col; message }) in
+  let peek_is offset c = !pos + offset < n && src.[!pos + offset] = c in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '%' then
+      while !pos < n && src.[!pos] <> '\n' do
+        advance ()
+      done
+    else if c = '/' && peek_is 1 '/' then
+      while !pos < n && src.[!pos] <> '\n' do
+        advance ()
+      done
+    else if is_ident_start c then begin
+      let start = !pos in
+      let start_col = !col in
+      while !pos < n && is_ident_char src.[!pos] do
+        advance ()
+      done;
+      let s = String.sub src start (!pos - start) in
+      tokens := { token = IDENT s; line = !line; col = start_col } :: !tokens
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      let start_col = !col in
+      while
+        !pos < n
+        && (is_digit src.[!pos] || src.[!pos] = '.' || src.[!pos] = 'e'
+           || src.[!pos] = 'E'
+           || ((src.[!pos] = '+' || src.[!pos] = '-')
+              && !pos > start
+              && (src.[!pos - 1] = 'e' || src.[!pos - 1] = 'E')))
+      do
+        advance ()
+      done;
+      let s = String.sub src start (!pos - start) in
+      match float_of_string_opt s with
+      | Some f ->
+          tokens := { token = NUMBER f; line = !line; col = start_col } :: !tokens
+      | None -> error (Printf.sprintf "malformed number %S" s)
+    end
+    else begin
+      let simple token =
+        emit token;
+        advance ()
+      in
+      let double token =
+        emit token;
+        advance ();
+        advance ()
+      in
+      match c with
+      | '(' -> simple LPAREN
+      | ')' -> simple RPAREN
+      | '{' -> simple LBRACE
+      | '}' -> simple RBRACE
+      | '<' -> if peek_is 1 '=' then double LE else simple LANGLE
+      | '>' -> if peek_is 1 '=' then double GE else simple RANGLE
+      | '.' -> simple DOT
+      | ',' -> simple COMMA
+      | ';' -> simple SEMI
+      | ':' -> simple COLON
+      | '=' -> simple EQUALS
+      | '_' -> simple UNDERSCORE
+      | '-' -> if peek_is 1 '>' then double ARROW else simple MINUS
+      | '+' -> simple PLUS
+      | '*' -> simple STAR
+      | '/' -> simple SLASH
+      | '!' -> if peek_is 1 '=' then double NEQ else simple BANG
+      | '&' ->
+          if peek_is 1 '&' then double ANDAND
+          else error "expected '&&'"
+      | '|' ->
+          if peek_is 1 '|' then double OROR
+          else error "expected '||'"
+      | _ -> error (Printf.sprintf "unexpected character %C" c)
+    end
+  done;
+  List.rev ({ token = EOF; line = !line; col = !col } :: !tokens)

@@ -1,0 +1,39 @@
+(** Hand-written lexer for the ADL concrete syntax. *)
+
+type token =
+  | IDENT of string
+  | NUMBER of float
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LANGLE  (** also the less-than operator in expressions *)
+  | RANGLE  (** also the greater-than operator in expressions *)
+  | DOT
+  | COMMA
+  | SEMI
+  | COLON
+  | EQUALS  (** also the equality operator in expressions *)
+  | UNDERSCORE
+  | ARROW  (** [->], used by [cond(e) -> t] guards *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | LE
+  | GE
+  | NEQ
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+type located = { token : token; line : int; col : int }
+
+exception Lex_error of { line : int; col : int; message : string }
+
+val tokenize : string -> located list
+(** Comments run from [%] or [//] to end of line. Keywords are returned as
+    [IDENT]s; the parser distinguishes them. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,10 @@
+(** Recursive-descent parser for the ADL concrete syntax. *)
+
+exception Parse_error of { line : int; col : int; message : string }
+
+val parse : string -> Ast.archi
+(** Raises {!Parse_error} or {!Lexer.Lex_error}. *)
+
+val parse_result : string -> (Ast.archi, string) result
+(** Like {!parse} but renders any syntax error as a human-readable
+    ["line L, column C: message"] string. *)

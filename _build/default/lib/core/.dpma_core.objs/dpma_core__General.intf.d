@@ -1,0 +1,1 @@
+lib/core/general.mli: Dpma_dist Dpma_lts Dpma_measures Dpma_sim Dpma_util Format

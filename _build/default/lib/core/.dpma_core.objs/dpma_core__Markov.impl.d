@@ -1,0 +1,1 @@
+lib/core/markov.ml: Dpma_ctmc Dpma_lts Dpma_measures List

@@ -1,0 +1,1 @@
+lib/core/markov.mli: Dpma_lts Dpma_measures Dpma_pa

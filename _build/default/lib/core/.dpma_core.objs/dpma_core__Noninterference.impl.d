@@ -1,0 +1,1 @@
+lib/core/noninterference.ml: Dpma_lts Format List

@@ -1,0 +1,1 @@
+lib/core/noninterference.mli: Dpma_lts Dpma_pa Format

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Dpma_dist Dpma_lts Dpma_measures Dpma_pa Dpma_util Format General List Markov Noninterference Option

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Dpma_dist Dpma_measures Dpma_pa Format General Markov Noninterference

@@ -1,0 +1,35 @@
+module Lts = Dpma_lts.Lts
+module Ctmc = Dpma_ctmc.Ctmc
+module Measure = Dpma_measures.Measure
+
+type analysis = {
+  states : int;
+  tangible : int;
+  values : (string * float) list;
+}
+
+let analyze_lts lts measures =
+  let ctmc = Ctmc.of_lts lts in
+  let pi = Ctmc.steady_state ctmc in
+  let values =
+    List.map (fun m -> (m.Measure.name, Measure.eval_ctmc ctmc pi m)) measures
+  in
+  { states = lts.Lts.num_states; tangible = ctmc.Ctmc.n; values }
+
+let analyze_lts_lumped lts measures =
+  let partition = Dpma_lts.Bisim.markovian_partition lts in
+  let lumped = Lts.quotient_by_representative lts partition in
+  analyze_lts lumped measures
+
+let analyze ?max_states spec measures =
+  analyze_lts (Lts.of_spec ?max_states spec) measures
+
+let without_dpm lts ~high = Lts.restrict lts ~remove:(fun a -> List.mem a high)
+
+let compare_dpm ?max_states spec ~high measures =
+  let lts = Lts.of_spec ?max_states spec in
+  let with_dpm = analyze_lts lts measures in
+  let no_dpm = analyze_lts (without_dpm lts ~high) measures in
+  (with_dpm, no_dpm)
+
+let value analysis name = List.assoc name analysis.values

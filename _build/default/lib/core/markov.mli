@@ -1,0 +1,43 @@
+(** Markovian comparison (second phase of the methodology).
+
+    The Markovian model is obtained from the functional one by attaching
+    exponential rates to its actions (our models carry rates from the
+    start, so both phases share one specification). This module solves the
+    underlying CTMC and evaluates reward-based measures, with and without
+    the DPM — "without" meaning the DPM commands are prevented from
+    occurring, exactly as in the noninterference check, so no second model
+    has to be written. *)
+
+type analysis = {
+  states : int;
+  tangible : int;
+  values : (string * float) list;  (** measure name -> steady-state value *)
+}
+
+val analyze :
+  ?max_states:int ->
+  Dpma_pa.Term.spec ->
+  Dpma_measures.Measure.t list ->
+  analysis
+
+val analyze_lts : Dpma_lts.Lts.t -> Dpma_measures.Measure.t list -> analysis
+
+val analyze_lts_lumped :
+  Dpma_lts.Lts.t -> Dpma_measures.Measure.t list -> analysis
+(** Quotient by ordinary lumpability (Markovian bisimilarity) before
+    solving — same measure values on a possibly much smaller chain. The
+    reported [states] count is the lumped one. *)
+
+val without_dpm : Dpma_lts.Lts.t -> high:string list -> Dpma_lts.Lts.t
+(** Restrict the DPM command actions. *)
+
+val compare_dpm :
+  ?max_states:int ->
+  Dpma_pa.Term.spec ->
+  high:string list ->
+  Dpma_measures.Measure.t list ->
+  analysis * analysis
+(** (with DPM, without DPM). *)
+
+val value : analysis -> string -> float
+(** Raises [Not_found] for an unknown measure name. *)

@@ -1,0 +1,60 @@
+module Lts = Dpma_lts.Lts
+module Bisim = Dpma_lts.Bisim
+module Diagnose = Dpma_lts.Diagnose
+module Hml = Dpma_lts.Hml
+
+type verdict = Secure | Insecure of Hml.t
+
+let observed_pair lts ~high ~low =
+  let with_dpm_hidden = Lts.hide_all_but lts ~keep:low in
+  let without_dpm =
+    Lts.hide_all_but (Lts.restrict lts ~remove:high) ~keep:low
+  in
+  (with_dpm_hidden, without_dpm)
+
+let check_lts lts ~high ~low =
+  let hidden, removed = observed_pair lts ~high ~low in
+  if Bisim.weak_equivalent hidden removed then Secure
+  else
+    match Diagnose.weak_distinguishing_formula hidden removed with
+    | Some formula -> Insecure formula
+    | None ->
+        (* weak_equivalent and the diagnostic refinement agree by
+           construction; reaching this point is a bug. *)
+        assert false
+
+let check_spec ?max_states spec ~high ~low =
+  let lts = Lts.of_spec ?max_states spec in
+  check_lts lts
+    ~high:(fun a -> List.mem a high)
+    ~low:(fun a -> List.mem a low)
+
+let pp_verdict ppf = function
+  | Secure ->
+      Format.pp_print_string ppf
+        "SECURE: the DPM does not interfere with the low behavior"
+  | Insecure formula ->
+      Format.fprintf ppf
+        "@[<v>INSECURE: the DPM is observable by the client; distinguishing \
+         formula:@,%a@]"
+        (Hml.pp ~weak:true) formula
+
+let branching_secure lts ~high ~low =
+  let hidden, removed = observed_pair lts ~high ~low in
+  Bisim.branching_equivalent hidden removed
+
+let branching_secure_spec ?max_states spec ~high ~low =
+  let lts = Lts.of_spec ?max_states spec in
+  branching_secure lts
+    ~high:(fun a -> List.mem a high)
+    ~low:(fun a -> List.mem a low)
+
+let trace_secure lts ~high ~low =
+  let hidden, removed = observed_pair lts ~high ~low in
+  Bisim.trace_equivalent hidden removed
+
+let trace_secure_spec ?max_states spec ~high ~low =
+  let lts = Lts.of_spec ?max_states spec in
+  trace_secure lts
+    ~high:(fun a -> List.mem a high)
+    ~low:(fun a -> List.mem a low)

@@ -1,0 +1,70 @@
+(** Noninterference analysis (first phase of the methodology).
+
+    Following Sect. 3 of the paper, the DPM is *transparent* when the
+    functional model with the high actions (the DPM commands) made
+    unobservable is weakly bisimilar to the functional model with the high
+    actions prevented from occurring — i.e. the low observer (the client)
+    cannot tell whether a power manager is present. Every action that is
+    neither high nor low is internal and hidden on both sides.
+
+    On failure, a distinguishing modal-logic formula is returned as the
+    diagnostic that guides the revision of the DPM or of the system. *)
+
+type verdict =
+  | Secure
+  | Insecure of Dpma_lts.Hml.t
+      (** formula satisfied by the hidden-DPM system and not by the
+          DPM-less system, over weak modalities *)
+
+val check_lts :
+  Dpma_lts.Lts.t -> high:(string -> bool) -> low:(string -> bool) -> verdict
+
+val check_spec :
+  ?max_states:int ->
+  Dpma_pa.Term.spec ->
+  high:string list ->
+  low:string list ->
+  verdict
+(** Builds the LTS first; high/low given as exact action names (the fused
+    channel names for attached interactions). *)
+
+val observed_pair :
+  Dpma_lts.Lts.t ->
+  high:(string -> bool) ->
+  low:(string -> bool) ->
+  Dpma_lts.Lts.t * Dpma_lts.Lts.t
+(** The two compared systems: (DPM hidden, DPM removed), both with
+    non-low actions hidden — exposed for inspection and testing. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val branching_secure :
+  Dpma_lts.Lts.t -> high:(string -> bool) -> low:(string -> bool) -> bool
+(** The same check under *branching* bisimilarity — strictly stronger than
+    the paper's weak-bisimulation notion (it additionally preserves the
+    branching structure of internal stuttering). [true] implies the weak
+    check passes too; a stricter designer may require it. *)
+
+val branching_secure_spec :
+  ?max_states:int ->
+  Dpma_pa.Term.spec ->
+  high:string list ->
+  low:string list ->
+  bool
+
+val trace_secure :
+  Dpma_lts.Lts.t -> high:(string -> bool) -> low:(string -> bool) -> bool
+(** The *trace-based* variant (SNNI in the Focardi–Gorrieri classification
+    the paper builds on): the two systems need only have the same weak
+    trace language. Strictly weaker than the bisimulation check: since
+    trace languages here are prefix-closed, a DPM-induced deadlock after a
+    legal prefix is invisible — the paper's simplified rpc system *passes*
+    this check while failing the weak-bisimulation one, which is precisely
+    why the methodology uses bisimulation. *)
+
+val trace_secure_spec :
+  ?max_states:int ->
+  Dpma_pa.Term.spec ->
+  high:string list ->
+  low:string list ->
+  bool

@@ -1,0 +1,45 @@
+(** The incremental methodology of the paper's Fig. 1, end to end:
+
+    1. functional phase — noninterference of the DPM via weak-bisimulation
+       equivalence checking, with a distinguishing-formula diagnostic on
+       failure ("correct by construction" refinements follow);
+    2. Markovian phase — CTMC solution of the same model, measures
+       compared with and without DPM;
+    3. general phase — the general-distribution model is validated against
+       the Markovian one (exponential cross-check) and then simulated,
+       again with and without DPM.
+
+    "Without DPM" is uniformly obtained by preventing the high actions,
+    which keeps the three models consistent by construction. *)
+
+type study = {
+  study_name : string;
+  spec : Dpma_pa.Term.spec;  (** rated model (Markovian view) *)
+  functional_spec : Dpma_pa.Term.spec option;
+      (** optionally a smaller-capacity model for the functional phase;
+          defaults to [spec] *)
+  high : string list;  (** DPM command actions *)
+  low : string list;  (** client-observable actions *)
+  measures : Dpma_measures.Measure.t list;
+  general_timings : (string * Dpma_dist.Dist.t) list;
+      (** general-distribution overrides (empty = pure Markovian study) *)
+}
+
+type report = {
+  verdict : Noninterference.verdict;
+      (** the paper's weak-bisimulation check, with diagnostics *)
+  trace_secure : bool;
+      (** trace-based SNNI — weaker: blind to DPM-induced deadlocks *)
+  branching_secure : bool;
+      (** branching-bisimulation check — stronger than the paper's *)
+  markovian_with_dpm : Markov.analysis;
+  markovian_without_dpm : Markov.analysis;
+  validation : General.validation;
+  general_with_dpm : General.estimate list;
+  general_without_dpm : General.estimate list;
+}
+
+val assess :
+  ?sim_params:General.sim_params -> ?max_states:int -> study -> report
+
+val pp_report : Format.formatter -> report -> unit

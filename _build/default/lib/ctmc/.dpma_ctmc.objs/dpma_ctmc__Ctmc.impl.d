@@ -1,0 +1,1 @@
+lib/ctmc/ctmc.ml: Array Dpma_lts Dpma_pa Dpma_util Float Format Hashtbl List Option Printf Queue String

@@ -1,0 +1,1 @@
+lib/dist/dist.ml: Array Dpma_util Float Format List Printf Result String

@@ -1,0 +1,1 @@
+lib/dist/dist.mli: Dpma_util Format

@@ -1,0 +1,139 @@
+module Prng = Dpma_util.Prng
+
+type t =
+  | Exponential of float
+  | Deterministic of float
+  | Uniform of float * float
+  | Normal of float * float
+  | Erlang of int * float
+  | Weibull of float * float
+
+(* Lanczos approximation (g = 7, n = 9) — the stdlib has no log-gamma. *)
+let log_gamma x =
+  let coeffs =
+    [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+       771.32342877765313; -176.61502916214059; 12.507343278686905;
+       -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]
+  in
+  assert (x > 0.0);
+  let x = x -. 1.0 in
+  let a = ref coeffs.(0) in
+  let t = x +. 7.5 in
+  for i = 1 to 8 do
+    a := !a +. (coeffs.(i) /. (x +. float_of_int i))
+  done;
+  (0.5 *. log (2.0 *. Float.pi)) +. ((x +. 0.5) *. log t) -. t +. log !a
+
+let mean = function
+  | Exponential m -> m
+  | Deterministic c -> c
+  | Uniform (a, b) -> (a +. b) /. 2.0
+  | Normal (m, _) -> m
+  | Erlang (_, m) -> m
+  | Weibull (k, l) -> l *. exp (log_gamma (1.0 +. (1.0 /. k)))
+
+let variance = function
+  | Exponential m -> m *. m
+  | Deterministic _ -> 0.0
+  | Uniform (a, b) -> (b -. a) ** 2.0 /. 12.0
+  | Normal (_, sd) -> sd *. sd
+  | Erlang (k, m) -> m *. m /. float_of_int k
+  | Weibull (k, l) ->
+      let g x = exp (log_gamma x) in
+      (l *. l) *. (g (1.0 +. (2.0 /. k)) -. (g (1.0 +. (1.0 /. k)) ** 2.0))
+
+let sample_exponential g mean =
+  let u = 1.0 -. Prng.float g in
+  -.mean *. log u
+
+let sample_standard_normal g =
+  (* Marsaglia polar method; at most a handful of rejections expected. *)
+  let rec draw () =
+    let u = (2.0 *. Prng.float g) -. 1.0 in
+    let v = (2.0 *. Prng.float g) -. 1.0 in
+    let s = (u *. u) +. (v *. v) in
+    if s >= 1.0 || s = 0.0 then draw () else u *. sqrt (-2.0 *. log s /. s)
+  in
+  draw ()
+
+let rec sample g dist =
+  match dist with
+  | Exponential m -> sample_exponential g m
+  | Deterministic c -> c
+  | Uniform (a, b) -> Prng.float_range g a b
+  | Normal (m, sd) ->
+      let x = m +. (sd *. sample_standard_normal g) in
+      if x < 0.0 then sample g dist else x
+  | Erlang (k, m) ->
+      let stage_mean = m /. float_of_int k in
+      let rec go i acc =
+        if i = 0 then acc else go (i - 1) (acc +. sample_exponential g stage_mean)
+      in
+      go k 0.0
+  | Weibull (k, l) ->
+      let u = 1.0 -. Prng.float g in
+      l *. ((-.log u) ** (1.0 /. k))
+
+let exponential_with_same_mean t = Exponential (mean t)
+
+let fr = Dpma_util.Floatfmt.repr
+
+let pp ppf = function
+  | Exponential m -> Format.fprintf ppf "exp(%s)" (fr m)
+  | Deterministic c -> Format.fprintf ppf "det(%s)" (fr c)
+  | Uniform (a, b) -> Format.fprintf ppf "unif(%s,%s)" (fr a) (fr b)
+  | Normal (m, sd) -> Format.fprintf ppf "norm(%s,%s)" (fr m) (fr sd)
+  | Erlang (k, m) -> Format.fprintf ppf "erlang(%d,%s)" k (fr m)
+  | Weibull (k, l) -> Format.fprintf ppf "weibull(%s,%s)" (fr k) (fr l)
+
+let to_string t = Format.asprintf "%a" pp t
+
+let of_string s =
+  let s = String.trim s in
+  let parse_args name body =
+    body |> String.split_on_char ',' |> List.map String.trim
+    |> List.map (fun x ->
+           match float_of_string_opt x with
+           | Some f -> Ok f
+           | None -> Error (Printf.sprintf "%s: bad number %S" name x))
+    |> List.fold_left
+         (fun acc r ->
+           match (acc, r) with
+           | Ok xs, Ok x -> Ok (xs @ [ x ])
+           | (Error _ as e), _ -> e
+           | _, Error e -> Error e)
+         (Ok [])
+  in
+  match String.index_opt s '(' with
+  | None -> Error (Printf.sprintf "distribution: missing '(' in %S" s)
+  | Some i ->
+      if String.length s = 0 || s.[String.length s - 1] <> ')' then
+        Error (Printf.sprintf "distribution: missing ')' in %S" s)
+      else
+        let name = String.sub s 0 i in
+        let body = String.sub s (i + 1) (String.length s - i - 2) in
+        let ( let* ) = Result.bind in
+        let* args = parse_args name body in
+        (match (name, args) with
+        | "exp", [ m ] when m > 0.0 -> Ok (Exponential m)
+        | "det", [ c ] when c >= 0.0 -> Ok (Deterministic c)
+        | "unif", [ a; b ] when 0.0 <= a && a <= b -> Ok (Uniform (a, b))
+        | "norm", [ m; sd ] when sd >= 0.0 -> Ok (Normal (m, sd))
+        | "erlang", [ k; m ] when Float.is_integer k && k >= 1.0 && m > 0.0 ->
+            Ok (Erlang (int_of_float k, m))
+        | "weibull", [ k; l ] when k > 0.0 && l > 0.0 -> Ok (Weibull (k, l))
+        | ("exp" | "det" | "unif" | "norm" | "erlang" | "weibull"), _ ->
+            Error (Printf.sprintf "distribution %s: bad arguments in %S" name s)
+        | _, _ -> Error (Printf.sprintf "unknown distribution %S" name))
+
+let equal a b =
+  match (a, b) with
+  | Exponential x, Exponential y | Deterministic x, Deterministic y -> x = y
+  | Uniform (a1, b1), Uniform (a2, b2) -> a1 = a2 && b1 = b2
+  | Normal (m1, s1), Normal (m2, s2) -> m1 = m2 && s1 = s2
+  | Erlang (k1, m1), Erlang (k2, m2) -> k1 = k2 && m1 = m2
+  | Weibull (k1, l1), Weibull (k2, l2) -> k1 = k2 && l1 = l2
+  | ( ( Exponential _ | Deterministic _ | Uniform _ | Normal _ | Erlang _
+      | Weibull _ ),
+      _ ) ->
+      false

@@ -1,0 +1,37 @@
+(** Probability distributions for activity durations.
+
+    The Markovian phase of the methodology only uses {!Exponential};
+    the general phase (Sect. 5 of the paper) replaces selected delays by
+    {!Deterministic} and {!Normal} ones, and this module supplies a few more
+    families useful for sensitivity studies. All delays are durations, so
+    samples are guaranteed non-negative (the normal is truncated at 0 by
+    resampling, matching how measurement noise is applied to propagation
+    delays in the paper's general rpc model). *)
+
+type t =
+  | Exponential of float  (** mean *)
+  | Deterministic of float  (** the constant itself *)
+  | Uniform of float * float  (** inclusive lower bound, exclusive upper *)
+  | Normal of float * float  (** mean, standard deviation; truncated at 0 *)
+  | Erlang of int * float  (** number of stages, total mean *)
+  | Weibull of float * float  (** shape k, scale lambda *)
+
+val mean : t -> float
+val variance : t -> float
+
+val sample : Dpma_util.Prng.t -> t -> float
+(** Draw one non-negative sample. *)
+
+val exponential_with_same_mean : t -> t
+(** The exponential distribution matching [mean t] — used by the validation
+    phase, which re-runs the general model with exponential delays. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Parse the concrete syntax used by the ADL:
+    [exp(m)], [det(c)], [unif(a,b)], [norm(m,sd)], [erlang(k,m)],
+    [weibull(k,l)]. *)
+
+val equal : t -> t -> bool

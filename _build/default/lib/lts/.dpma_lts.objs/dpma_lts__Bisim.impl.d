@@ -1,0 +1,1 @@
+lib/lts/bisim.ml: Array Dpma_pa Dpma_util Hashtbl List Lts Option Queue String

@@ -1,0 +1,1 @@
+lib/lts/bisim.mli: Lts

@@ -1,0 +1,1 @@
+lib/lts/diagnose.ml: Array Bisim Hashtbl Hml List Lts Option

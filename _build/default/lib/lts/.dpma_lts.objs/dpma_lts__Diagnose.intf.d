@@ -1,0 +1,1 @@
+lib/lts/diagnose.mli: Hml Lts

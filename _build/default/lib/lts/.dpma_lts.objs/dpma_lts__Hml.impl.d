@@ -1,0 +1,1 @@
+lib/lts/hml.ml: Array Format List Lts

@@ -1,0 +1,1 @@
+lib/lts/hml.mli: Format Lts

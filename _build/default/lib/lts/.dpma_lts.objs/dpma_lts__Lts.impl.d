@@ -1,0 +1,1 @@
+lib/lts/lts.ml: Array Dpma_pa Format Hashtbl List Printf Queue Set String

@@ -1,0 +1,273 @@
+module Rate = Dpma_pa.Rate
+
+let tau_closure (lts : Lts.t) =
+  (* For each state, the set of states reachable through Tau transitions,
+     including itself, as a sorted int list. *)
+  let n = lts.num_states in
+  let closure = Array.make n [] in
+  let scratch = Array.make n false in
+  for s = 0 to n - 1 do
+    let seen = scratch in
+    let stack = ref [ s ] in
+    let acc = ref [] in
+    seen.(s) <- true;
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | x :: rest ->
+          stack := rest;
+          acc := x :: !acc;
+          List.iter
+            (fun (tr : Lts.transition) ->
+              if tr.label = Lts.Tau && not seen.(tr.target) then begin
+                seen.(tr.target) <- true;
+                stack := tr.target :: !stack
+              end)
+            lts.trans.(x)
+    done;
+    List.iter (fun x -> scratch.(x) <- false) !acc;
+    closure.(s) <- List.sort compare !acc
+  done;
+  closure
+
+let saturate (lts : Lts.t) =
+  let n = lts.num_states in
+  let closure = tau_closure lts in
+  let trans = Array.make n [] in
+  let seen = Hashtbl.create 256 in
+  for s = 0 to n - 1 do
+    Hashtbl.reset seen;
+    let add label target =
+      if not (Hashtbl.mem seen (label, target)) then begin
+        Hashtbl.add seen (label, target) ();
+        trans.(s) <- { Lts.label; rate = None; target } :: trans.(s)
+      end
+    in
+    (* s =tau*=> s' gives weak internal moves to everything in closure. *)
+    List.iter (fun s' -> add Lts.Tau s') closure.(s);
+    (* s =tau*=> s1 -a-> s2 =tau*=> t gives weak observable moves. *)
+    List.iter
+      (fun s1 ->
+        List.iter
+          (fun (tr : Lts.transition) ->
+            match tr.label with
+            | Lts.Tau -> ()
+            | Lts.Obs _ as l ->
+                List.iter (fun t -> add l t) closure.(tr.target))
+          lts.trans.(s1))
+      closure.(s)
+  done;
+  { lts with trans }
+
+(* Signature-based partition refinement. [signature] maps a state to a
+   canonical representation of its outgoing behaviour w.r.t. the current
+   blocks; refinement stops when the block count is stable. *)
+let refine (lts : Lts.t) ~signature =
+  let n = lts.num_states in
+  let block = Array.make n 0 in
+  let num_blocks = ref 1 in
+  let continue_ = ref (n > 0) in
+  while !continue_ do
+    let table = Hashtbl.create (2 * !num_blocks) in
+    let next = ref 0 in
+    let new_block = Array.make n 0 in
+    for s = 0 to n - 1 do
+      let key = (block.(s), signature block s) in
+      match Hashtbl.find_opt table key with
+      | Some id -> new_block.(s) <- id
+      | None ->
+          Hashtbl.add table key !next;
+          new_block.(s) <- !next;
+          incr next
+    done;
+    if !next = !num_blocks then continue_ := false
+    else begin
+      num_blocks := !next;
+      Array.blit new_block 0 block 0 n
+    end
+  done;
+  block
+
+let strong_signature (lts : Lts.t) block s =
+  lts.trans.(s)
+  |> List.map (fun (tr : Lts.transition) -> (tr.label, block.(tr.target)))
+  |> List.sort_uniq compare
+
+let strong_partition lts = refine lts ~signature:(strong_signature lts)
+
+(* States on a common tau-cycle are weakly bisimilar (each can silently
+   reach the other), so collapsing tau-SCCs before saturating is sound for
+   weak equivalence and shrinks the quadratic saturation step. *)
+let tau_scc_partition (lts : Lts.t) =
+  let tau_succ s =
+    List.filter_map
+      (fun (tr : Lts.transition) ->
+        if tr.label = Lts.Tau then Some tr.target else None)
+      lts.trans.(s)
+  in
+  let comps = Dpma_util.Scc.tarjan ~succ:tau_succ lts.num_states in
+  Dpma_util.Scc.component_index ~n:lts.num_states comps
+
+let compose outer inner = Array.map (fun b -> outer.(b)) inner
+
+let weak_partition lts =
+  (* Pre-reduce: strongly bisimilar states are weakly bisimilar, and so are
+     tau-SCC members; both quotients are cheap compared to saturation. *)
+  let p1 = strong_partition lts in
+  let l1 = Lts.quotient lts p1 in
+  let p2 = tau_scc_partition l1 in
+  let l2 = Lts.quotient l1 p2 in
+  let saturated = saturate l2 in
+  let p3 = refine saturated ~signature:(strong_signature saturated) in
+  compose p3 (compose p2 p1)
+
+(* For lumping, transitions to the same block accumulate: exponential rates
+   add up; immediate weights add up per priority; passive weights add up. *)
+type rate_class = Exp_class | Imm_class of int | Passive_class
+
+let markovian_signature (lts : Lts.t) block s =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun (tr : Lts.transition) ->
+      let cls, value =
+        match tr.rate with
+        | None -> (Exp_class, 0.0)
+        | Some (Rate.Exp lambda) -> (Exp_class, lambda)
+        | Some (Rate.Imm { prio; weight }) -> (Imm_class prio, weight)
+        | Some (Rate.Passive { weight }) -> (Passive_class, weight)
+      in
+      let key = (tr.label, block.(tr.target), cls) in
+      let current = Option.value ~default:0.0 (Hashtbl.find_opt table key) in
+      Hashtbl.replace table key (current +. value))
+    lts.trans.(s);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+  |> List.sort compare
+
+let markovian_partition lts = refine lts ~signature:(markovian_signature lts)
+
+(* Branching bisimulation via Blom–Orzan signature refinement: a state's
+   signature collects the (label, target block) pairs reachable after
+   internal stuttering *within its own current block*; inert tau steps
+   (same-block) are excluded. The fixpoint of this refinement is the
+   coarsest branching bisimulation. *)
+let branching_signature (lts : Lts.t) block s =
+  let b = block.(s) in
+  (* Same-block tau closure of s. *)
+  let seen = Hashtbl.create 8 in
+  Hashtbl.add seen s ();
+  let stack = ref [ s ] in
+  let closure = ref [ s ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | x :: rest ->
+        stack := rest;
+        List.iter
+          (fun (tr : Lts.transition) ->
+            if
+              tr.label = Lts.Tau
+              && block.(tr.target) = b
+              && not (Hashtbl.mem seen tr.target)
+            then begin
+              Hashtbl.add seen tr.target ();
+              closure := tr.target :: !closure;
+              stack := tr.target :: !stack
+            end)
+          lts.trans.(x)
+  done;
+  !closure
+  |> List.concat_map (fun s' ->
+         List.filter_map
+           (fun (tr : Lts.transition) ->
+             if tr.label = Lts.Tau && block.(tr.target) = b then None
+             else Some (tr.label, block.(tr.target)))
+           lts.trans.(s'))
+  |> List.sort_uniq compare
+
+let branching_partition lts = refine lts ~signature:(branching_signature lts)
+
+let branching_equivalent a b =
+  let union, ia, ib = Lts.disjoint_union a b in
+  let block = branching_partition union in
+  block.(ia) = block.(ib)
+
+let same_class block s t = block.(s) = block.(t)
+
+let strong_equivalent a b =
+  let union, ia, ib = Lts.disjoint_union a b in
+  let block = strong_partition union in
+  same_class block ia ib
+
+let weak_equivalent a b =
+  let union, ia, ib = Lts.disjoint_union a b in
+  let block = weak_partition union in
+  same_class block ia ib
+
+let minimize_strong lts = Lts.quotient lts (strong_partition lts)
+
+let minimize_weak lts =
+  let saturated = saturate lts in
+  Lts.quotient saturated (refine saturated ~signature:(strong_signature saturated))
+
+let determinize ?(max_states = 500_000) (lts : Lts.t) =
+  let closure = tau_closure lts in
+  let close set =
+    List.concat_map (fun s -> closure.(s)) set |> List.sort_uniq compare
+  in
+  let table : (int list, int) Hashtbl.t = Hashtbl.create 64 in
+  let rev_states = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  let id_of set =
+    match Hashtbl.find_opt table set with
+    | Some id -> id
+    | None ->
+        if !count >= max_states then raise (Lts.Too_many_states max_states);
+        let id = !count in
+        incr count;
+        Hashtbl.add table set id;
+        rev_states := set :: !rev_states;
+        Queue.add (id, set) queue;
+        id
+  in
+  let init = id_of (close [ lts.init ]) in
+  let edges = ref [] in
+  while not (Queue.is_empty queue) do
+    let id, set = Queue.pop queue in
+    (* Group the observable successors of the (already tau-closed) set. *)
+    let by_label : (string, int list) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun s ->
+        List.iter
+          (fun (tr : Lts.transition) ->
+            match tr.label with
+            | Lts.Tau -> ()
+            | Lts.Obs a ->
+                let cur = Option.value ~default:[] (Hashtbl.find_opt by_label a) in
+                Hashtbl.replace by_label a (tr.target :: cur))
+          lts.trans.(s))
+      set;
+    let outgoing =
+      Hashtbl.fold
+        (fun a targets acc ->
+          { Lts.label = Lts.Obs a; rate = None; target = id_of (close targets) }
+          :: acc)
+        by_label []
+    in
+    edges := (id, outgoing) :: !edges
+  done;
+  let n = !count in
+  let trans = Array.make n [] in
+  List.iter (fun (id, outgoing) -> trans.(id) <- outgoing) !edges;
+  let sets = Array.make n [] in
+  List.iteri (fun i set -> sets.(n - 1 - i) <- set) !rev_states;
+  {
+    Lts.init;
+    num_states = n;
+    trans;
+    state_name =
+      (fun i -> "{" ^ String.concat "," (List.map string_of_int sets.(i)) ^ "}");
+  }
+
+let trace_equivalent a b =
+  strong_equivalent (determinize a) (determinize b)

@@ -1,0 +1,58 @@
+(** Bisimulation equivalences.
+
+    Strong bisimulation is computed by signature-based partition refinement;
+    weak (observational) equivalence is reduced to strong bisimulation on
+    the saturated double-arrow LTS (Milner), where [Tau] plays the role of
+    the reflexive-transitive weak internal move. Markovian (lumping)
+    equivalence refines signatures with cumulative rates, giving ordinary
+    lumpability on the underlying CTMC. *)
+
+val saturate : Lts.t -> Lts.t
+(** Weak-transition closure: in the result, an [Obs a] transition [s -> t]
+    exists iff [s =tau*=> . -a-> . =tau*=> t] in the input, and a [Tau]
+    transition [s -> t] iff [s =tau*=> t] (including [s = t]). Rates are
+    dropped. *)
+
+val strong_partition : Lts.t -> int array
+(** Coarsest strong-bisimulation partition; entry [i] is the block of state
+    [i], blocks numbered densely from 0. *)
+
+val weak_partition : Lts.t -> int array
+(** Coarsest weak-bisimulation partition (saturates internally). *)
+
+val markovian_partition : Lts.t -> int array
+(** Coarsest ordinary-lumpability partition: signatures accumulate total
+    exponential rate (and immediate weight, per priority) per label and
+    target block. *)
+
+val branching_partition : Lts.t -> int array
+(** Coarsest branching-bisimulation partition (Blom–Orzan signature
+    refinement). Branching bisimilarity is strictly finer than weak
+    bisimilarity and preserves the branching structure of internal
+    stuttering; it is offered as a stricter alternative for the
+    noninterference check. *)
+
+val branching_equivalent : Lts.t -> Lts.t -> bool
+
+val strong_equivalent : Lts.t -> Lts.t -> bool
+val weak_equivalent : Lts.t -> Lts.t -> bool
+
+val minimize_strong : Lts.t -> Lts.t
+val minimize_weak : Lts.t -> Lts.t
+(** Quotient by the respective partition (weak minimization quotients the
+    saturated LTS). *)
+
+val same_class : int array -> int -> int -> bool
+
+val determinize : ?max_states:int -> Lts.t -> Lts.t
+(** Observable-deterministic automaton by epsilon-closure subset
+    construction: tau-free, one transition per (state, label), recognizing
+    exactly the weak traces of the input. Exponential in the worst case;
+    raises {!Lts.Too_many_states} beyond [max_states] (default 500_000). *)
+
+val trace_equivalent : Lts.t -> Lts.t -> bool
+(** Weak trace equivalence (equality of observable-trace languages, which
+    are prefix-closed here): determinize both sides and compare by strong
+    bisimulation — on deterministic automata the two notions coincide.
+    Strictly coarser than weak bisimilarity: deadlocks after a common
+    trace are invisible. *)

@@ -1,0 +1,173 @@
+(* Kanellakis–Smolka partition refinement instrumented with a splitting
+   tree, followed by Cleaveland's recursive formula extraction. Each tree
+   node is the block as it existed when the node was created; a split
+   stores the (label, splitter-node) pair that caused it. Because states
+   never move across subtrees, "state x belonged to block C when C was used
+   as a splitter" is exactly "C is an ancestor of x's current leaf". *)
+
+type node = {
+  id : int;
+  mutable parent : node option;
+  depth : int;
+  mutable split : (Lts.label * node * node * node) option;
+      (* (label, splitter, child_yes, child_no): child_yes holds the states
+         with a [label]-transition into the splitter block *)
+  mutable split_time : int;
+}
+
+let rec is_ancestor ancestor node =
+  ancestor.id = node.id
+  || match node.parent with None -> false | Some p -> is_ancestor ancestor p
+
+let distinguishing_formula (lts : Lts.t) s0 t0 =
+  let n = lts.num_states in
+  let next_id = ref 0 in
+  let make_node parent depth =
+    let node = { id = !next_id; parent; depth; split = None; split_time = -1 } in
+    incr next_id;
+    node
+  in
+  let root = make_node None 0 in
+  let leaf = Array.make n root in
+  (* members.(node.id) is filled only for current leaves. *)
+  let members : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.add members root.id (List.init n (fun i -> i));
+  let labels = Lts.labels lts in
+  let clock = ref 0 in
+  let try_split_block block_node =
+    let states = Hashtbl.find members block_node.id in
+    match states with
+    | [] | [ _ ] -> false
+    | _ ->
+        (* For each label, group the block's states by the set of leaf
+           blocks they can reach; the first proper split wins. *)
+        let attempt label =
+          let targets_of s =
+            lts.trans.(s)
+            |> List.filter_map (fun (tr : Lts.transition) ->
+                   if Lts.label_equal tr.label label then
+                     Some leaf.(tr.target).id
+                   else None)
+            |> List.sort_uniq compare
+          in
+          let reach = List.map (fun s -> (s, targets_of s)) states in
+          let candidate_ids =
+            List.concat_map snd reach |> List.sort_uniq compare
+          in
+          let rec find_splitter = function
+            | [] -> false
+            | cid :: rest ->
+                let yes, no =
+                  List.partition (fun (_, ts) -> List.mem cid ts) reach
+                in
+                if yes = [] || no = [] then find_splitter rest
+                else begin
+                  let splitter =
+                    (* Recover the node for cid: it is the current leaf of
+                       any target state with that id; find via one member. *)
+                    let _, ts = List.hd yes in
+                    ignore ts;
+                    let found = ref None in
+                    List.iter
+                      (fun (s, _) ->
+                        List.iter
+                          (fun (tr : Lts.transition) ->
+                            if
+                              Lts.label_equal tr.label label
+                              && leaf.(tr.target).id = cid
+                            then found := Some leaf.(tr.target))
+                          lts.trans.(s))
+                      yes;
+                    match !found with
+                    | Some node -> node
+                    | None -> assert false
+                  in
+                  let child_yes = make_node (Some block_node) (block_node.depth + 1) in
+                  let child_no = make_node (Some block_node) (block_node.depth + 1) in
+                  block_node.split <- Some (label, splitter, child_yes, child_no);
+                  block_node.split_time <- !clock;
+                  incr clock;
+                  Hashtbl.remove members block_node.id;
+                  Hashtbl.add members child_yes.id (List.map fst yes);
+                  Hashtbl.add members child_no.id (List.map fst no);
+                  List.iter (fun (s, _) -> leaf.(s) <- child_yes) yes;
+                  List.iter (fun (s, _) -> leaf.(s) <- child_no) no;
+                  true
+                end
+          in
+          find_splitter candidate_ids
+        in
+        List.exists attempt labels
+  in
+  let rec refine_until_stable () =
+    let nodes = Hashtbl.fold (fun id _ acc -> id :: acc) members [] in
+    let split_any =
+      List.exists
+        (fun id ->
+          (* The node may have been split already in this sweep. *)
+          match Hashtbl.find_opt members id with
+          | None | Some ([] | [ _ ]) -> false
+          | Some (s :: _) -> try_split_block leaf.(s))
+        nodes
+    in
+    if split_any then refine_until_stable ()
+  in
+  refine_until_stable ();
+  if leaf.(s0).id = leaf.(t0).id then None
+  else begin
+    (* Lowest common ancestor of the two leaves. *)
+    let rec lca a b =
+      if a.id = b.id then a
+      else if a.depth > b.depth then
+        lca (Option.get a.parent) b
+      else if b.depth > a.depth then lca a (Option.get b.parent)
+      else lca (Option.get a.parent) (Option.get b.parent)
+    in
+    let memo : (int * int, Hml.t) Hashtbl.t = Hashtbl.create 64 in
+    let rec dist s t =
+      match Hashtbl.find_opt memo (s, t) with
+      | Some f -> f
+      | None ->
+          let f = dist_uncached s t in
+          Hashtbl.add memo (s, t) f;
+          f
+    and dist_uncached s t =
+      let node = lca leaf.(s) leaf.(t) in
+      match node.split with
+      | None -> assert false (* s, t in different leaves => LCA has split *)
+      | Some (label, splitter, child_yes, _child_no) ->
+          let s_in_yes = is_ancestor child_yes leaf.(s) in
+          let s', t' = if s_in_yes then (s, t) else (t, s) in
+          (* s' has a [label]-move into the splitter block; t' has none. *)
+          let succ_in_splitter =
+            lts.trans.(s')
+            |> List.filter_map (fun (tr : Lts.transition) ->
+                   if
+                     Lts.label_equal tr.label label
+                     && is_ancestor splitter leaf.(tr.target)
+                   then Some tr.target
+                   else None)
+          in
+          let witness =
+            match succ_in_splitter with
+            | w :: _ -> w
+            | [] -> assert false
+          in
+          let t_succs =
+            lts.trans.(t')
+            |> List.filter_map (fun (tr : Lts.transition) ->
+                   if Lts.label_equal tr.label label then Some tr.target
+                   else None)
+            |> List.sort_uniq compare
+          in
+          let conjuncts = List.map (fun u -> dist witness u) t_succs in
+          let formula = Hml.diamond label (Hml.conj conjuncts) in
+          if s_in_yes then formula else Hml.neg formula
+    in
+    Some (dist s0 t0)
+  end
+
+let weak_distinguishing_formula a b =
+  let union, ia, ib = Lts.disjoint_union a b in
+  let saturated = Bisim.saturate union in
+  distinguishing_formula saturated ia ib

@@ -1,0 +1,20 @@
+(** Distinguishing-formula generation (Cleaveland's algorithm).
+
+    When the equivalence check of the noninterference analysis fails, the
+    methodology (Sect. 3.1 of the paper) relies on a modal-logic formula
+    telling the two systems apart to guide the revision of the DPM or of
+    the system. This module reruns partition refinement with an explicit
+    splitting tree and extracts such a formula: the first state satisfies
+    it, the second does not (guaranteed, and re-checked by {!Hml.sat} in
+    the test suite). *)
+
+val distinguishing_formula : Lts.t -> int -> int -> Hml.t option
+(** [distinguishing_formula lts s t] — [None] iff [s] and [t] are strongly
+    bisimilar on the given transition relation. Intended for moderate state
+    spaces (diagnostics are generated for models under active debugging). *)
+
+val weak_distinguishing_formula : Lts.t -> Lts.t -> Hml.t option
+(** Distinguishing formula for the initial states of two systems w.r.t.
+    weak bisimulation: saturates their disjoint union and runs
+    {!distinguishing_formula}; the resulting modalities read as weak
+    transitions. *)

@@ -1,0 +1,235 @@
+module Term = Dpma_pa.Term
+module Semantics = Dpma_pa.Semantics
+
+type label = Tau | Obs of string
+
+let label_equal a b =
+  match (a, b) with
+  | Tau, Tau -> true
+  | Obs x, Obs y -> String.equal x y
+  | (Tau | Obs _), _ -> false
+
+let label_compare a b =
+  match (a, b) with
+  | Tau, Tau -> 0
+  | Tau, Obs _ -> -1
+  | Obs _, Tau -> 1
+  | Obs x, Obs y -> String.compare x y
+
+let pp_label ppf = function
+  | Tau -> Format.pp_print_string ppf "tau"
+  | Obs a -> Format.pp_print_string ppf a
+
+type transition = { label : label; rate : Dpma_pa.Rate.t option; target : int }
+
+type t = {
+  init : int;
+  num_states : int;
+  trans : transition list array;
+  state_name : int -> string;
+}
+
+exception Too_many_states of int
+
+let of_spec ?(max_states = 500_000) (spec : Term.spec) =
+  let table : (Term.t, int) Hashtbl.t = Hashtbl.create 1024 in
+  let states : Term.t list ref = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  let id_of term =
+    match Hashtbl.find_opt table term with
+    | Some id -> id
+    | None ->
+        if !count >= max_states then raise (Too_many_states max_states);
+        let id = !count in
+        incr count;
+        Hashtbl.add table term id;
+        states := term :: !states;
+        Queue.add (id, term) queue;
+        id
+  in
+  let init = id_of spec.init in
+  let edges = ref [] in
+  while not (Queue.is_empty queue) do
+    let id, term = Queue.pop queue in
+    let outgoing =
+      Semantics.transitions spec.defs term
+      |> List.map (fun (a, rate, k) ->
+             let label = if String.equal a Term.tau then Tau else Obs a in
+             { label; rate = Some rate; target = id_of k })
+    in
+    edges := (id, outgoing) :: !edges
+  done;
+  let n = !count in
+  let trans = Array.make n [] in
+  List.iter (fun (id, outgoing) -> trans.(id) <- outgoing) !edges;
+  let terms = Array.make n Term.stop in
+  List.iteri (fun i term -> terms.(n - 1 - i) <- term) !states;
+  (* State names are rendered lazily: they are only needed in diagnostics. *)
+  { init; num_states = n; trans; state_name = (fun i -> Term.to_string terms.(i)) }
+
+let num_transitions lts =
+  Array.fold_left (fun acc ts -> acc + List.length ts) 0 lts.trans
+
+let labels lts =
+  let module Lset = Set.Make (struct
+    type nonrec t = label
+
+    let compare = label_compare
+  end) in
+  Array.fold_left
+    (fun acc ts ->
+      List.fold_left (fun acc tr -> Lset.add tr.label acc) acc ts)
+    Lset.empty lts.trans
+  |> Lset.elements
+
+let enabled lts s =
+  lts.trans.(s)
+  |> List.map (fun tr -> tr.label)
+  |> List.sort_uniq label_compare
+
+let enables_action lts s a =
+  List.exists (fun tr -> label_equal tr.label (Obs a)) lts.trans.(s)
+
+let successors lts s l =
+  lts.trans.(s)
+  |> List.filter_map (fun tr ->
+         if label_equal tr.label l then Some tr.target else None)
+  |> List.sort_uniq compare
+
+let deadlock_states lts =
+  let out = ref [] in
+  for s = lts.num_states - 1 downto 0 do
+    if lts.trans.(s) = [] then out := s :: !out
+  done;
+  !out
+
+let reachable_from lts start =
+  let seen = Array.make lts.num_states false in
+  let queue = Queue.create () in
+  seen.(start) <- true;
+  Queue.add start queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    List.iter
+      (fun tr ->
+        if not seen.(tr.target) then begin
+          seen.(tr.target) <- true;
+          Queue.add tr.target queue
+        end)
+      lts.trans.(s)
+  done;
+  seen
+
+let disjoint_union a b =
+  let n = a.num_states + b.num_states in
+  let shift tr = { tr with target = tr.target + a.num_states } in
+  let trans =
+    Array.init n (fun i ->
+        if i < a.num_states then a.trans.(i)
+        else List.map shift b.trans.(i - a.num_states))
+  in
+  let state_name i =
+    if i < a.num_states then a.state_name i
+    else b.state_name (i - a.num_states)
+  in
+  let union = { init = a.init; num_states = n; trans; state_name } in
+  (union, a.init, b.init + a.num_states)
+
+let quotient lts block =
+  let num_blocks = 1 + Array.fold_left max (-1) block in
+  let seen = Hashtbl.create 64 in
+  let trans = Array.make num_blocks [] in
+  let representative = Array.make num_blocks (-1) in
+  for s = lts.num_states - 1 downto 0 do
+    representative.(block.(s)) <- s
+  done;
+  for s = 0 to lts.num_states - 1 do
+    let b = block.(s) in
+    List.iter
+      (fun tr ->
+        let key = (b, tr.label, block.(tr.target)) in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          trans.(b) <- { tr with target = block.(tr.target) } :: trans.(b)
+        end)
+      lts.trans.(s)
+  done;
+  {
+    init = block.(lts.init);
+    num_states = num_blocks;
+    trans;
+    state_name = (fun b -> lts.state_name representative.(b));
+  }
+
+let map_labels lts f =
+  let trans =
+    Array.map
+      (fun ts ->
+        List.filter_map
+          (fun tr ->
+            match f tr.label with
+            | Some label -> Some { tr with label }
+            | None -> None)
+          ts)
+      lts.trans
+  in
+  { lts with trans }
+
+let hide_all_but lts ~keep =
+  map_labels lts (function
+    | Tau -> Some Tau
+    | Obs a -> if keep a then Some (Obs a) else Some Tau)
+
+let restrict lts ~remove =
+  map_labels lts (function
+    | Tau -> Some Tau
+    | Obs a -> if remove a then None else Some (Obs a))
+
+let pp_stats ppf lts =
+  Format.fprintf ppf "%d states, %d transitions, %d labels" lts.num_states
+    (num_transitions lts)
+    (List.length (labels lts))
+
+let quotient_by_representative lts block =
+  let num_blocks = 1 + Array.fold_left max (-1) block in
+  let representative = Array.make num_blocks (-1) in
+  for s = lts.num_states - 1 downto 0 do
+    representative.(block.(s)) <- s
+  done;
+  let trans =
+    Array.init num_blocks (fun b ->
+        List.map
+          (fun tr -> { tr with target = block.(tr.target) })
+          lts.trans.(representative.(b)))
+  in
+  {
+    init = block.(lts.init);
+    num_states = num_blocks;
+    trans;
+    state_name = (fun b -> lts.state_name representative.(b));
+  }
+
+let pp_dot ?(max_states = 2000) ppf lts =
+  if lts.num_states > max_states then
+    invalid_arg
+      (Printf.sprintf "Lts.pp_dot: %d states exceed the %d-state rendering limit"
+         lts.num_states max_states);
+  let escape s = String.concat "\\\"" (String.split_on_char '"' s) in
+  Format.fprintf ppf "digraph lts {@.";
+  Format.fprintf ppf "  rankdir=LR;@.  node [shape=circle, fontsize=10];@.";
+  Format.fprintf ppf "  %d [shape=doublecircle];@." lts.init;
+  for s = 0 to lts.num_states - 1 do
+    List.iter
+      (fun tr ->
+        let rate =
+          match tr.rate with
+          | None -> ""
+          | Some r -> Format.asprintf ", %a" Dpma_pa.Rate.pp r
+        in
+        Format.fprintf ppf "  %d -> %d [label=\"%s%s\"];@." s tr.target
+          (escape (Format.asprintf "%a" pp_label tr.label))
+          (escape rate))
+      lts.trans.(s)
+  done;
+  Format.fprintf ppf "}@."

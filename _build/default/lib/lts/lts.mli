@@ -1,0 +1,82 @@
+(** Labelled transition systems.
+
+    An LTS is the common semantic object of the methodology: the functional
+    models are plain LTSs, the Markovian models are LTSs whose transitions
+    carry {!Dpma_pa.Rate.t} annotations, and the general models reuse the
+    same structure with distributions attached per action name by the
+    simulator. *)
+
+type label = Tau | Obs of string
+
+val label_equal : label -> label -> bool
+val label_compare : label -> label -> int
+val pp_label : Format.formatter -> label -> unit
+
+type transition = { label : label; rate : Dpma_pa.Rate.t option; target : int }
+
+type t = {
+  init : int;
+  num_states : int;
+  trans : transition list array;
+  state_name : int -> string;
+      (** printable description of a state (used in diagnostics) *)
+}
+
+exception Too_many_states of int
+
+val of_spec : ?max_states:int -> Dpma_pa.Term.spec -> t
+(** Enumerate the reachable states of a process-algebra specification by
+    breadth-first exploration. Raises {!Too_many_states} beyond
+    [max_states] (default 500_000). Transition rates are preserved. *)
+
+val num_transitions : t -> int
+
+val labels : t -> label list
+(** All distinct transition labels, sorted, [Tau] first if present. *)
+
+val enabled : t -> int -> label list
+(** Distinct labels enabled in a state. *)
+
+val enables_action : t -> int -> string -> bool
+(** Does the state have an outgoing [Obs a] transition? *)
+
+val successors : t -> int -> label -> int list
+
+val deadlock_states : t -> int list
+
+val reachable_from : t -> int -> bool array
+
+val disjoint_union : t -> t -> t * int * int
+(** [disjoint_union a b] is the side-by-side composition; returns the LTS
+    (whose [init] is [a]'s) and the translated initial states of [a] and
+    [b]. *)
+
+val quotient : t -> int array -> t
+(** [quotient lts block] merges states mapped to the same block id;
+    transitions are deduplicated by (label, target) keeping the first
+    rate annotation. The result's init is [block.(lts.init)]'s class. *)
+
+val map_labels : t -> (label -> label option) -> t
+(** Relabel transitions; [None] deletes the transition (restriction). *)
+
+val hide_all_but : t -> keep:(string -> bool) -> t
+(** Turn every observable transition whose name fails [keep] into [Tau]. *)
+
+val restrict : t -> remove:(string -> bool) -> t
+(** Delete every observable transition whose name satisfies [remove]. *)
+
+val pp_stats : Format.formatter -> t -> unit
+
+val quotient_by_representative : t -> int array -> t
+(** Like {!quotient}, but each class inherits the full transition multiset
+    of one representative state (duplicates and rates preserved). This is
+    the correct quotient for ordinary lumpability, where parallel
+    transitions into the same class must keep their cumulative rate. The
+    partition must be at least as fine as Markovian bisimilarity for the
+    result to be stochastically equivalent. *)
+
+val pp_dot : ?max_states:int -> Format.formatter -> t -> unit
+(** Graphviz rendering: states as nodes (initial state doubly circled),
+    transitions as labelled edges (rates appended when present). Refuses
+    LTSs above [max_states] (default 2000) — dot layouts beyond that are
+    unreadable anyway. *)

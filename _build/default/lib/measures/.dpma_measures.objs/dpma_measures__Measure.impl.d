@@ -1,0 +1,1 @@
+lib/measures/measure.ml: Array Dpma_ctmc Dpma_lts Dpma_sim Dpma_util Format List Printf String

@@ -1,0 +1,1 @@
+lib/measures/measure.mli: Dpma_ctmc Dpma_lts Dpma_sim Dpma_util Format

@@ -1,0 +1,1 @@
+lib/models/battery.ml: Array Dpma_adl Dpma_core Dpma_ctmc Dpma_lts List Rpc String

@@ -1,0 +1,1 @@
+lib/models/battery.mli: Dpma_adl Rpc

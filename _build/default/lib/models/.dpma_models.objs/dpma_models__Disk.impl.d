@@ -1,0 +1,1 @@
+lib/models/disk.ml: Dpma_adl Dpma_core Dpma_lts Dpma_measures Dpma_util List Printf

@@ -1,0 +1,1 @@
+lib/models/disk.mli: Dpma_adl Dpma_core Dpma_measures

@@ -1,0 +1,1 @@
+lib/models/figures.ml: Dpma_adl Dpma_core Dpma_lts Dpma_sim Dpma_util Float Format List Rpc Streaming String

@@ -1,0 +1,1 @@
+lib/models/figures.mli: Dpma_core Dpma_util Format Rpc Streaming

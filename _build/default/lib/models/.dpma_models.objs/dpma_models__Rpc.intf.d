@@ -1,0 +1,1 @@
+lib/models/rpc.mli: Dpma_adl Dpma_core Dpma_measures

@@ -1,0 +1,1 @@
+lib/models/streaming.ml: Dpma_adl Dpma_core Dpma_dist Dpma_measures List Printf

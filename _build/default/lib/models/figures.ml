@@ -1,0 +1,464 @@
+module Lts = Dpma_lts.Lts
+module NI = Dpma_core.Noninterference
+module Markov = Dpma_core.Markov
+module General = Dpma_core.General
+module Elaborate = Dpma_adl.Elaborate
+module Stats = Dpma_util.Stats
+
+(* ------------------------------------------------------------------ *)
+(* Section 3                                                           *)
+
+type sec3 = {
+  simplified_rpc : NI.verdict;
+  revised_rpc : NI.verdict;
+  streaming : NI.verdict;
+}
+
+let sec3_noninterference () =
+  let simplified =
+    (Elaborate.elaborate (Rpc.simplified_archi ())).Elaborate.spec
+  in
+  let revised =
+    (Rpc.elaborate ~mode:Rpc.Markovian ~monitors:false Rpc.default_params)
+      .Elaborate.spec
+  in
+  let small_streaming =
+    (Streaming.elaborate ~mode:Streaming.Markovian ~monitors:false
+       {
+         Streaming.default_params with
+         ap_buffer_size = 2;
+         client_buffer_size = 2;
+       })
+      .Elaborate.spec
+  in
+  {
+    simplified_rpc =
+      NI.check_spec simplified ~high:Rpc.high_actions
+        ~low:Rpc.low_actions_simplified;
+    revised_rpc =
+      NI.check_spec revised ~high:Rpc.high_actions ~low:Rpc.low_actions;
+    streaming =
+      NI.check_spec small_streaming ~high:Streaming.high_actions
+        ~low:Streaming.low_actions;
+  }
+
+let pp_sec3 ppf s =
+  Format.fprintf ppf
+    "@[<v>== Sect. 3: noninterference analysis ==@,@,\
+     --- simplified rpc (Sect. 2.3) ---@,%a@,@,\
+     --- revised rpc (Sect. 3.1) ---@,%a@,@,\
+     --- streaming (Sect. 3.2) ---@,%a@]"
+    NI.pp_verdict s.simplified_rpc NI.pp_verdict s.revised_rpc NI.pp_verdict
+    s.streaming
+
+(* ------------------------------------------------------------------ *)
+(* rpc sweeps (Fig. 3, Fig. 5, Fig. 7)                                 *)
+
+type rpc_row = {
+  shutdown_timeout : float;
+  with_dpm : Rpc.metrics;
+  without_dpm : Rpc.metrics;
+}
+
+let default_rpc_timeouts =
+  [ 0.1; 0.5; 1.0; 2.0; 3.0; 5.0; 7.5; 10.0; 12.5; 15.0; 20.0; 25.0 ]
+
+let rpc_measures = Rpc.measures ()
+
+let fig3_markov ?(timeouts = default_rpc_timeouts) () =
+  (* The DPM-less chain does not depend on the shutdown timeout: restrict
+     the DPM commands once. *)
+  let base =
+    Rpc.elaborate ~mode:Rpc.Markovian ~monitors:true Rpc.default_params
+  in
+  let base_lts = Lts.of_spec base.Elaborate.spec in
+  let without_lts = Markov.without_dpm base_lts ~high:Rpc.high_actions in
+  let without_dpm =
+    Rpc.metrics_of_values (Markov.analyze_lts without_lts rpc_measures).Markov.values
+  in
+  List.map
+    (fun shutdown_timeout ->
+      let el =
+        Rpc.elaborate ~mode:Rpc.Markovian ~monitors:true
+          { Rpc.default_params with shutdown_mean = shutdown_timeout }
+      in
+      let lts = Lts.of_spec el.Elaborate.spec in
+      let with_dpm =
+        Rpc.metrics_of_values (Markov.analyze_lts lts rpc_measures).Markov.values
+      in
+      { shutdown_timeout; with_dpm; without_dpm })
+    timeouts
+
+let general_rpc_sim_defaults =
+  { General.default_sim_params with runs = 30; duration = 30_000.0; warmup = 3_000.0 }
+
+let estimates_to_values estimates =
+  List.map
+    (fun { General.measure; summary } -> (measure, summary.Stats.mean))
+    estimates
+
+let fig3_general ?(timeouts = default_rpc_timeouts)
+    ?(sim = general_rpc_sim_defaults) () =
+  let simulate_metrics lts timing =
+    Rpc.metrics_of_values
+      (estimates_to_values
+         (General.simulate lts ~timing ~measures:rpc_measures sim))
+  in
+  let base =
+    Rpc.elaborate ~mode:Rpc.General ~monitors:true Rpc.default_params
+  in
+  let base_lts = Lts.of_spec base.Elaborate.spec in
+  let base_timing = General.timing_of_list base.Elaborate.general_timings in
+  let without_dpm =
+    simulate_metrics (Markov.without_dpm base_lts ~high:Rpc.high_actions) base_timing
+  in
+  List.map
+    (fun shutdown_timeout ->
+      let el =
+        Rpc.elaborate ~mode:Rpc.General ~monitors:true
+          { Rpc.default_params with shutdown_mean = shutdown_timeout }
+      in
+      let lts = Lts.of_spec el.Elaborate.spec in
+      let timing = General.timing_of_list el.Elaborate.general_timings in
+      { shutdown_timeout; with_dpm = simulate_metrics lts timing; without_dpm })
+    timeouts
+
+let pp_rpc_rows ~title ppf rows =
+  Format.fprintf ppf "@[<v>== %s ==@," title;
+  Format.fprintf ppf
+    "%-9s | %-10s %-10s | %-10s %-10s | %-10s %-10s@," "timeout"
+    "thr(DPM)" "thr(no)" "wait(DPM)" "wait(no)" "e/req(DPM)" "e/req(no)";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf
+        "%-9.2f | %-10.5f %-10.5f | %-10.4f %-10.4f | %-10.4f %-10.4f@,"
+        r.shutdown_timeout r.with_dpm.Rpc.throughput
+        r.without_dpm.Rpc.throughput r.with_dpm.Rpc.waiting_time
+        r.without_dpm.Rpc.waiting_time r.with_dpm.Rpc.energy_per_request
+        r.without_dpm.Rpc.energy_per_request)
+    rows;
+  Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 5: validation                                                  *)
+
+type validation_row = {
+  v_timeout : float;
+  markov_energy : float;
+  sim_energy : Stats.summary;
+}
+
+let fig5_validation ?(timeouts = [ 1.0; 5.0; 10.0; 15.0; 20.0; 25.0 ])
+    ?(sim = general_rpc_sim_defaults) () =
+  List.map
+    (fun v_timeout ->
+      let el =
+        Rpc.elaborate ~mode:Rpc.General ~monitors:true
+          { Rpc.default_params with shutdown_mean = v_timeout }
+      in
+      let lts = Lts.of_spec el.Elaborate.spec in
+      let timing =
+        Dpma_sim.Sim.exponential_assignment
+          (General.timing_of_list el.Elaborate.general_timings)
+      in
+      let markov = Markov.analyze_lts lts rpc_measures in
+      let estimates =
+        General.simulate lts ~timing ~measures:rpc_measures sim
+      in
+      let sim_energy =
+        (List.find (fun e -> String.equal e.General.measure "energy") estimates)
+          .General.summary
+      in
+      { v_timeout; markov_energy = Markov.value markov "energy"; sim_energy })
+    timeouts
+
+let pp_validation_rows ppf rows =
+  Format.fprintf ppf
+    "@[<v>== Fig. 5: validation of the general rpc model (30 runs, 90%% CI) ==@,";
+  Format.fprintf ppf "%-9s | %-14s | %-14s %-12s | %s@," "timeout"
+    "markov energy" "sim energy" "+/-" "consistent";
+  List.iter
+    (fun r ->
+      let consistent =
+        abs_float (r.sim_energy.Stats.mean -. r.markov_energy)
+        <= r.sim_energy.Stats.half_width +. (0.05 *. r.markov_energy)
+      in
+      Format.fprintf ppf "%-9.2f | %-14.5f | %-14.5f %-12.5f | %s@," r.v_timeout
+        r.markov_energy r.sim_energy.Stats.mean r.sim_energy.Stats.half_width
+        (if consistent then "yes" else "NO"))
+    rows;
+  Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* streaming sweeps (Fig. 4, Fig. 6, Fig. 8)                           *)
+
+type streaming_row = {
+  awake_period : float;
+  s_with_dpm : Streaming.metrics;
+  s_without_dpm : Streaming.metrics;
+}
+
+let default_awake_periods = [ 1.0; 25.0; 50.0; 100.0; 200.0; 400.0; 800.0 ]
+
+let fig4_markov ?(awake_periods = default_awake_periods) () =
+  let p0 = Streaming.default_params in
+  let measures = Streaming.measures p0 in
+  let base = Streaming.elaborate ~mode:Streaming.Markovian ~monitors:true p0 in
+  let base_lts = Lts.of_spec base.Elaborate.spec in
+  let without_lts = Markov.without_dpm base_lts ~high:Streaming.high_actions in
+  let s_without_dpm =
+    Streaming.metrics_of_values
+      (Markov.analyze_lts without_lts measures).Markov.values
+  in
+  List.map
+    (fun awake_period ->
+      let el =
+        Streaming.elaborate ~mode:Streaming.Markovian ~monitors:true
+          { p0 with awake_period_mean = awake_period }
+      in
+      let lts = Lts.of_spec el.Elaborate.spec in
+      let s_with_dpm =
+        Streaming.metrics_of_values
+          (Markov.analyze_lts lts measures).Markov.values
+      in
+      { awake_period; s_with_dpm; s_without_dpm })
+    awake_periods
+
+let general_streaming_sim_defaults =
+  {
+    General.default_sim_params with
+    runs = 15;
+    duration = 150_000.0;
+    warmup = 5_000.0;
+  }
+
+let fig6_general ?(awake_periods = default_awake_periods)
+    ?(sim = general_streaming_sim_defaults) () =
+  let p0 = Streaming.default_params in
+  let measures = Streaming.measures p0 in
+  let simulate_metrics lts timing =
+    Streaming.metrics_of_values
+      (estimates_to_values (General.simulate lts ~timing ~measures sim))
+  in
+  let base = Streaming.elaborate ~mode:Streaming.General ~monitors:true p0 in
+  let base_lts = Lts.of_spec base.Elaborate.spec in
+  let base_timing = General.timing_of_list base.Elaborate.general_timings in
+  let s_without_dpm =
+    simulate_metrics
+      (Markov.without_dpm base_lts ~high:Streaming.high_actions)
+      base_timing
+  in
+  List.map
+    (fun awake_period ->
+      let el =
+        Streaming.elaborate ~mode:Streaming.General ~monitors:true
+          { p0 with awake_period_mean = awake_period }
+      in
+      let lts = Lts.of_spec el.Elaborate.spec in
+      let timing = General.timing_of_list el.Elaborate.general_timings in
+      { awake_period; s_with_dpm = simulate_metrics lts timing; s_without_dpm })
+    awake_periods
+
+let pp_streaming_rows ~title ppf rows =
+  Format.fprintf ppf "@[<v>== %s ==@," title;
+  Format.fprintf ppf
+    "%-9s | %-11s %-11s | %-8s %-8s | %-8s %-8s | %-8s %-8s@," "awake"
+    "e/fr(DPM)" "e/fr(no)" "loss(D)" "loss(no)" "miss(D)" "miss(no)" "qual(D)"
+    "qual(no)";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf
+        "%-9.1f | %-11.3f %-11.3f | %-8.4f %-8.4f | %-8.4f %-8.4f | %-8.4f \
+         %-8.4f@,"
+        r.awake_period r.s_with_dpm.Streaming.energy_per_frame
+        r.s_without_dpm.Streaming.energy_per_frame r.s_with_dpm.Streaming.loss
+        r.s_without_dpm.Streaming.loss r.s_with_dpm.Streaming.miss
+        r.s_without_dpm.Streaming.miss r.s_with_dpm.Streaming.quality
+        r.s_without_dpm.Streaming.quality)
+    rows;
+  Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Tradeoff curves                                                     *)
+
+let pp_fig7 ~markov ~general ppf () =
+  Format.fprintf ppf
+    "@[<v>== Fig. 7: rpc energy/request vs waiting time tradeoff ==@,";
+  Format.fprintf ppf "%-9s | %-12s %-12s | %-12s %-12s@," "timeout"
+    "wait(markov)" "e/req(markov)" "wait(general)" "e/req(general)";
+  List.iter2
+    (fun (m : rpc_row) (g : rpc_row) ->
+      Format.fprintf ppf "%-9.2f | %-12.4f %-12.4f | %-13.4f %-12.4f@,"
+        m.shutdown_timeout m.with_dpm.Rpc.waiting_time
+        m.with_dpm.Rpc.energy_per_request g.with_dpm.Rpc.waiting_time
+        g.with_dpm.Rpc.energy_per_request)
+    markov general;
+  Format.fprintf ppf "@]"
+
+let pp_fig8 ~markov ~general ppf () =
+  Format.fprintf ppf
+    "@[<v>== Fig. 8: streaming energy/frame vs miss rate tradeoff ==@,";
+  Format.fprintf ppf "%-9s | %-12s %-12s | %-12s %-12s@," "awake"
+    "miss(markov)" "e/fr(markov)" "miss(general)" "e/fr(general)";
+  List.iter2
+    (fun (m : streaming_row) (g : streaming_row) ->
+      Format.fprintf ppf "%-9.1f | %-12.4f %-12.3f | %-13.4f %-12.3f@,"
+        m.awake_period m.s_with_dpm.Streaming.miss
+        m.s_with_dpm.Streaming.energy_per_frame g.s_with_dpm.Streaming.miss
+        g.s_with_dpm.Streaming.energy_per_frame)
+    markov general;
+  Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+
+type policy_row = {
+  p_timeout : float;
+  timeout_policy : Rpc.metrics;
+  trivial_policy : Rpc.metrics;
+  predictive_policy : Rpc.metrics;
+}
+
+let ablation_rpc_policy ?(timeouts = [ 0.5; 2.0; 5.0; 10.0; 25.0 ]) () =
+  let metrics_of policy shutdown_mean =
+    let el =
+      Rpc.elaborate ~mode:Rpc.Markovian ~monitors:true ~policy
+        { Rpc.default_params with shutdown_mean }
+    in
+    Rpc.metrics_of_values
+      (Markov.analyze_lts (Lts.of_spec el.Elaborate.spec) rpc_measures)
+        .Markov.values
+  in
+  List.map
+    (fun p_timeout ->
+      {
+        p_timeout;
+        timeout_policy = metrics_of Rpc.Timeout p_timeout;
+        trivial_policy = metrics_of Rpc.Trivial p_timeout;
+        predictive_policy = metrics_of Rpc.Predictive p_timeout;
+      })
+    timeouts
+
+let pp_policy_rows ppf rows =
+  Format.fprintf ppf
+    "@[<v>== Ablation: rpc DPM policy classes — timeout / trivial / predictive ==@,";
+  Format.fprintf ppf "%-9s | %-10s %-10s %-10s | %-11s %-11s %-11s@," "period"
+    "thr(T/O)" "thr(triv)" "thr(pred)" "e/req(T/O)" "e/req(triv)"
+    "e/req(pred)";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf
+        "%-9.2f | %-10.5f %-10.5f %-10.5f | %-11.4f %-11.4f %-11.4f@,"
+        r.p_timeout r.timeout_policy.Rpc.throughput
+        r.trivial_policy.Rpc.throughput r.predictive_policy.Rpc.throughput
+        r.timeout_policy.Rpc.energy_per_request
+        r.trivial_policy.Rpc.energy_per_request
+        r.predictive_policy.Rpc.energy_per_request)
+    rows;
+  Format.fprintf ppf "@]"
+
+type lumping_row = {
+  l_model : string;
+  full_states : int;
+  lumped_states : int;
+  max_relative_error : float;
+}
+
+let ablation_lumping () =
+  let compare_one name lts measures =
+    let full = Markov.analyze_lts lts measures in
+    let lumped = Markov.analyze_lts_lumped lts measures in
+    let max_err =
+      List.fold_left2
+        (fun acc (_, a) (_, b) ->
+          Float.max acc (Dpma_util.Stats.relative_error ~reference:a b))
+        0.0 full.Markov.values lumped.Markov.values
+    in
+    {
+      l_model = name;
+      full_states = full.Markov.tangible;
+      lumped_states = lumped.Markov.tangible;
+      max_relative_error = max_err;
+    }
+  in
+  let rpc =
+    Lts.of_spec
+      (Rpc.elaborate ~mode:Rpc.Markovian ~monitors:true Rpc.default_params)
+        .Elaborate.spec
+  in
+  let sp =
+    { Streaming.default_params with ap_buffer_size = 4; client_buffer_size = 4 }
+  in
+  let streaming =
+    Lts.of_spec
+      (Streaming.elaborate ~mode:Streaming.Markovian ~monitors:true sp)
+        .Elaborate.spec
+  in
+  [
+    compare_one "rpc" rpc rpc_measures;
+    compare_one "streaming (buffers 4)" streaming (Streaming.measures sp);
+  ]
+
+let pp_lumping_rows ppf rows =
+  Format.fprintf ppf
+    "@[<v>== Ablation: ordinary lumpability as a CTMC pre-reduction ==@,";
+  Format.fprintf ppf "%-24s %-12s %-14s %s@," "model" "full states"
+    "lumped states" "max rel. error";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-24s %-12d %-14d %.2e@," r.l_model r.full_states
+        r.lumped_states r.max_relative_error)
+    rows;
+  Format.fprintf ppf "@]"
+
+(* Distribution-family ablation: how many Erlang stages does the rpc model
+   need before the general model's bimodal behaviour (knee at the 11.3 ms
+   idle period) emerges from simulation? k = 1 is the exponential
+   (Markovian-consistent) model; the deterministic model is the limit. *)
+type family_row = {
+  f_timeout : float;
+  exponential_thr : float;
+  erlang5_thr : float;
+  erlang20_thr : float;
+  deterministic_thr : float;
+}
+
+let family_sim_defaults =
+  { General.default_sim_params with runs = 10; duration = 15_000.0; warmup = 1_500.0 }
+
+let ablation_distribution_family ?(timeouts = [ 2.0; 5.0; 8.0; 10.0; 12.5; 15.0; 25.0 ])
+    ?(sim = family_sim_defaults) () =
+  let throughput_at mode shutdown_mean =
+    let el =
+      Rpc.elaborate ~mode ~monitors:true
+        { Rpc.default_params with shutdown_mean }
+    in
+    let lts = Lts.of_spec el.Elaborate.spec in
+    let timing = General.timing_of_list el.Elaborate.general_timings in
+    let estimates = General.simulate lts ~timing ~measures:rpc_measures sim in
+    (Rpc.metrics_of_values (estimates_to_values estimates)).Rpc.throughput
+  in
+  List.map
+    (fun f_timeout ->
+      {
+        f_timeout;
+        exponential_thr = throughput_at (Rpc.Erlangized 1) f_timeout;
+        erlang5_thr = throughput_at (Rpc.Erlangized 5) f_timeout;
+        erlang20_thr = throughput_at (Rpc.Erlangized 20) f_timeout;
+        deterministic_thr = throughput_at Rpc.General f_timeout;
+      })
+    timeouts
+
+let pp_family_rows ppf rows =
+  Format.fprintf ppf
+    "@[<v>== Ablation: distribution family vs the bimodal knee (rpc \
+     throughput with DPM) ==@,";
+  Format.fprintf ppf "%-9s | %-10s %-10s %-10s %-10s@," "timeout" "exp"
+    "erlang-5" "erlang-20" "det";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-9.2f | %-10.5f %-10.5f %-10.5f %-10.5f@,"
+        r.f_timeout r.exponential_thr r.erlang5_thr r.erlang20_thr
+        r.deterministic_thr)
+    rows;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,137 @@
+(** Regeneration of every figure of the paper's evaluation.
+
+    Each [figN_*] function sweeps the same parameter the paper sweeps and
+    returns the same series the paper plots (see EXPERIMENTS.md for the
+    paper-vs-measured record). The [pp_*] printers render the series as
+    aligned text tables, one row per sweep point. *)
+
+(** Section 3: noninterference verdicts for the three functional models. *)
+type sec3 = {
+  simplified_rpc : Dpma_core.Noninterference.verdict;  (** expected: Insecure *)
+  revised_rpc : Dpma_core.Noninterference.verdict;  (** expected: Secure *)
+  streaming : Dpma_core.Noninterference.verdict;  (** expected: Secure *)
+}
+
+val sec3_noninterference : unit -> sec3
+val pp_sec3 : Format.formatter -> sec3 -> unit
+
+(** One sweep point of the rpc comparison (Fig. 3, both halves; Fig. 7). *)
+type rpc_row = {
+  shutdown_timeout : float;
+  with_dpm : Rpc.metrics;
+  without_dpm : Rpc.metrics;
+}
+
+val default_rpc_timeouts : float list
+(** 0.1 … 25 ms, the x-axis of Fig. 3. *)
+
+val fig3_markov : ?timeouts:float list -> unit -> rpc_row list
+(** Left half of Fig. 3: CTMC solution. *)
+
+val fig3_general :
+  ?timeouts:float list ->
+  ?sim:Dpma_core.General.sim_params ->
+  unit ->
+  rpc_row list
+(** Right half of Fig. 3: simulation of the deterministic/normal model. *)
+
+val pp_rpc_rows : title:string -> Format.formatter -> rpc_row list -> unit
+
+(** Fig. 5: validation of the general rpc model — general model fed
+    exponential distributions vs the Markovian solution, with confidence
+    intervals (30 runs, 90%). The compared measure is the server energy
+    consumption rate, as in the paper. *)
+type validation_row = {
+  v_timeout : float;
+  markov_energy : float;
+  sim_energy : Dpma_util.Stats.summary;
+}
+
+val fig5_validation :
+  ?timeouts:float list ->
+  ?sim:Dpma_core.General.sim_params ->
+  unit ->
+  validation_row list
+
+val pp_validation_rows : Format.formatter -> validation_row list -> unit
+
+(** One sweep point of the streaming comparison (Fig. 4, Fig. 6, Fig. 8). *)
+type streaming_row = {
+  awake_period : float;
+  s_with_dpm : Streaming.metrics;
+  s_without_dpm : Streaming.metrics;
+}
+
+val default_awake_periods : float list
+(** 1 … 800 ms, the x-axis of Figs. 4 and 6. *)
+
+val fig4_markov : ?awake_periods:float list -> unit -> streaming_row list
+
+val fig6_general :
+  ?awake_periods:float list ->
+  ?sim:Dpma_core.General.sim_params ->
+  unit ->
+  streaming_row list
+
+val pp_streaming_rows :
+  title:string -> Format.formatter -> streaming_row list -> unit
+
+(** Fig. 7 / Fig. 8: energy-quality tradeoff curves, assembled from the
+    sweeps above (energy/request vs waiting time; energy/frame vs miss). *)
+val pp_fig7 :
+  markov:rpc_row list -> general:rpc_row list -> Format.formatter -> unit -> unit
+
+val pp_fig8 :
+  markov:streaming_row list ->
+  general:streaming_row list ->
+  Format.formatter ->
+  unit ->
+  unit
+
+(** {2 Ablations} (not in the paper; design-choice studies called out in
+    DESIGN.md) *)
+
+(** The paper's Sect. 2.1 describes a trivial and a timeout policy and its
+    introduction surveys predictive schemes; the paper only evaluates the
+    timeout policy. This ablation compares all three classes. *)
+type policy_row = {
+  p_timeout : float;
+  timeout_policy : Rpc.metrics;
+  trivial_policy : Rpc.metrics;
+  predictive_policy : Rpc.metrics;
+}
+
+val ablation_rpc_policy : ?timeouts:float list -> unit -> policy_row list
+val pp_policy_rows : Format.formatter -> policy_row list -> unit
+
+(** Ordinary lumpability as a CTMC pre-reduction: states, solve time and
+    measure agreement with the unlumped solution. *)
+type lumping_row = {
+  l_model : string;
+  full_states : int;
+  lumped_states : int;
+  max_relative_error : float;  (** across all measures *)
+}
+
+val ablation_lumping : unit -> lumping_row list
+val pp_lumping_rows : Format.formatter -> lumping_row list -> unit
+
+(** Distribution-family ablation: rpc throughput (with DPM) when the
+    deterministic delays are replaced by k-stage Erlangs — showing the
+    bimodal knee of Fig. 3 (right) emerge as variability shrinks from
+    exponential (k = 1) toward deterministic. *)
+type family_row = {
+  f_timeout : float;
+  exponential_thr : float;
+  erlang5_thr : float;
+  erlang20_thr : float;
+  deterministic_thr : float;
+}
+
+val ablation_distribution_family :
+  ?timeouts:float list ->
+  ?sim:Dpma_core.General.sim_params ->
+  unit ->
+  family_row list
+
+val pp_family_rows : Format.formatter -> family_row list -> unit

@@ -1,0 +1,498 @@
+module Ast = Dpma_adl.Ast
+module Elaborate = Dpma_adl.Elaborate
+module Dist = Dpma_dist.Dist
+module Measure = Dpma_measures.Measure
+module Pipeline = Dpma_core.Pipeline
+
+type params = {
+  service_mean : float;
+  awake_mean : float;
+  propagation_mean : float;
+  propagation_stddev : float;
+  loss_probability : float;
+  processing_mean : float;
+  timeout_mean : float;
+  shutdown_mean : float;
+  monitor_rate : float;
+}
+
+let default_params =
+  {
+    service_mean = 0.2;
+    awake_mean = 3.0;
+    propagation_mean = 0.8;
+    propagation_stddev = 0.0345;
+    loss_probability = 0.02;
+    processing_mean = 9.7;
+    timeout_mean = 2.0;
+    shutdown_mean = 5.0;
+    monitor_rate = 1e-4;
+  }
+
+type mode = Markovian | General | Erlangized of int
+
+type policy = Timeout | Trivial | Predictive
+
+(* AST building shorthands. *)
+let pre a r k = Ast.Prefix (a, r, k)
+let alt ts = Ast.Choice ts
+let goto n = Ast.Call (n, [])
+let eq name body = { Ast.eq_name = name; eq_params = []; eq_body = body }
+let passive = Ast.Passive 1.0
+let imm ?(prio = 1) ?(weight = 1.0) () = Ast.Inf (prio, weight)
+let exp_mean m = Ast.Exp (1.0 /. m)
+
+(* ------------------------------------------------------------------ *)
+(* Simplified model of Sect. 2.3 (all-passive, fails noninterference)  *)
+
+let simplified_archi () =
+  let server =
+    {
+      Ast.et_name = "Server_Type";
+      et_consts = [];
+      equations =
+        [
+          eq "Idle_Server"
+            (alt
+               [
+                 pre "receive_rpc_packet" passive (goto "Busy_Server");
+                 pre "receive_shutdown" passive (goto "Sleeping_Server");
+               ]);
+          eq "Busy_Server"
+            (alt
+               [
+                 pre "prepare_result_packet" passive (goto "Responding_Server");
+                 pre "receive_shutdown" passive (goto "Sleeping_Server");
+               ]);
+          eq "Responding_Server"
+            (alt
+               [
+                 pre "send_result_packet" passive (goto "Idle_Server");
+                 pre "receive_shutdown" passive (goto "Sleeping_Server");
+               ]);
+          eq "Sleeping_Server"
+            (pre "receive_rpc_packet" passive (goto "Awaking_Server"));
+          eq "Awaking_Server" (pre "awake" passive (goto "Busy_Server"));
+        ];
+      inputs = [ "receive_rpc_packet"; "receive_shutdown" ];
+      outputs = [ "send_result_packet" ];
+    }
+  in
+  let channel =
+    {
+      Ast.et_name = "Radio_Channel_Type";
+      et_consts = [];
+      equations =
+        [
+          eq "Radio_Channel"
+            (pre "get_packet" passive
+               (pre "propagate_packet" passive
+                  (pre "deliver_packet" passive (goto "Radio_Channel"))));
+        ];
+      inputs = [ "get_packet" ];
+      outputs = [ "deliver_packet" ];
+    }
+  in
+  let client =
+    {
+      Ast.et_name = "Sync_Client_Type";
+      et_consts = [];
+      equations =
+        [
+          eq "Sync_Client"
+            (pre "send_rpc_packet" passive
+               (pre "receive_result_packet" passive
+                  (pre "process_result_packet" passive (goto "Sync_Client"))));
+        ];
+      inputs = [ "receive_result_packet" ];
+      outputs = [ "send_rpc_packet" ];
+    }
+  in
+  let dpm =
+    {
+      Ast.et_name = "DPM_Type";
+      et_consts = [];
+      equations = [ eq "DPM_Beh" (pre "send_shutdown" passive (goto "DPM_Beh")) ];
+      inputs = [];
+      outputs = [ "send_shutdown" ];
+    }
+  in
+  let attach from_inst from_port to_inst to_port =
+    { Ast.from_inst; from_port; to_inst; to_port }
+  in
+  {
+    Ast.name = "RPC_DPM_Untimed";
+    elem_types = [ server; channel; client; dpm ];
+    instances =
+      [
+        { Ast.inst_name = "S"; inst_type = "Server_Type"; inst_args = [] };
+        { Ast.inst_name = "RCS"; inst_type = "Radio_Channel_Type"; inst_args = [] };
+        { Ast.inst_name = "RSC"; inst_type = "Radio_Channel_Type"; inst_args = [] };
+        { Ast.inst_name = "C"; inst_type = "Sync_Client_Type"; inst_args = [] };
+        { Ast.inst_name = "DPM"; inst_type = "DPM_Type"; inst_args = [] };
+      ];
+    attachments =
+      [
+        attach "C" "send_rpc_packet" "RCS" "get_packet";
+        attach "RCS" "deliver_packet" "S" "receive_rpc_packet";
+        attach "S" "send_result_packet" "RSC" "get_packet";
+        attach "RSC" "deliver_packet" "C" "receive_result_packet";
+        attach "DPM" "send_shutdown" "S" "receive_shutdown";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Revised model of Sect. 3.1                                          *)
+
+let archi ?(mode = Markovian) ?(monitors = true) ?(policy = Timeout) p =
+  (* A timed delay: exponential in the Markovian view, the given general
+     distribution in the general view. *)
+  let timed mean general =
+    match mode with
+    | Markovian -> exp_mean mean
+    | General -> Ast.Gen general
+    | Erlangized k ->
+        (* Distribution-family ablation: deterministic delays are replaced
+           by k-stage Erlangs of the same mean (k = 1 degenerates to the
+           Markovian view, k -> infinity approaches the general one);
+           non-deterministic general delays keep their distribution. *)
+        Ast.Gen
+          (match general with
+          | Dist.Deterministic m -> Dist.Erlang (k, m)
+          | other -> other)
+  in
+  let det mean = timed mean (Dist.Deterministic mean) in
+  let monitor name target =
+    if monitors then [ pre name (Ast.Exp p.monitor_rate) (goto target) ]
+    else []
+  in
+  let server =
+    {
+      Ast.et_name = "Server_Type";
+      et_consts = [];
+      equations =
+        [
+          eq "Idle_Server"
+            (alt
+               ([
+                  pre "receive_rpc_packet" passive
+                    (pre "notify_busy" (imm ~prio:2 ()) (goto "Busy_Server"));
+                  pre "receive_shutdown" passive (goto "Sleeping_Server");
+                ]
+               @ monitor "monitor_idle_server" "Idle_Server"));
+          eq "Busy_Server"
+            (alt
+               ([
+                  pre "prepare_result_packet" (det p.service_mean)
+                    (goto "Responding_Server");
+                  pre "receive_rpc_packet" passive
+                    (pre "ignore_rpc_packet" (imm ()) (goto "Busy_Server"));
+                ]
+               @ monitor "monitor_busy_server" "Busy_Server"));
+          eq "Responding_Server"
+            (alt
+               [
+                 pre "send_result_packet" (imm ())
+                   (pre "notify_idle" (imm ~prio:2 ()) (goto "Idle_Server"));
+                 pre "receive_rpc_packet" passive
+                   (pre "ignore_rpc_packet" (imm ()) (goto "Responding_Server"));
+               ]);
+          eq "Sleeping_Server"
+            (alt
+               ([ pre "receive_rpc_packet" passive (goto "Awaking_Server") ]
+               @ monitor "monitor_sleeping_server" "Sleeping_Server"));
+          eq "Awaking_Server"
+            (alt
+               ([
+                  pre "awake" (det p.awake_mean) (goto "Busy_Server");
+                  pre "receive_rpc_packet" passive
+                    (pre "ignore_rpc_packet" (imm ()) (goto "Awaking_Server"));
+                ]
+               @ monitor "monitor_awaking_server" "Awaking_Server"));
+        ];
+      inputs = [ "receive_rpc_packet"; "receive_shutdown" ];
+      outputs = [ "send_result_packet"; "notify_busy"; "notify_idle" ];
+    }
+  in
+  let propagation =
+    timed p.propagation_mean
+      (Dist.Normal (p.propagation_mean, p.propagation_stddev))
+  in
+  let channel =
+    {
+      Ast.et_name = "Radio_Channel_Type";
+      et_consts = [];
+      equations =
+        [
+          eq "Radio_Channel" (pre "get_packet" passive (goto "Propagating"));
+          eq "Propagating"
+            (pre "propagate_packet" propagation (goto "Deciding"));
+          eq "Deciding"
+            (alt
+               [
+                 pre "keep_packet"
+                   (imm ~weight:(1.0 -. p.loss_probability) ())
+                   (goto "Delivering");
+                 pre "lose_packet"
+                   (imm ~weight:p.loss_probability ())
+                   (goto "Radio_Channel");
+               ]);
+          eq "Delivering"
+            (pre "deliver_packet" (imm ~prio:2 ()) (goto "Radio_Channel"));
+        ];
+      inputs = [ "get_packet" ];
+      outputs = [ "deliver_packet" ];
+    }
+  in
+  let client =
+    {
+      Ast.et_name = "Sync_Client_Type";
+      et_consts = [];
+      equations =
+        [
+          eq "Requesting_Client"
+            (alt
+               [
+                 pre "send_rpc_packet" (imm ()) (goto "Waiting_Client");
+                 pre "receive_result_packet" passive
+                   (pre "ignore_result_packet" (imm ())
+                      (goto "Requesting_Client"));
+               ]);
+          eq "Waiting_Client"
+            (alt
+               ([
+                  pre "receive_result_packet" passive (goto "Processing_Client");
+                  pre "expire_timeout" (det p.timeout_mean)
+                    (goto "Resending_Client");
+                ]
+               @ monitor "monitor_waiting_client" "Waiting_Client"));
+          eq "Processing_Client"
+            (alt
+               [
+                 pre "process_result_packet" (det p.processing_mean)
+                   (goto "Requesting_Client");
+                 pre "receive_result_packet" passive
+                   (pre "ignore_result_packet" (imm ())
+                      (goto "Processing_Client"));
+               ]);
+          eq "Resending_Client"
+            (alt
+               [
+                 pre "send_rpc_packet" (imm ()) (goto "Waiting_Client");
+                 pre "receive_result_packet" passive (goto "Processing_Client");
+               ]);
+        ];
+      inputs = [ "receive_result_packet" ];
+      outputs = [ "send_rpc_packet" ];
+    }
+  in
+  let dpm =
+    match policy with
+    | Timeout ->
+        {
+          Ast.et_name = "DPM_Type";
+      et_consts = [];
+          equations =
+            [
+              eq "Enabled_DPM"
+                (alt
+                   [
+                     pre "send_shutdown" (det p.shutdown_mean) (goto "Disabled_DPM");
+                     pre "receive_busy_notice" passive (goto "Disabled_DPM");
+                   ]);
+              eq "Disabled_DPM"
+                (pre "receive_idle_notice" passive (goto "Enabled_DPM"));
+            ];
+          inputs = [ "receive_busy_notice"; "receive_idle_notice" ];
+          outputs = [ "send_shutdown" ];
+        }
+    | Trivial ->
+        (* The DPM ticks on its own wall-clock period; a pending shutdown
+           is delivered at the server's next idle window (the revised
+           server only listens for shutdowns while idle). *)
+        {
+          Ast.et_name = "DPM_Type";
+          et_consts = [];
+          equations =
+            [
+              eq "Periodic_DPM" (pre "tick" (det p.shutdown_mean) (goto "Firing_DPM"));
+              eq "Firing_DPM" (pre "send_shutdown" (imm ()) (goto "Periodic_DPM"));
+            ];
+          inputs = [];
+          outputs = [ "send_shutdown" ];
+        }
+    | Predictive ->
+        (* A quantized predictive scheme (the paper's second policy class):
+           the DPM classifies each idle period as short or long by racing a
+           threshold timer against the busy notification, and predicts the
+           next one to be like the last — after a long idle period it arms
+           an aggressive (short) shutdown timeout, after a short one a
+           conservative one. The threshold and the aggressive timeout reuse
+           [shutdown_mean]; the conservative timeout is four times it. *)
+        let conservative =
+          match mode with
+          | Markovian -> exp_mean (4.0 *. p.shutdown_mean)
+          | General -> Ast.Gen (Dist.Deterministic (4.0 *. p.shutdown_mean))
+          | Erlangized k -> Ast.Gen (Dist.Erlang (k, 4.0 *. p.shutdown_mean))
+        in
+        {
+          Ast.et_name = "DPM_Type";
+          et_consts = [];
+          equations =
+            [
+              (* Initially no history: observe the first idle period. *)
+              eq "Observing_DPM"
+                (alt
+                   [
+                     pre "observe_long" (det p.shutdown_mean) (goto "Sleepy_DPM");
+                     pre "receive_busy_notice" passive
+                       (goto "Disabled_After_Short");
+                   ]);
+              (* Last idle was long: shut down aggressively; a busy notice
+                 before the timer means the prediction failed. *)
+              eq "Sleepy_DPM"
+                (alt
+                   [
+                     pre "send_shutdown" (det p.shutdown_mean)
+                       (goto "Disabled_After_Long");
+                     pre "receive_busy_notice" passive
+                       (goto "Disabled_After_Short");
+                   ]);
+              (* Last idle was short: wait much longer before shutting
+                 down; outlasting the conservative timer upgrades the
+                 prediction. *)
+              eq "Cautious_DPM"
+                (alt
+                   [
+                     pre "send_shutdown" conservative (goto "Disabled_After_Long");
+                     pre "receive_busy_notice" passive
+                       (goto "Disabled_After_Short");
+                   ]);
+              eq "Disabled_After_Long"
+                (pre "receive_idle_notice" passive (goto "Sleepy_DPM"));
+              eq "Disabled_After_Short"
+                (pre "receive_idle_notice" passive (goto "Cautious_DPM"));
+            ];
+          inputs = [ "receive_busy_notice"; "receive_idle_notice" ];
+          outputs = [ "send_shutdown" ];
+        }
+  in
+  let attach from_inst from_port to_inst to_port =
+    { Ast.from_inst; from_port; to_inst; to_port }
+  in
+  {
+    Ast.name = "RPC_DPM";
+    elem_types = [ server; channel; client; dpm ];
+    instances =
+      [
+        { Ast.inst_name = "S"; inst_type = "Server_Type"; inst_args = [] };
+        { Ast.inst_name = "RCS"; inst_type = "Radio_Channel_Type"; inst_args = [] };
+        { Ast.inst_name = "RSC"; inst_type = "Radio_Channel_Type"; inst_args = [] };
+        { Ast.inst_name = "C"; inst_type = "Sync_Client_Type"; inst_args = [] };
+        { Ast.inst_name = "DPM"; inst_type = "DPM_Type"; inst_args = [] };
+      ];
+    attachments =
+      ([
+         attach "C" "send_rpc_packet" "RCS" "get_packet";
+         attach "RCS" "deliver_packet" "S" "receive_rpc_packet";
+         attach "S" "send_result_packet" "RSC" "get_packet";
+         attach "RSC" "deliver_packet" "C" "receive_result_packet";
+         attach "DPM" "send_shutdown" "S" "receive_shutdown";
+       ]
+      @
+      match policy with
+      | Timeout ->
+          [
+            attach "S" "notify_busy" "DPM" "receive_busy_notice";
+            attach "S" "notify_idle" "DPM" "receive_idle_notice";
+          ]
+      | Trivial -> []
+      | Predictive ->
+          [
+            attach "S" "notify_busy" "DPM" "receive_busy_notice";
+            attach "S" "notify_idle" "DPM" "receive_idle_notice";
+          ]);
+  }
+
+let elaborate ?mode ?monitors ?policy p =
+  Elaborate.elaborate (archi ?mode ?monitors ?policy p)
+
+let high_actions = [ "DPM.send_shutdown#S.receive_shutdown" ]
+
+let low_actions =
+  [
+    "C.send_rpc_packet#RCS.get_packet";
+    "RSC.deliver_packet#C.receive_result_packet";
+    "C.process_result_packet";
+    "C.expire_timeout";
+    "C.ignore_result_packet";
+  ]
+
+let low_actions_simplified =
+  [
+    "C.send_rpc_packet#RCS.get_packet";
+    "RSC.deliver_packet#C.receive_result_packet";
+    "C.process_result_packet";
+  ]
+
+let measures_source =
+  {|
+MEASURE throughput IS
+  ENABLED(C.process_result_packet) -> TRANS_REWARD(1);
+MEASURE waiting IS
+  ENABLED(C.monitor_waiting_client) -> STATE_REWARD(1);
+MEASURE energy IS
+  ENABLED(S.monitor_idle_server)    -> STATE_REWARD(2)
+  ENABLED(S.monitor_busy_server)    -> STATE_REWARD(3)
+  ENABLED(S.monitor_awaking_server) -> STATE_REWARD(2);
+|}
+
+let measures () = Measure.parse measures_source
+
+type metrics = {
+  throughput : float;
+  waiting_time : float;
+  energy_per_request : float;
+  energy_rate : float;
+  waiting_probability : float;
+}
+
+let metrics_of_values values =
+  let get name =
+    match List.assoc_opt name values with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Rpc.metrics_of_values: missing %s" name)
+  in
+  let throughput = get "throughput" in
+  let waiting_probability = get "waiting" in
+  let energy_rate = get "energy" in
+  {
+    throughput;
+    waiting_probability;
+    energy_rate;
+    waiting_time =
+      (if throughput > 0.0 then waiting_probability /. throughput else nan);
+    energy_per_request =
+      (if throughput > 0.0 then energy_rate /. throughput else nan);
+  }
+
+let study ?(mode = General) p =
+  (* The pipeline wants the Markovian view as the rated spec and the general
+     distributions as overrides: elaborating in [General] mode produces
+     exactly that pair (exponentials with matching means + overrides). *)
+  let elaborated = Elaborate.elaborate (archi ~mode ~monitors:true p) in
+  let functional =
+    (Elaborate.elaborate (archi ~mode:Markovian ~monitors:false p)).Elaborate.spec
+  in
+  {
+    Pipeline.study_name = "rpc";
+    spec = elaborated.Elaborate.spec;
+    functional_spec = Some functional;
+    high = high_actions;
+    low = low_actions;
+    measures = measures ();
+    general_timings =
+      (match mode with
+      | Markovian -> []
+      | General | Erlangized _ -> elaborated.Elaborate.general_timings);
+  }

@@ -1,0 +1,106 @@
+(** The remote procedure call case study (paper Sect. 2.1, 3.1, 4.1, 5.2).
+
+    A blocking client [C] calls a power-manageable server [S] across two
+    lossy half-duplex radio channels [RCS] (requests) and [RSC] (results);
+    a [DPM] issues shutdown commands. Two model versions:
+
+    - {!simplified_archi} — the version of Sect. 2.3: ideal channels,
+      trivial DPM that may shut the server down at any time, blocking
+      client without timeouts. It *fails* the noninterference check.
+    - {!archi} — the revised version of Sect. 3.1: lossy channels, client
+      timeout/retransmission, server that ignores stale packets and
+      notifies the DPM of busy/idle transitions, DPM with a timeout
+      policy. It passes the check.
+
+    The same revised architecture serves all three phases: exponential
+    rates for the Markovian phase, and deterministic/normal overrides
+    (paper Sect. 5.2) for the general phase. *)
+
+type params = {
+  service_mean : float;  (** server service time, 0.2 ms *)
+  awake_mean : float;  (** server wake-up time, 3 ms *)
+  propagation_mean : float;  (** packet propagation, 0.8 ms *)
+  propagation_stddev : float;  (** sigma of the general model, 0.0345 ms *)
+  loss_probability : float;  (** packet loss, 0.02 *)
+  processing_mean : float;  (** client processing, 9.7 ms *)
+  timeout_mean : float;  (** client retransmission timeout, 2 ms *)
+  shutdown_mean : float;  (** DPM shutdown timeout — the swept parameter *)
+  monitor_rate : float;  (** rate of the monitor self-loops *)
+}
+
+val default_params : params
+(** The values of Sect. 4.1, with [shutdown_mean = 5.0]. *)
+
+type mode =
+  | Markovian
+  | General
+  | Erlangized of int
+      (** ablation: deterministic delays become k-stage Erlangs of the
+          same mean — interpolating between the memoryless Markovian view
+          (k = 1) and the deterministic general one (k -> infinity) *)
+
+type policy =
+  | Timeout
+      (** Sect. 2.1's timeout policy: the DPM arms its timer when the
+          server notifies it idle and disarms on a busy notification. *)
+  | Trivial
+      (** Sect. 2.1's trivial policy: the DPM ticks on its own period,
+          independently of the server's state, and the pending shutdown is
+          delivered at the server's next idle window. *)
+  | Predictive
+      (** A quantized predictive scheme (the second class surveyed in the
+          paper's introduction): the DPM classifies each idle period as
+          short or long by racing a threshold timer against the busy
+          notification and predicts the next period to be like the last,
+          arming an aggressive timeout after long idles and a conservative
+          one (4x) after short ones. *)
+
+val simplified_archi : unit -> Dpma_adl.Ast.archi
+(** Untimed (all-passive) functional model of Sect. 2.3. *)
+
+val archi :
+  ?mode:mode -> ?monitors:bool -> ?policy:policy -> params -> Dpma_adl.Ast.archi
+(** Revised model; [monitors] (default [true]) adds the
+    [monitor_idle_server]-style self-loops used by the measures; [policy]
+    defaults to [Timeout] (the policy evaluated in the paper's Sect. 4.1).
+    In [General] mode the service, wake-up, processing, timeout and
+    shutdown delays are deterministic and the propagation is normal,
+    exactly the substitutions of Sect. 5.2. *)
+
+val elaborate :
+  ?mode:mode ->
+  ?monitors:bool ->
+  ?policy:policy ->
+  params ->
+  Dpma_adl.Elaborate.elaborated
+
+val high_actions : string list
+(** The DPM command channel. *)
+
+val low_actions : string list
+(** The client-observable actions. *)
+
+val low_actions_simplified : string list
+
+val measures : unit -> Dpma_measures.Measure.t list
+(** throughput, waiting, energy — the reward structures of Sect. 4.1
+    (also available in concrete syntax, see {!measures_source}). *)
+
+val measures_source : string
+(** The measure definitions in the companion-language concrete syntax,
+    verbatim from the paper. *)
+
+type metrics = {
+  throughput : float;
+  waiting_time : float;  (** P(waiting)/throughput, Little's law *)
+  energy_per_request : float;  (** energy rate / throughput *)
+  energy_rate : float;
+  waiting_probability : float;
+}
+
+val metrics_of_values : (string * float) list -> metrics
+(** Derive the paper's plotted quantities from raw measure values. *)
+
+val study : ?mode:mode -> params -> Dpma_core.Pipeline.study
+(** Fully wired study for {!Dpma_core.Pipeline.assess}: revised model,
+    high/low actions, measures, and the general-phase overrides. *)

@@ -1,0 +1,1 @@
+lib/pa/rate.mli: Format

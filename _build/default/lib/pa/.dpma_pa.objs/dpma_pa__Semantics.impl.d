@@ -1,0 +1,1 @@
+lib/pa/semantics.ml: List Rate String Term

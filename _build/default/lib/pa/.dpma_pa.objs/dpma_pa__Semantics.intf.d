@@ -1,0 +1,1 @@
+lib/pa/semantics.mli: Rate Term

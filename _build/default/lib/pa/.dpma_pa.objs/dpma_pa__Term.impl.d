@@ -1,0 +1,1 @@
+lib/pa/term.ml: Format Hashtbl List Printf Rate Set Stdlib String

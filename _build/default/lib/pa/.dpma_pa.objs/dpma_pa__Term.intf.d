@@ -1,0 +1,1 @@
+lib/pa/term.mli: Format Rate Set

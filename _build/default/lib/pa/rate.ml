@@ -1,0 +1,61 @@
+type t =
+  | Exp of float
+  | Imm of { prio : int; weight : float }
+  | Passive of { weight : float }
+
+exception Sync_error of string
+
+let exp lambda =
+  if lambda <= 0.0 then invalid_arg "Rate.exp: rate must be positive";
+  Exp lambda
+
+let exp_mean m =
+  if m <= 0.0 then invalid_arg "Rate.exp_mean: mean must be positive";
+  Exp (1.0 /. m)
+
+let imm ?(prio = 1) ?(weight = 1.0) () =
+  if weight <= 0.0 then invalid_arg "Rate.imm: weight must be positive";
+  Imm { prio; weight }
+
+let passive ?(weight = 1.0) () =
+  if weight <= 0.0 then invalid_arg "Rate.passive: weight must be positive";
+  Passive { weight }
+
+let is_active = function Exp _ | Imm _ -> true | Passive _ -> false
+
+let is_passive r = not (is_active r)
+
+let scale r f =
+  if f < 0.0 then invalid_arg "Rate.scale: negative factor";
+  match r with
+  | Exp lambda -> Exp (lambda *. f)
+  | Imm { prio; weight } -> Imm { prio; weight = weight *. f }
+  | Passive { weight } -> Passive { weight = weight *. f }
+
+let apparent_weight = function
+  | Passive { weight } -> weight
+  | Exp _ | Imm _ -> 0.0
+
+let synchronize r1 r2 ~passive_total =
+  match (r1, r2) with
+  | (Exp _ | Imm _), (Exp _ | Imm _) ->
+      raise (Sync_error "two active participants on a synchronization")
+  | Passive { weight = w1 }, Passive { weight = w2 } ->
+      Passive { weight = w1 *. w2 }
+  | active, Passive { weight } | Passive { weight }, active ->
+      if passive_total <= 0.0 then
+        raise (Sync_error "passive total weight must be positive");
+      scale active (weight /. passive_total)
+
+let pp ppf = function
+  | Exp lambda -> Format.fprintf ppf "exp(rate %g)" lambda
+  | Imm { prio; weight } -> Format.fprintf ppf "inf(%d,%g)" prio weight
+  | Passive { weight } -> Format.fprintf ppf "_(%g)" weight
+
+let equal a b =
+  match (a, b) with
+  | Exp x, Exp y -> x = y
+  | Imm { prio = p1; weight = w1 }, Imm { prio = p2; weight = w2 } ->
+      p1 = p2 && w1 = w2
+  | Passive { weight = w1 }, Passive { weight = w2 } -> w1 = w2
+  | (Exp _ | Imm _ | Passive _), _ -> false

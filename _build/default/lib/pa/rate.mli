@@ -1,0 +1,51 @@
+(** Action rates in the EMPA-style stochastic process algebra.
+
+    An action is either *active exponential* (it races with the other
+    enabled activities, exponentially distributed duration), *active
+    immediate* (zero duration, resolved by priority then weight), or
+    *passive* (it waits for an active partner on a synchronization;
+    weights resolve the choice among passive alternatives).
+
+    The functional phase of the methodology ignores rates entirely; the
+    Markovian phase requires every transition of the composed system to be
+    active (a leftover passive action is a deadlocked synchronization and is
+    reported as an error by the CTMC builder). *)
+
+type t =
+  | Exp of float  (** exponential with the given rate (1/mean) *)
+  | Imm of { prio : int; weight : float }
+      (** immediate; higher [prio] wins, [weight] resolves ties
+          probabilistically *)
+  | Passive of { weight : float }
+
+val exp : float -> t
+(** [exp lambda]; requires [lambda > 0]. *)
+
+val exp_mean : float -> t
+(** [exp_mean m] is [exp (1 /. m)]. *)
+
+val imm : ?prio:int -> ?weight:float -> unit -> t
+(** Defaults: [prio = 1], [weight = 1.0]. *)
+
+val passive : ?weight:float -> unit -> t
+
+val is_active : t -> bool
+val is_passive : t -> bool
+
+val scale : t -> float -> t
+(** Multiply the rate (or weight) by a non-negative factor. *)
+
+exception Sync_error of string
+
+val synchronize : t -> t -> passive_total:float -> t
+(** [synchronize active passive ~passive_total] combines the rates of two
+    synchronizing actions. Exactly one side must be active; the active
+    rate/weight is scaled by [weight passive / passive_total] (generative–
+    reactive discipline). Two passives combine into a passive whose weight is
+    the product. Two actives raise {!Sync_error}. *)
+
+val apparent_weight : t -> float
+(** The passive weight, or 0 for active rates. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

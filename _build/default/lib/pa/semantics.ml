@@ -1,0 +1,73 @@
+module Sset = Term.Sset
+
+exception Sync_error of { action : string; message : string }
+
+let passive_total trans =
+  List.fold_left (fun acc (_, r, _) -> acc +. Rate.apparent_weight r) 0.0 trans
+
+let rec transitions defs t =
+  match (t : Term.t) with
+  | Stop -> []
+  | Prefix (a, r, k) -> [ (a, r, k) ]
+  | Choice ts -> List.concat_map (transitions defs) ts
+  | Call name -> transitions defs (Term.lookup defs name)
+  | Hide (s, p) ->
+      let relabel a = if Sset.mem a s then Term.tau else a in
+      List.map
+        (fun (a, r, k) -> (relabel a, r, Term.hide s k))
+        (transitions defs p)
+  | Restrict (s, p) ->
+      transitions defs p
+      |> List.filter (fun (a, _, _) -> not (Sset.mem a s))
+      |> List.map (fun (a, r, k) -> (a, r, Term.restrict s k))
+  | Rename (map, p) ->
+      List.map
+        (fun (a, r, k) -> (Term.apply_rename map a, r, Term.rename map k))
+        (transitions defs p)
+  | Par (p, s, q) ->
+      let tp = transitions defs p and tq = transitions defs q in
+      let left =
+        tp
+        |> List.filter (fun (a, _, _) -> not (Sset.mem a s))
+        |> List.map (fun (a, r, k) -> (a, r, Term.par k s q))
+      in
+      let right =
+        tq
+        |> List.filter (fun (a, _, _) -> not (Sset.mem a s))
+        |> List.map (fun (a, r, k) -> (a, r, Term.par p s k))
+      in
+      let sync_on a =
+        let on_label = List.filter (fun (b, _, _) -> String.equal b a) in
+        let ps = on_label tp and qs = on_label tq in
+        if ps = [] || qs = [] then []
+        else begin
+          let p_total = passive_total ps and q_total = passive_total qs in
+          ps
+          |> List.concat_map (fun (_, r1, k1) ->
+                 List.map
+                   (fun (_, r2, k2) ->
+                     let total =
+                       (* The normalization constant is the passive side's
+                          total apparent weight for this action. *)
+                       if Rate.is_passive r2 then q_total else p_total
+                     in
+                     let rate =
+                       try Rate.synchronize r1 r2 ~passive_total:total
+                       with Rate.Sync_error message ->
+                         raise (Sync_error { action = a; message })
+                     in
+                     (a, rate, Term.par k1 s k2))
+                   qs)
+        end
+      in
+      let sync = List.concat_map sync_on (Sset.elements s) in
+      left @ right @ sync
+
+let enabled_actions defs t =
+  transitions defs t
+  |> List.fold_left
+       (fun acc (a, _, _) ->
+         if String.equal a Term.tau then acc else Sset.add a acc)
+       Sset.empty
+
+let is_deadlocked defs t = transitions defs t = []

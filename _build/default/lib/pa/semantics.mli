@@ -1,0 +1,17 @@
+(** Structural operational semantics of the process algebra kernel.
+
+    [transitions defs t] derives the multiset of outgoing transitions of
+    [t]: action name ([Term.tau] for invisible), rate, and successor term.
+    Multiple identical entries are meaningful (their exponential rates add
+    up in the Markovian interpretation). *)
+
+exception Sync_error of { action : string; message : string }
+(** Raised when a synchronization on [action] is ill-rated (e.g. two active
+    participants). *)
+
+val transitions : Term.defs -> Term.t -> (string * Rate.t * Term.t) list
+
+val enabled_actions : Term.defs -> Term.t -> Term.Sset.t
+(** Action names (tau excluded) enabled in [t]. *)
+
+val is_deadlocked : Term.defs -> Term.t -> bool

@@ -1,0 +1,190 @@
+module Sset = Set.Make (String)
+
+type t =
+  | Stop
+  | Prefix of string * Rate.t * t
+  | Choice of t list
+  | Call of string
+  | Par of t * Sset.t * t
+  | Hide of Sset.t * t
+  | Restrict of Sset.t * t
+  | Rename of (string * string) list * t
+
+let tau = "tau"
+
+let check_no_tau what set =
+  if Sset.mem tau set then
+    invalid_arg (Printf.sprintf "Term.%s: tau cannot be %s" what what)
+
+let stop = Stop
+
+let prefix a r k =
+  if a = "" then invalid_arg "Term.prefix: empty action name";
+  Prefix (a, r, k)
+
+let choice ts =
+  let flattened =
+    List.concat_map (function Choice us -> us | u -> [ u ]) ts
+  in
+  match List.filter (fun t -> t <> Stop) flattened with
+  | [] -> Stop
+  | [ t ] -> t
+  | ts -> Choice ts
+
+let call name =
+  if name = "" then invalid_arg "Term.call: empty constant name";
+  Call name
+
+let par p s q =
+  check_no_tau "par" s;
+  Par (p, s, q)
+
+let par_names p names q = par p (Sset.of_list names) q
+
+let hide s p =
+  check_no_tau "hide" s;
+  if Sset.is_empty s then p else Hide (s, p)
+
+let hide_names names p = hide (Sset.of_list names) p
+
+let restrict s p =
+  check_no_tau "restrict" s;
+  if Sset.is_empty s then p else Restrict (s, p)
+
+let restrict_names names p = restrict (Sset.of_list names) p
+
+let rename map p =
+  if map = [] then p
+  else begin
+    List.iter
+      (fun (from_, to_) ->
+        if from_ = tau then invalid_arg "Term.rename: cannot rename tau";
+        if to_ = tau then invalid_arg "Term.rename: cannot rename to tau (use hide)";
+        if from_ = "" || to_ = "" then invalid_arg "Term.rename: empty name")
+      map;
+    let sources = List.map fst map in
+    if List.length (List.sort_uniq String.compare sources) <> List.length sources
+    then invalid_arg "Term.rename: duplicate source action";
+    Rename (map, p)
+  end
+
+let apply_rename map a =
+  match List.assoc_opt a map with Some b -> b | None -> a
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+let hash = Hashtbl.hash
+
+let rec pp ppf = function
+  | Stop -> Format.pp_print_string ppf "stop"
+  | Prefix (a, r, k) -> Format.fprintf ppf "<%s,%a>.%a" a Rate.pp r pp_atomic k
+  | Choice ts ->
+      Format.fprintf ppf "@[<hv>%a@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ + ")
+           pp_atomic)
+        ts
+  | Call name -> Format.pp_print_string ppf name
+  | Par (p, s, q) ->
+      Format.fprintf ppf "@[<hv>%a@ |[%s]|@ %a@]" pp_atomic p
+        (String.concat "," (Sset.elements s))
+        pp_atomic q
+  | Hide (s, p) ->
+      Format.fprintf ppf "hide {%s} in %a"
+        (String.concat "," (Sset.elements s))
+        pp_atomic p
+  | Restrict (s, p) ->
+      Format.fprintf ppf "%a \\ {%s}" pp_atomic p
+        (String.concat "," (Sset.elements s))
+  | Rename (map, p) ->
+      Format.fprintf ppf "%a [%s]" pp_atomic p
+        (String.concat ","
+           (List.map (fun (a, b) -> Printf.sprintf "%s->%s" a b) map))
+
+and pp_atomic ppf t =
+  match t with
+  | Stop | Call _ | Prefix _ -> pp ppf t
+  | Choice _ | Par _ | Hide _ | Restrict _ | Rename _ ->
+      Format.fprintf ppf "(%a)" pp t
+
+let to_string t = Format.asprintf "%a" pp t
+
+let rec action_names = function
+  | Stop | Call _ -> Sset.empty
+  | Prefix (a, _, k) ->
+      let rest = action_names k in
+      if a = tau then rest else Sset.add a rest
+  | Choice ts ->
+      List.fold_left (fun acc t -> Sset.union acc (action_names t)) Sset.empty ts
+  | Par (p, s, q) -> Sset.union s (Sset.union (action_names p) (action_names q))
+  | Hide (_, p) | Restrict (_, p) -> action_names p
+  | Rename (map, p) ->
+      let base = action_names p in
+      Sset.map (apply_rename map) base
+
+type defs = (string * t) list
+
+type spec = { defs : defs; init : t }
+
+let lookup defs name =
+  match List.assoc_opt name defs with
+  | Some t -> t
+  | None -> raise Not_found
+
+let rec calls_of = function
+  | Stop -> Sset.empty
+  | Prefix (_, _, k) -> calls_of k
+  | Choice ts ->
+      List.fold_left (fun acc t -> Sset.union acc (calls_of t)) Sset.empty ts
+  | Call name -> Sset.singleton name
+  | Par (p, _, q) -> Sset.union (calls_of p) (calls_of q)
+  | Hide (_, p) | Restrict (_, p) | Rename (_, p) -> calls_of p
+
+(* Constants reachable from [t] without crossing a Prefix: a cycle among
+   these would make transition derivation diverge. *)
+let rec unguarded_calls = function
+  | Stop | Prefix _ -> Sset.empty
+  | Choice ts ->
+      List.fold_left
+        (fun acc t -> Sset.union acc (unguarded_calls t))
+        Sset.empty ts
+  | Call name -> Sset.singleton name
+  | Par (p, _, q) -> Sset.union (unguarded_calls p) (unguarded_calls q)
+  | Hide (_, p) | Restrict (_, p) | Rename (_, p) -> unguarded_calls p
+
+let spec ~defs ~init =
+  let names = List.map fst defs in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg "Term.spec: duplicate constant definition";
+  let defined = Sset.of_list names in
+  let check_calls ctx t =
+    let undefined = Sset.diff (calls_of t) defined in
+    if not (Sset.is_empty undefined) then
+      invalid_arg
+        (Printf.sprintf "Term.spec: %s references undefined constant(s) %s" ctx
+           (String.concat ", " (Sset.elements undefined)))
+  in
+  check_calls "initial term" init;
+  List.iter (fun (n, body) -> check_calls ("definition of " ^ n) body) defs;
+  (* Guardedness: DFS on the unguarded-call graph must be acyclic. *)
+  let visiting = Hashtbl.create 16 in
+  let done_ = Hashtbl.create 16 in
+  let rec visit name =
+    if Hashtbl.mem done_ name then ()
+    else if Hashtbl.mem visiting name then
+      invalid_arg
+        (Printf.sprintf "Term.spec: unguarded recursion through constant %s" name)
+    else begin
+      Hashtbl.add visiting name ();
+      Sset.iter visit (unguarded_calls (lookup defs name));
+      Hashtbl.remove visiting name;
+      Hashtbl.add done_ name ()
+    end
+  in
+  List.iter (fun (n, _) -> visit n) defs;
+  { defs; init }
+
+let spec_action_names { defs; init } =
+  List.fold_left
+    (fun acc (_, t) -> Sset.union acc (action_names t))
+    (action_names init) defs

@@ -1,0 +1,73 @@
+(** Process terms of the stochastic process algebra kernel.
+
+    The kernel is the target of the ADL elaboration: each architectural
+    element instance becomes a sequential term (prefix / choice / constant),
+    and the topology becomes a tree of CSP-style parallel compositions whose
+    synchronization sets are the attached interactions.
+
+    The distinguished action {!tau} is the invisible action: it cannot be
+    synchronized on, restricted, or introduced by renaming (only {!hide}
+    produces it). *)
+
+module Sset : Set.S with type elt = string
+
+type t = private
+  | Stop
+  | Prefix of string * Rate.t * t
+  | Choice of t list
+  | Call of string
+  | Par of t * Sset.t * t
+  | Hide of Sset.t * t
+  | Restrict of Sset.t * t
+  | Rename of (string * string) list * t
+
+val tau : string
+(** The invisible action name. *)
+
+(** {2 Smart constructors}
+
+    [choice] flattens nested choices and drops [Stop] summands; [par],
+    [hide], [restrict] and [rename] validate that [tau] is not manipulated.
+    [rename] additionally rejects non-injective maps that merge distinct
+    actions with distinct images colliding. *)
+
+val stop : t
+val prefix : string -> Rate.t -> t -> t
+val choice : t list -> t
+val call : string -> t
+val par : t -> Sset.t -> t -> t
+val par_names : t -> string list -> t -> t
+val hide : Sset.t -> t -> t
+val hide_names : string list -> t -> t
+val restrict : Sset.t -> t -> t
+val restrict_names : string list -> t -> t
+val rename : (string * string) list -> t -> t
+
+val apply_rename : (string * string) list -> string -> string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val action_names : t -> Sset.t
+(** All action names syntactically occurring in the term (post-renaming
+    images included, [tau] excluded). Does not unfold constants. *)
+
+type defs = (string * t) list
+(** Named process constants. *)
+
+type spec = { defs : defs; init : t }
+
+val spec : defs:defs -> init:t -> spec
+(** Validates that every [Call] in [init] or in a definition body is
+    defined, that definition names are distinct, and that recursion is
+    guarded (every cycle of constants passes through a [Prefix]).
+    Raises [Invalid_argument] otherwise. *)
+
+val lookup : defs -> string -> t
+(** Raises [Not_found]. *)
+
+val spec_action_names : spec -> Sset.t

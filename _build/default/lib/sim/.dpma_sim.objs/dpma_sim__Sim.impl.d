@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Dpma_dist Dpma_lts Dpma_pa Dpma_util Float Hashtbl List Option Printf String

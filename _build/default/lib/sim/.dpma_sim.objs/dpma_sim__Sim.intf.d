@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Dpma_dist Dpma_lts Dpma_pa Dpma_util

@@ -1,0 +1,1 @@
+lib/util/scc.ml: Array List

@@ -1,0 +1,1 @@
+lib/util/sparse.ml: Array Hashtbl List Option

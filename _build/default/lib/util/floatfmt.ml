@@ -1,0 +1,11 @@
+let repr f =
+  let try_prec p =
+    let s = Printf.sprintf "%.*g" p f in
+    if float_of_string s = f then Some s else None
+  in
+  match try_prec 15 with
+  | Some s -> s
+  | None -> (
+      match try_prec 16 with
+      | Some s -> s
+      | None -> Printf.sprintf "%.17g" f)

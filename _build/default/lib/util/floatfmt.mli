@@ -1,0 +1,8 @@
+(** Shortest decimal representation that round-trips exactly.
+
+    Used by the ADL and distribution pretty-printers so that printing a
+    model and re-parsing it yields structurally equal rates. *)
+
+val repr : float -> string
+(** Shortest of ["%.15g"], ["%.16g"], ["%.17g"] that parses back to the
+    same float. *)

@@ -1,0 +1,65 @@
+let solve a b =
+  let n = Array.length a in
+  assert (Array.length b = n);
+  let m = Array.map Array.copy a in
+  let rhs = Array.copy b in
+  for col = 0 to n - 1 do
+    (* Partial pivoting: bring the largest remaining entry to the diagonal. *)
+    let pivot = ref col in
+    for row = col + 1 to n - 1 do
+      if abs_float m.(row).(col) > abs_float m.(!pivot).(col) then pivot := row
+    done;
+    if abs_float m.(!pivot).(col) < 1e-13 then failwith "Linalg.solve: singular matrix";
+    if !pivot <> col then begin
+      let tmp = m.(col) in
+      m.(col) <- m.(!pivot);
+      m.(!pivot) <- tmp;
+      let tb = rhs.(col) in
+      rhs.(col) <- rhs.(!pivot);
+      rhs.(!pivot) <- tb
+    end;
+    for row = col + 1 to n - 1 do
+      let factor = m.(row).(col) /. m.(col).(col) in
+      if factor <> 0.0 then begin
+        for k = col to n - 1 do
+          m.(row).(k) <- m.(row).(k) -. (factor *. m.(col).(k))
+        done;
+        rhs.(row) <- rhs.(row) -. (factor *. rhs.(col))
+      end
+    done
+  done;
+  let x = Array.make n 0.0 in
+  for row = n - 1 downto 0 do
+    let s = ref rhs.(row) in
+    for k = row + 1 to n - 1 do
+      s := !s -. (m.(row).(k) *. x.(k))
+    done;
+    x.(row) <- !s /. m.(row).(row)
+  done;
+  x
+
+let mat_vec a x =
+  let n = Array.length a in
+  Array.init n (fun i ->
+      let row = a.(i) in
+      let s = ref 0.0 in
+      for j = 0 to Array.length row - 1 do
+        s := !s +. (row.(j) *. x.(j))
+      done;
+      !s)
+
+let transpose a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else
+    let m = Array.length a.(0) in
+    Array.init m (fun j -> Array.init n (fun i -> a.(i).(j)))
+
+let identity n =
+  Array.init n (fun i -> Array.init n (fun j -> if i = j then 1.0 else 0.0))
+
+let residual_inf a x b =
+  let ax = mat_vec a x in
+  let r = ref 0.0 in
+  Array.iteri (fun i v -> r := Float.max !r (abs_float (v -. b.(i)))) ax;
+  !r

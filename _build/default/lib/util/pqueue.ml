@@ -1,0 +1,84 @@
+type 'a entry = { prio : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; len = 0; next_seq = 0 }
+
+let is_empty q = q.len = 0
+
+let size q = q.len
+
+let clear q =
+  q.heap <- [||];
+  q.len <- 0
+
+let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let swap q i j =
+  let tmp = q.heap.(i) in
+  q.heap.(i) <- q.heap.(j);
+  q.heap.(j) <- tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less q.heap.(i) q.heap.(parent) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.len && less q.heap.(l) q.heap.(!smallest) then smallest := l;
+  if r < q.len && less q.heap.(r) q.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let add q prio value =
+  let entry = { prio; seq = q.next_seq; value } in
+  q.next_seq <- q.next_seq + 1;
+  let cap = Array.length q.heap in
+  if q.len = cap then begin
+    let ncap = max 8 (2 * cap) in
+    let nheap = Array.make ncap entry in
+    Array.blit q.heap 0 nheap 0 q.len;
+    q.heap <- nheap
+  end;
+  q.heap.(q.len) <- entry;
+  q.len <- q.len + 1;
+  sift_up q (q.len - 1)
+
+let peek q =
+  if q.len = 0 then None else Some (q.heap.(0).prio, q.heap.(0).value)
+
+let pop q =
+  if q.len = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.len <- q.len - 1;
+    if q.len > 0 then begin
+      q.heap.(0) <- q.heap.(q.len);
+      sift_down q 0
+    end;
+    Some (top.prio, top.value)
+  end
+
+let to_sorted_list q =
+  let entries = Array.sub q.heap 0 q.len in
+  let copy = { heap = entries; len = q.len; next_seq = q.next_seq } in
+  (* Copy shares entry values but not the heap array, so popping is safe. *)
+  let copy = { copy with heap = Array.copy entries } in
+  let rec drain acc =
+    match pop copy with
+    | None -> List.rev acc
+    | Some (p, v) -> drain ((p, v) :: acc)
+  in
+  drain []

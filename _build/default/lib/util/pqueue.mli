@@ -1,0 +1,25 @@
+(** Mutable binary min-heap keyed by float priorities.
+
+    The simulator's future event list. Ties are broken by insertion order so
+    that simulation runs are fully deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val add : 'a t -> float -> 'a -> unit
+(** [add q priority v] inserts [v] with the given priority. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Smallest priority, without removal. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the entry with the smallest priority; among equal
+    priorities, the earliest inserted wins. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> (float * 'a) list
+(** Non-destructive: all entries in ascending priority order. *)

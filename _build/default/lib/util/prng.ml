@@ -1,0 +1,52 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+(* splitmix64 finalizer: state advances by the golden gamma, output is the
+   mixed previous state. *)
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split g =
+  let seed = bits64 g in
+  { state = seed }
+
+let float g =
+  (* Use the top 53 bits for a uniform double in [0,1). *)
+  let bits = Int64.shift_right_logical (bits64 g) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let float_range g lo hi =
+  assert (lo <= hi);
+  lo +. ((hi -. lo) *. float g)
+
+let int g bound =
+  assert (bound > 0);
+  let mask = Int64.of_int max_int in
+  let v = Int64.to_int (Int64.logand (bits64 g) mask) in
+  v mod bound
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let bernoulli g p = float g < p
+
+let choose_weighted g weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  assert (total > 0.0);
+  let x = float g *. total in
+  let n = Array.length weights in
+  let rec pick i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if x < acc then i else pick (i + 1) acc
+  in
+  pick 0 0.0

@@ -1,0 +1,75 @@
+let tarjan ~succ n =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let components = ref [] in
+  (* Iterative Tarjan: an explicit work stack holds (vertex, remaining
+     successors) frames so deep graphs cannot overflow the call stack. *)
+  let visit root =
+    let work = ref [ (root, succ root) ] in
+    index.(root) <- !next_index;
+    lowlink.(root) <- !next_index;
+    incr next_index;
+    stack := root :: !stack;
+    on_stack.(root) <- true;
+    while !work <> [] do
+      match !work with
+      | [] -> ()
+      | (v, remaining) :: rest -> (
+          match remaining with
+          | w :: ws ->
+              work := (v, ws) :: rest;
+              if index.(w) = -1 then begin
+                index.(w) <- !next_index;
+                lowlink.(w) <- !next_index;
+                incr next_index;
+                stack := w :: !stack;
+                on_stack.(w) <- true;
+                work := (w, succ w) :: !work
+              end
+              else if on_stack.(w) then
+                lowlink.(v) <- min lowlink.(v) index.(w)
+          | [] ->
+              if lowlink.(v) = index.(v) then begin
+                let rec pop acc =
+                  match !stack with
+                  | [] -> acc
+                  | w :: tl ->
+                      stack := tl;
+                      on_stack.(w) <- false;
+                      if w = v then w :: acc else pop (w :: acc)
+                in
+                components := pop [] :: !components
+              end;
+              work := rest;
+              (match rest with
+              | (parent, _) :: _ ->
+                  lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+              | [] -> ()))
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then visit v
+  done;
+  (* Tarjan emits components in reverse topological order already; we
+     accumulated with (::) so reverse back. *)
+  List.rev !components
+
+let component_index ~n comps =
+  let idx = Array.make n (-1) in
+  List.iteri (fun ci vs -> List.iter (fun v -> idx.(v) <- ci) vs) comps;
+  idx
+
+let bottom_components ~succ n =
+  let comps = tarjan ~succ n in
+  let idx = component_index ~n comps in
+  let comps_arr = Array.of_list comps in
+  let escapes = Array.make (Array.length comps_arr) false in
+  for v = 0 to n - 1 do
+    List.iter (fun w -> if idx.(w) <> idx.(v) then escapes.(idx.(v)) <- true) (succ v)
+  done;
+  comps_arr
+  |> Array.to_list
+  |> List.filteri (fun ci _ -> not escapes.(ci))

@@ -1,0 +1,17 @@
+(** Strongly connected components (Tarjan) and bottom-SCC detection.
+
+    The CTMC solver uses this to locate the recurrent class(es) of a chain
+    with a transient prefix (e.g. the streaming client's initial delay). *)
+
+val tarjan : succ:(int -> int list) -> int -> int list list
+(** [tarjan ~succ n] returns the strongly connected components of the graph
+    with vertices [0..n-1] and successor function [succ], in reverse
+    topological order (every edge goes from a later component to an earlier
+    one in the returned list). *)
+
+val bottom_components : succ:(int -> int list) -> int -> int list list
+(** Components with no edge leaving them (the recurrent classes). *)
+
+val component_index : n:int -> int list list -> int array
+(** [component_index ~n comps] maps each vertex to the index of its
+    component in [comps]. *)

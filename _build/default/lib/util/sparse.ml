@@ -1,0 +1,78 @@
+type t = { n : int; rows : (int, float) Hashtbl.t array }
+
+let create n = { n; rows = Array.init n (fun _ -> Hashtbl.create 4) }
+
+let dim m = m.n
+
+let add_entry m i j v =
+  let row = m.rows.(i) in
+  let current = Option.value ~default:0.0 (Hashtbl.find_opt row j) in
+  Hashtbl.replace row j (current +. v)
+
+let get m i j = Option.value ~default:0.0 (Hashtbl.find_opt m.rows.(i) j)
+
+let row m i =
+  Hashtbl.fold (fun j v acc -> (j, v) :: acc) m.rows.(i) []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let nnz m = Array.fold_left (fun acc r -> acc + Hashtbl.length r) 0 m.rows
+
+let vec_mat x m =
+  let y = Array.make m.n 0.0 in
+  for i = 0 to m.n - 1 do
+    if x.(i) <> 0.0 then
+      Hashtbl.iter (fun j v -> y.(j) <- y.(j) +. (x.(i) *. v)) m.rows.(i)
+  done;
+  y
+
+let l1_diff a b =
+  let s = ref 0.0 in
+  Array.iteri (fun i v -> s := !s +. abs_float (v -. b.(i))) a;
+  !s
+
+let power_stationary ?(max_iter = 200_000) ?(tol = 1e-12) p ~init =
+  let x = ref (Array.copy init) in
+  let continue_ = ref true in
+  let iter = ref 0 in
+  while !continue_ && !iter < max_iter do
+    let y = vec_mat !x p in
+    (* Renormalize to fight floating point drift. *)
+    let total = Array.fold_left ( +. ) 0.0 y in
+    if total > 0.0 then Array.iteri (fun i v -> y.(i) <- v /. total) y;
+    if l1_diff y !x < tol then continue_ := false;
+    x := y;
+    incr iter
+  done;
+  !x
+
+let gauss_seidel_stationary ?(max_iter = 100_000) ?(tol = 1e-12) q =
+  let n = q.n in
+  (* Column access: pi Q = 0 means for each j: sum_i pi_i q_ij = 0, i.e.
+     pi_j = (sum_{i<>j} pi_i q_ij) / (-q_jj). Build the transposed structure. *)
+  let cols = Array.init n (fun _ -> Hashtbl.create 4) in
+  let diag = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    Hashtbl.iter
+      (fun j v -> if i = j then diag.(i) <- v else Hashtbl.replace cols.(j) i v)
+      q.rows.(i)
+  done;
+  let pi = Array.make n (1.0 /. float_of_int n) in
+  let iter = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !iter < max_iter do
+    let delta = ref 0.0 in
+    for j = 0 to n - 1 do
+      if diag.(j) < 0.0 then begin
+        let s = ref 0.0 in
+        Hashtbl.iter (fun i v -> s := !s +. (pi.(i) *. v)) cols.(j);
+        let nv = !s /. -.diag.(j) in
+        delta := !delta +. abs_float (nv -. pi.(j));
+        pi.(j) <- nv
+      end
+    done;
+    let total = Array.fold_left ( +. ) 0.0 pi in
+    if total > 0.0 then Array.iteri (fun i v -> pi.(i) <- v /. total) pi;
+    if !delta < tol then continue_ := false;
+    incr iter
+  done;
+  pi

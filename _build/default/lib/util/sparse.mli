@@ -1,0 +1,36 @@
+(** Sparse matrices and iterative solvers for large CTMCs.
+
+    A matrix is stored as an array of rows, each row an association list of
+    [(column, value)] pairs. This favours the row-wise sweeps used by
+    Gauss–Seidel and by the power method on uniformized chains. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an [n × n] zero matrix. *)
+
+val dim : t -> int
+
+val add_entry : t -> int -> int -> float -> unit
+(** [add_entry m i j v] adds [v] to entry [(i, j)] (accumulating). *)
+
+val get : t -> int -> int -> float
+
+val row : t -> int -> (int * float) list
+
+val nnz : t -> int
+
+val vec_mat : float array -> t -> float array
+(** [vec_mat x m] is the row vector [x m]. *)
+
+val power_stationary :
+  ?max_iter:int -> ?tol:float -> t -> init:float array -> float array
+(** [power_stationary p ~init] iterates [x <- x P] from [init] until the
+    L1 change falls below [tol] (default [1e-12]); [p] must be a stochastic
+    matrix. Returns the (sub)stationary vector reached. *)
+
+val gauss_seidel_stationary :
+  ?max_iter:int -> ?tol:float -> t -> float array
+(** [gauss_seidel_stationary q] solves [pi Q = 0, sum pi = 1] for an
+    irreducible generator [q] by Gauss–Seidel sweeps on the normalized
+    balance equations. *)

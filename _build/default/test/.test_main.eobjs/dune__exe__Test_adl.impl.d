@@ -1,0 +1,1 @@
+test/test_adl.ml: Alcotest Dpma_adl Dpma_ctmc Dpma_dist Dpma_lts Dpma_models Dpma_pa Format List Printf String

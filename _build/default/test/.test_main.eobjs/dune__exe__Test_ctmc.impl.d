@@ -1,0 +1,1 @@
+test/test_ctmc.ml: Alcotest Array Dpma_ctmc Dpma_lts Dpma_pa Float List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Dpma_dist Dpma_util List Printf QCheck QCheck_alcotest

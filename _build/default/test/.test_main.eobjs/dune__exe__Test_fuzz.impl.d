@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Dpma_adl Dpma_ctmc Dpma_dist Dpma_lts Dpma_measures Float Format List Printf QCheck QCheck_alcotest String

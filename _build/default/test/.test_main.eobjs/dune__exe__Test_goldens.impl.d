@@ -1,0 +1,1 @@
+test/test_goldens.ml: Alcotest Dpma_core Dpma_lts Dpma_models Seq String

@@ -1,0 +1,1 @@
+test/test_lts.ml: Alcotest Array Dpma_lts Dpma_pa Format List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_adl Test_ctmc Test_dist Test_fuzz Test_goldens Test_lts Test_measures Test_models Test_noninterference Test_pa Test_pipeline Test_sim Test_util

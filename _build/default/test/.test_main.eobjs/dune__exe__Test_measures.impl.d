@@ -1,0 +1,1 @@
+test/test_measures.ml: Alcotest Dpma_ctmc Dpma_lts Dpma_measures Dpma_models Dpma_pa Dpma_sim Dpma_util Format Lazy List String

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Dpma_adl Dpma_core Dpma_ctmc Dpma_lts Dpma_models Dpma_util Float Format List Printf

@@ -1,0 +1,1 @@
+test/test_noninterference.ml: Alcotest Dpma_adl Dpma_core Dpma_lts Dpma_models Dpma_pa Format Lazy List String

@@ -1,0 +1,1 @@
+test/test_pa.ml: Alcotest Dpma_pa List Option String

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Dpma_core Dpma_dist Dpma_models Dpma_sim Dpma_util Float Format Lazy List Printf String

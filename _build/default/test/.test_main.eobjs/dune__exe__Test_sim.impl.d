@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dpma_ctmc Dpma_dist Dpma_lts Dpma_pa Dpma_sim Dpma_util List QCheck QCheck_alcotest

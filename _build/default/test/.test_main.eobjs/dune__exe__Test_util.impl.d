@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Dpma_util Float List Option QCheck QCheck_alcotest

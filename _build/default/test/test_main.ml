@@ -1,0 +1,19 @@
+(* Test entry point: one Alcotest run aggregating all suites. *)
+
+let () =
+  Alcotest.run "dpma"
+    [
+      ("util", Test_util.suite);
+      ("dist", Test_dist.suite);
+      ("pa", Test_pa.suite);
+      ("lts", Test_lts.suite);
+      ("ctmc", Test_ctmc.suite);
+      ("sim", Test_sim.suite);
+      ("adl", Test_adl.suite);
+      ("measures", Test_measures.suite);
+      ("noninterference", Test_noninterference.suite);
+      ("models", Test_models.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("goldens", Test_goldens.suite);
+    ]

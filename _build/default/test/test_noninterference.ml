@@ -1,0 +1,240 @@
+(* Tests for the noninterference analysis — including the paper's Sect. 3
+   results: the simplified rpc fails with a diagnostic formula, the
+   revised rpc and the streaming system pass. *)
+
+module Rate = Dpma_pa.Rate
+module Term = Dpma_pa.Term
+module Lts = Dpma_lts.Lts
+module Bisim = Dpma_lts.Bisim
+module Hml = Dpma_lts.Hml
+module NI = Dpma_core.Noninterference
+module Rpc = Dpma_models.Rpc
+module Streaming = Dpma_models.Streaming
+module Elaborate = Dpma_adl.Elaborate
+
+let r = Rate.exp 1.0
+let pre a k = Term.prefix a r k
+
+(* ------------------------------------------------------------------ *)
+(* Small handcrafted systems *)
+
+let test_interfering_toy_system () =
+  (* high action switches off the low action forever: clearly insecure. *)
+  let defs =
+    [
+      ("P", Term.choice [ pre "low" (Term.call "P"); pre "high" (Term.call "Off") ]);
+      ("Off", pre "internal" (Term.call "Off"));
+    ]
+  in
+  let spec = Term.spec ~defs ~init:(Term.call "P") in
+  match NI.check_spec spec ~high:[ "high" ] ~low:[ "low" ] with
+  | NI.Secure -> Alcotest.fail "expected insecure"
+  | NI.Insecure formula ->
+      Alcotest.(check bool) "non-trivial formula" true (Hml.size formula > 1)
+
+let test_transparent_toy_system () =
+  (* high action leads to a state with identical low behavior: secure. *)
+  let defs =
+    [
+      ("P", Term.choice [ pre "low" (Term.call "P"); pre "high" (Term.call "Q") ]);
+      ("Q", pre "low" (Term.call "Q"));
+    ]
+  in
+  let spec = Term.spec ~defs ~init:(Term.call "P") in
+  (match NI.check_spec spec ~high:[ "high" ] ~low:[ "low" ] with
+  | NI.Secure -> ()
+  | NI.Insecure f -> Alcotest.failf "expected secure, got %s" (Hml.to_string f))
+
+let test_observed_pair_shapes () =
+  let defs =
+    [ ("P", Term.choice [ pre "low" (Term.call "P"); pre "high" (Term.call "P") ]) ]
+  in
+  let spec = Term.spec ~defs ~init:(Term.call "P") in
+  let lts = Lts.of_spec spec in
+  let hidden, removed =
+    NI.observed_pair lts ~high:(String.equal "high") ~low:(String.equal "low")
+  in
+  Alcotest.(check int) "hidden keeps both transitions" 2 (Lts.num_transitions hidden);
+  Alcotest.(check int) "removed drops high" 1 (Lts.num_transitions removed);
+  Alcotest.(check bool) "hidden has tau" true
+    (List.exists (fun l -> l = Lts.Tau) (Lts.enabled hidden 0))
+
+(* ------------------------------------------------------------------ *)
+(* Paper results *)
+
+let simplified_spec =
+  lazy (Elaborate.elaborate (Rpc.simplified_archi ())).Elaborate.spec
+
+let test_simplified_rpc_fails () =
+  match
+    NI.check_spec (Lazy.force simplified_spec) ~high:Rpc.high_actions
+      ~low:Rpc.low_actions_simplified
+  with
+  | NI.Secure -> Alcotest.fail "simplified rpc must fail noninterference"
+  | NI.Insecure formula ->
+      let s = Hml.to_string ~weak:true formula in
+      let has sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      (* The diagnostic speaks about the client's observable interactions,
+         as in the paper's formula. *)
+      Alcotest.(check bool) "mentions a client channel" true
+        (has "C.send_rpc_packet#RCS.get_packet"
+        || has "RSC.deliver_packet#C.receive_result_packet"
+        || has "C.process_result_packet")
+
+let test_simplified_rpc_formula_is_sound () =
+  let spec = Lazy.force simplified_spec in
+  let lts = Lts.of_spec spec in
+  let high a = List.mem a Rpc.high_actions in
+  let low a = List.mem a Rpc.low_actions_simplified in
+  let hidden, removed = NI.observed_pair lts ~high ~low in
+  match NI.check_lts lts ~high ~low with
+  | NI.Secure -> Alcotest.fail "expected insecure"
+  | NI.Insecure formula ->
+      let union, ia, ib = Lts.disjoint_union hidden removed in
+      let sat = Bisim.saturate union in
+      Alcotest.(check bool) "formula holds with DPM hidden" true
+        (Hml.sat sat ia formula);
+      Alcotest.(check bool) "formula fails with DPM removed" false
+        (Hml.sat sat ib formula)
+
+let test_revised_rpc_passes () =
+  let spec =
+    (Rpc.elaborate ~mode:Rpc.Markovian ~monitors:false Rpc.default_params)
+      .Elaborate.spec
+  in
+  match NI.check_spec spec ~high:Rpc.high_actions ~low:Rpc.low_actions with
+  | NI.Secure -> ()
+  | NI.Insecure f -> Alcotest.failf "revised rpc must pass, got %s" (Hml.to_string f)
+
+let test_revised_rpc_with_monitors_passes () =
+  (* Monitor self-loops are internal, so they may not break transparency. *)
+  let spec =
+    (Rpc.elaborate ~mode:Rpc.Markovian ~monitors:true Rpc.default_params)
+      .Elaborate.spec
+  in
+  match NI.check_spec spec ~high:Rpc.high_actions ~low:Rpc.low_actions with
+  | NI.Secure -> ()
+  | NI.Insecure _ -> Alcotest.fail "monitors must stay transparent"
+
+let test_streaming_passes () =
+  let spec =
+    (Streaming.elaborate ~mode:Streaming.Markovian ~monitors:false
+       {
+         Streaming.default_params with
+         ap_buffer_size = 1;
+         client_buffer_size = 1;
+       })
+      .Elaborate.spec
+  in
+  match
+    NI.check_spec spec ~high:Streaming.high_actions ~low:Streaming.low_actions
+  with
+  | NI.Secure -> ()
+  | NI.Insecure f -> Alcotest.failf "streaming must pass, got %s" (Hml.to_string f)
+
+let test_streaming_capacity_insensitive () =
+  (* The verdict is the same with slightly larger buffers (the reduction
+     used for speed is justified). *)
+  let spec =
+    (Streaming.elaborate ~mode:Streaming.Markovian ~monitors:false
+       {
+         Streaming.default_params with
+         ap_buffer_size = 2;
+         client_buffer_size = 2;
+       })
+      .Elaborate.spec
+  in
+  match
+    NI.check_spec spec ~high:Streaming.high_actions ~low:Streaming.low_actions
+  with
+  | NI.Secure -> ()
+  | NI.Insecure _ -> Alcotest.fail "verdict changed with capacity"
+
+let test_pp_verdict () =
+  let s = Format.asprintf "%a" NI.pp_verdict NI.Secure in
+  Alcotest.(check bool) "secure rendering" true (String.length s > 0);
+  let s2 =
+    Format.asprintf "%a" NI.pp_verdict
+      (NI.Insecure (Hml.diamond (Lts.Obs "x") Hml.tt))
+  in
+  let has sub str =
+    let n = String.length str and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub str i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "insecure mentions formula" true
+    (has "EXISTS_WEAK_TRANS" s2)
+
+let suite =
+  [
+    Alcotest.test_case "interfering toy system" `Quick test_interfering_toy_system;
+    Alcotest.test_case "transparent toy system" `Quick test_transparent_toy_system;
+    Alcotest.test_case "observed pair shapes" `Quick test_observed_pair_shapes;
+    Alcotest.test_case "simplified rpc fails (Sect. 3.1)" `Quick test_simplified_rpc_fails;
+    Alcotest.test_case "simplified rpc formula sound" `Quick
+      test_simplified_rpc_formula_is_sound;
+    Alcotest.test_case "revised rpc passes (Sect. 3.1)" `Quick test_revised_rpc_passes;
+    Alcotest.test_case "revised rpc with monitors" `Quick
+      test_revised_rpc_with_monitors_passes;
+    Alcotest.test_case "streaming passes (Sect. 3.2)" `Quick test_streaming_passes;
+    Alcotest.test_case "streaming capacity insensitive" `Quick
+      test_streaming_capacity_insensitive;
+    Alcotest.test_case "verdict rendering" `Quick test_pp_verdict;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace-based SNNI vs the paper's bisimulation-based check             *)
+
+let test_simplified_rpc_trace_secure_but_not_bisim () =
+  (* The DPM-induced deadlock of the simplified rpc system is invisible to
+     prefix-closed trace languages: SNNI passes while the paper's
+     weak-bisimulation check fails — exactly why the methodology uses
+     bisimulation. *)
+  let spec = Lazy.force simplified_spec in
+  let lts = Lts.of_spec spec in
+  let high a = List.mem a Rpc.high_actions in
+  let low a = List.mem a Rpc.low_actions_simplified in
+  Alcotest.(check bool) "trace-secure (SNNI)" true
+    (NI.trace_secure lts ~high ~low);
+  (match NI.check_lts lts ~high ~low with
+  | NI.Insecure _ -> ()
+  | NI.Secure -> Alcotest.fail "bisimulation check must still fail")
+
+let test_revised_rpc_trace_secure () =
+  let spec =
+    (Rpc.elaborate ~mode:Rpc.Markovian ~monitors:false Rpc.default_params)
+      .Elaborate.spec
+  in
+  Alcotest.(check bool) "revised rpc trace-secure" true
+    (NI.trace_secure_spec spec ~high:Rpc.high_actions ~low:Rpc.low_actions)
+
+let test_trace_insecure_when_language_differs () =
+  (* high enables a brand-new low action: even traces catch that. *)
+  let r = Dpma_pa.Rate.exp 1.0 in
+  let pre a k = Dpma_pa.Term.prefix a r k in
+  let defs =
+    [
+      ( "P",
+        Dpma_pa.Term.choice
+          [ pre "low" (Dpma_pa.Term.call "P"); pre "high" (Dpma_pa.Term.call "Q") ] );
+      ("Q", pre "extra" (Dpma_pa.Term.call "Q"));
+    ]
+  in
+  let spec = Dpma_pa.Term.spec ~defs ~init:(Dpma_pa.Term.call "P") in
+  Alcotest.(check bool) "language difference detected" false
+    (NI.trace_secure_spec spec ~high:[ "high" ] ~low:[ "low"; "extra" ])
+
+let trace_ni_suite =
+  [
+    Alcotest.test_case "simplified rpc: SNNI passes, BSNNI fails" `Quick
+      test_simplified_rpc_trace_secure_but_not_bisim;
+    Alcotest.test_case "revised rpc trace-secure" `Quick test_revised_rpc_trace_secure;
+    Alcotest.test_case "trace-insecure on language difference" `Quick
+      test_trace_insecure_when_language_differs;
+  ]
+
+let suite = suite @ trace_ni_suite

@@ -1,0 +1,337 @@
+(* Tests for the foundations library: PRNG, statistics, priority queue,
+   dense/sparse linear algebra, strongly connected components. *)
+
+module Prng = Dpma_util.Prng
+module Stats = Dpma_util.Stats
+module Pqueue = Dpma_util.Pqueue
+module Linalg = Dpma_util.Linalg
+module Sparse = Dpma_util.Sparse
+module Scc = Dpma_util.Scc
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close tol = Alcotest.(check (float tol))
+
+(* ------------------------------------------------------------------ *)
+(* PRNG *)
+
+let test_prng_determinism () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_prng_float_range () =
+  let g = Prng.create 11 in
+  for _ = 1 to 10_000 do
+    let x = Prng.float g in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_prng_float_mean () =
+  let g = Prng.create 13 in
+  let acc = ref 0.0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    acc := !acc +. Prng.float g
+  done;
+  check_close 0.01 "uniform mean 0.5" 0.5 (!acc /. float_of_int n)
+
+let test_prng_int_bounds () =
+  let g = Prng.create 3 in
+  for _ = 1 to 10_000 do
+    let x = Prng.int g 7 in
+    Alcotest.(check bool) "in [0,7)" true (x >= 0 && x < 7)
+  done
+
+let test_prng_split_independent () =
+  let g = Prng.create 5 in
+  let a = Prng.split g in
+  let b = Prng.split g in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "split streams differ" true (!same < 4)
+
+let test_prng_copy () =
+  let g = Prng.create 17 in
+  ignore (Prng.bits64 g);
+  let h = Prng.copy g in
+  Alcotest.(check int64) "copy continues identically" (Prng.bits64 g)
+    (Prng.bits64 h)
+
+let test_choose_weighted () =
+  let g = Prng.create 23 in
+  let counts = [| 0; 0; 0 |] in
+  let weights = [| 1.0; 2.0; 7.0 |] in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let i = Prng.choose_weighted g weights in
+    counts.(i) <- counts.(i) + 1
+  done;
+  check_close 0.02 "weight 0.1" 0.1 (float_of_int counts.(0) /. float_of_int n);
+  check_close 0.02 "weight 0.2" 0.2 (float_of_int counts.(1) /. float_of_int n);
+  check_close 0.02 "weight 0.7" 0.7 (float_of_int counts.(2) /. float_of_int n)
+
+let test_bernoulli () =
+  let g = Prng.create 29 in
+  let hits = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Prng.bernoulli g 0.3 then incr hits
+  done;
+  check_close 0.02 "p=0.3" 0.3 (float_of_int !hits /. float_of_int n)
+
+(* ------------------------------------------------------------------ *)
+(* Statistics *)
+
+let test_welford_mean_variance () =
+  let acc = Stats.accumulator () in
+  let xs = [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  List.iter (Stats.add acc) xs;
+  check_float "mean" 5.0 (Stats.mean acc);
+  (* Unbiased sample variance of the list above is 32/7. *)
+  check_close 1e-9 "variance" (32.0 /. 7.0) (Stats.variance acc);
+  Alcotest.(check int) "count" 8 (Stats.count acc)
+
+let test_empty_accumulator () =
+  let acc = Stats.accumulator () in
+  Alcotest.(check bool) "nan mean" true (Float.is_nan (Stats.mean acc));
+  check_float "zero variance" 0.0 (Stats.variance acc)
+
+let test_normal_quantile () =
+  check_close 1e-4 "z(0.975)" 1.959964 (Stats.normal_quantile 0.975);
+  check_close 1e-4 "z(0.95)" 1.644854 (Stats.normal_quantile 0.95);
+  check_close 1e-4 "z(0.5)" 0.0 (Stats.normal_quantile 0.5);
+  check_close 1e-4 "symmetry" (-.Stats.normal_quantile 0.975)
+    (Stats.normal_quantile 0.025)
+
+let test_student_t_quantile () =
+  (* Reference values from standard t tables. *)
+  check_close 0.02 "t(1, 0.975)" 12.706 (Stats.student_t_quantile ~df:1 0.975);
+  check_close 0.01 "t(2, 0.975)" 4.303 (Stats.student_t_quantile ~df:2 0.975);
+  check_close 0.02 "t(10, 0.975)" 2.228 (Stats.student_t_quantile ~df:10 0.975);
+  check_close 0.02 "t(29, 0.95)" 1.699 (Stats.student_t_quantile ~df:29 0.95);
+  check_close 0.02 "t(100, 0.975)" 1.984
+    (Stats.student_t_quantile ~df:100 0.975)
+
+let test_summary_interval () =
+  let samples = List.init 30 (fun i -> 10.0 +. float_of_int (i mod 5)) in
+  let s = Stats.of_samples ~confidence:0.90 samples in
+  Alcotest.(check int) "n" 30 s.Stats.n;
+  check_close 1e-9 "mean" 12.0 s.Stats.mean;
+  Alcotest.(check bool) "positive half width" true (s.Stats.half_width > 0.0);
+  Alcotest.(check bool) "half width sane" true (s.Stats.half_width < 1.0)
+
+let test_relative_error () =
+  check_float "10% error" 0.1 (Stats.relative_error ~reference:10.0 11.0);
+  check_float "zero reference guarded" 1e12
+    (Stats.relative_error ~reference:0.0 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Priority queue *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  List.iter (fun (p, v) -> Pqueue.add q p v) [ (3.0, "c"); (1.0, "a"); (2.0, "b") ];
+  Alcotest.(check (option (pair (float 0.0) string))) "peek" (Some (1.0, "a"))
+    (Pqueue.peek q);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop a" (Some (1.0, "a"))
+    (Pqueue.pop q);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop b" (Some (2.0, "b"))
+    (Pqueue.pop q);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop c" (Some (3.0, "c"))
+    (Pqueue.pop q);
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q)
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  List.iter (fun v -> Pqueue.add q 1.0 v) [ "first"; "second"; "third" ];
+  let order = List.map (fun _ -> snd (Option.get (Pqueue.pop q))) [ 1; 2; 3 ] in
+  Alcotest.(check (list string)) "insertion order on ties"
+    [ "first"; "second"; "third" ] order
+
+let test_pqueue_sorted_list () =
+  let q = Pqueue.create () in
+  List.iter (fun p -> Pqueue.add q p ()) [ 5.0; 1.0; 4.0; 2.0; 3.0 ];
+  let prios = List.map fst (Pqueue.to_sorted_list q) in
+  Alcotest.(check (list (float 0.0))) "sorted" [ 1.0; 2.0; 3.0; 4.0; 5.0 ] prios;
+  Alcotest.(check int) "non destructive" 5 (Pqueue.size q)
+
+let prop_pqueue_sorts =
+  QCheck.Test.make ~count:200 ~name:"pqueue pops in sorted order"
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun floats ->
+      let q = Pqueue.create () in
+      List.iter (fun p -> Pqueue.add q p p) floats;
+      let rec drain acc =
+        match Pqueue.pop q with None -> List.rev acc | Some (p, _) -> drain (p :: acc)
+      in
+      drain [] = List.sort compare floats)
+
+(* ------------------------------------------------------------------ *)
+(* Linear algebra *)
+
+let test_solve_known_system () =
+  let a = [| [| 2.0; 1.0; -1.0 |]; [| -3.0; -1.0; 2.0 |]; [| -2.0; 1.0; 2.0 |] |] in
+  let b = [| 8.0; -11.0; -3.0 |] in
+  let x = Linalg.solve a b in
+  check_close 1e-9 "x0" 2.0 x.(0);
+  check_close 1e-9 "x1" 3.0 x.(1);
+  check_close 1e-9 "x2" (-1.0) x.(2);
+  check_close 1e-9 "residual" 0.0 (Linalg.residual_inf a x b)
+
+let test_solve_singular () =
+  let a = [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  Alcotest.check_raises "singular" (Failure "Linalg.solve: singular matrix")
+    (fun () -> ignore (Linalg.solve a [| 1.0; 2.0 |]))
+
+let test_solve_needs_pivoting () =
+  (* Zero on the initial diagonal forces a row swap. *)
+  let a = [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let x = Linalg.solve a [| 3.0; 4.0 |] in
+  check_close 1e-12 "x0" 4.0 x.(0);
+  check_close 1e-12 "x1" 3.0 x.(1)
+
+let test_transpose_identity () =
+  let a = [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let t = Linalg.transpose a in
+  check_float "t01" 3.0 t.(0).(1);
+  let i = Linalg.identity 3 in
+  check_float "diag" 1.0 i.(1).(1);
+  check_float "off diag" 0.0 i.(0).(2)
+
+let test_sparse_vs_dense () =
+  let m = Sparse.create 3 in
+  Sparse.add_entry m 0 1 2.0;
+  Sparse.add_entry m 1 2 3.0;
+  Sparse.add_entry m 2 0 4.0;
+  Sparse.add_entry m 0 1 1.0;
+  (* accumulate *)
+  Alcotest.(check (float 0.0)) "accumulated" 3.0 (Sparse.get m 0 1);
+  let y = Sparse.vec_mat [| 1.0; 1.0; 1.0 |] m in
+  Alcotest.(check (float 0.0)) "col 0" 4.0 y.(0);
+  Alcotest.(check (float 0.0)) "col 1" 3.0 y.(1);
+  Alcotest.(check (float 0.0)) "col 2" 3.0 y.(2);
+  Alcotest.(check int) "nnz" 3 (Sparse.nnz m)
+
+let test_power_stationary () =
+  (* Two-state chain: P = [[0.5, 0.5], [0.25, 0.75]]; stationary (1/3, 2/3). *)
+  let p = Sparse.create 2 in
+  Sparse.add_entry p 0 0 0.5;
+  Sparse.add_entry p 0 1 0.5;
+  Sparse.add_entry p 1 0 0.25;
+  Sparse.add_entry p 1 1 0.75;
+  let pi = Sparse.power_stationary p ~init:[| 1.0; 0.0 |] in
+  check_close 1e-8 "pi0" (1.0 /. 3.0) pi.(0);
+  check_close 1e-8 "pi1" (2.0 /. 3.0) pi.(1)
+
+let test_gauss_seidel_stationary () =
+  (* Generator of a 3-state cycle with rates 1: uniform stationary. *)
+  let q = Sparse.create 3 in
+  for i = 0 to 2 do
+    Sparse.add_entry q i ((i + 1) mod 3) 1.0;
+    Sparse.add_entry q i i (-1.0)
+  done;
+  let pi = Sparse.gauss_seidel_stationary q in
+  Array.iter (fun v -> check_close 1e-8 "uniform" (1.0 /. 3.0) v) pi
+
+(* ------------------------------------------------------------------ *)
+(* SCC *)
+
+let graph edges _n i = List.filter_map (fun (a, b) -> if a = i then Some b else None) edges
+
+let test_tarjan_cycle () =
+  let succ = graph [ (0, 1); (1, 2); (2, 0); (2, 3) ] 4 in
+  let comps = Scc.tarjan ~succ 4 in
+  Alcotest.(check int) "two components" 2 (List.length comps);
+  let sizes = List.map List.length comps |> List.sort compare in
+  Alcotest.(check (list int)) "sizes" [ 1; 3 ] sizes
+
+let test_tarjan_reverse_topological () =
+  let succ = graph [ (0, 1); (1, 2) ] 3 in
+  let comps = Scc.tarjan ~succ 3 in
+  (* Sinks first: state 2 before 1 before 0. *)
+  Alcotest.(check (list (list int))) "ordering" [ [ 2 ]; [ 1 ]; [ 0 ] ] comps
+
+let test_bottom_components () =
+  let succ = graph [ (0, 1); (1, 0); (0, 2); (2, 3); (3, 2); (4, 4) ] 5 in
+  let bottoms = Scc.bottom_components ~succ 5 in
+  let normalized = List.map (List.sort compare) bottoms |> List.sort compare in
+  Alcotest.(check (list (list int))) "bottoms" [ [ 2; 3 ]; [ 4 ] ] normalized
+
+let prop_scc_partitions =
+  QCheck.Test.make ~count:100 ~name:"tarjan components partition the vertices"
+    QCheck.(list (pair (int_bound 9) (int_bound 9)))
+    (fun edges ->
+      let succ i = List.filter_map (fun (a, b) -> if a = i then Some b else None) edges in
+      let comps = Scc.tarjan ~succ 10 in
+      let all = List.concat comps |> List.sort compare in
+      all = List.init 10 (fun i -> i))
+
+let qtests = [ prop_pqueue_sorts; prop_scc_partitions ]
+
+let suite =
+  [
+    Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
+    Alcotest.test_case "prng seed sensitivity" `Quick test_prng_seed_sensitivity;
+    Alcotest.test_case "prng float range" `Quick test_prng_float_range;
+    Alcotest.test_case "prng float mean" `Quick test_prng_float_mean;
+    Alcotest.test_case "prng int bounds" `Quick test_prng_int_bounds;
+    Alcotest.test_case "prng split independence" `Quick test_prng_split_independent;
+    Alcotest.test_case "prng copy" `Quick test_prng_copy;
+    Alcotest.test_case "choose_weighted frequencies" `Quick test_choose_weighted;
+    Alcotest.test_case "bernoulli frequency" `Quick test_bernoulli;
+    Alcotest.test_case "welford mean/variance" `Quick test_welford_mean_variance;
+    Alcotest.test_case "empty accumulator" `Quick test_empty_accumulator;
+    Alcotest.test_case "normal quantile" `Quick test_normal_quantile;
+    Alcotest.test_case "student t quantile" `Quick test_student_t_quantile;
+    Alcotest.test_case "summary interval" `Quick test_summary_interval;
+    Alcotest.test_case "relative error" `Quick test_relative_error;
+    Alcotest.test_case "pqueue order" `Quick test_pqueue_order;
+    Alcotest.test_case "pqueue fifo ties" `Quick test_pqueue_fifo_ties;
+    Alcotest.test_case "pqueue sorted list" `Quick test_pqueue_sorted_list;
+    Alcotest.test_case "solve known system" `Quick test_solve_known_system;
+    Alcotest.test_case "solve singular" `Quick test_solve_singular;
+    Alcotest.test_case "solve needs pivoting" `Quick test_solve_needs_pivoting;
+    Alcotest.test_case "transpose/identity" `Quick test_transpose_identity;
+    Alcotest.test_case "sparse vs dense" `Quick test_sparse_vs_dense;
+    Alcotest.test_case "power stationary" `Quick test_power_stationary;
+    Alcotest.test_case "gauss-seidel stationary" `Quick test_gauss_seidel_stationary;
+    Alcotest.test_case "tarjan cycle" `Quick test_tarjan_cycle;
+    Alcotest.test_case "tarjan reverse topological" `Quick test_tarjan_reverse_topological;
+    Alcotest.test_case "bottom components" `Quick test_bottom_components;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qtests
+
+(* Floatfmt: exact decimal round-trip. *)
+
+let prop_floatfmt_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"floatfmt repr round-trips exactly"
+    QCheck.(float)
+    (fun f ->
+      if Float.is_nan f || Float.is_integer f && abs_float f > 1e15 then true
+      else if Float.is_nan f then true
+      else float_of_string (Dpma_util.Floatfmt.repr f) = f)
+
+let test_floatfmt_known () =
+  Alcotest.(check string) "third stays exact" (Dpma_util.Floatfmt.repr (1.0 /. 3.0))
+    (Dpma_util.Floatfmt.repr (1.0 /. 3.0));
+  Alcotest.(check (float 0.0)) "parse back"
+    (1.0 /. 3.0)
+    (float_of_string (Dpma_util.Floatfmt.repr (1.0 /. 3.0)));
+  Alcotest.(check string) "simple stays short" "2.5" (Dpma_util.Floatfmt.repr 2.5)
+
+let floatfmt_suite =
+  Alcotest.test_case "floatfmt known values" `Quick test_floatfmt_known
+  :: List.map (QCheck_alcotest.to_alcotest ~long:false) [ prop_floatfmt_roundtrip ]
+
+let suite = suite @ floatfmt_suite
