@@ -10,7 +10,14 @@
    bisimulation, CTMC solution, simulation).
 
    Run with: dune exec bench/main.exe
-   Pass "quick" to shrink the figure sweeps:  dune exec bench/main.exe -- quick *)
+   Arguments (after --):
+     quick   shrink the figure sweeps
+     smoke   quick figures only, skip the micro-benchmarks (CI smoke)
+     json    also write BENCH_results.json (wall-clock + micro estimates)
+     -j N    run sweeps on N domains (same as DPMA_JOBS=N)
+
+   Figure tables go to stdout and are bit-identical for any job count;
+   wall-clock timing lines go to stderr. *)
 
 module Figures = Dpma_models.Figures
 module Rpc = Dpma_models.Rpc
@@ -24,8 +31,48 @@ module Ctmc = Dpma_ctmc.Ctmc
 module Sim = Dpma_sim.Sim
 module Elaborate = Dpma_adl.Elaborate
 module Prng = Dpma_util.Prng
+module Pool = Dpma_util.Pool
 
-let quick = Array.exists (String.equal "quick") Sys.argv
+let quick, json_mode, smoke =
+  let quick = ref false and json = ref false and smoke = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "-j" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some j when j >= 1 -> Pool.set_default_jobs j
+        | _ ->
+            prerr_endline "bench: -j expects a positive integer";
+            exit 2);
+        parse rest
+    | "quick" :: rest ->
+        quick := true;
+        parse rest
+    | "json" :: rest ->
+        json := true;
+        parse rest
+    | "smoke" :: rest ->
+        smoke := true;
+        quick := true;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "bench: unknown argument %S\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  (!quick, !json, !smoke)
+
+(* ------------------------------------------------------------------ *)
+(* Wall-clock accounting (stderr only, so stdout stays diffable)       *)
+
+let wall_clock : (string * float) list ref = ref []
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  wall_clock := (name, dt) :: !wall_clock;
+  Printf.eprintf "[bench] %-16s %8.2f s\n%!" name dt;
+  r
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: figure regeneration                                         *)
@@ -48,17 +95,23 @@ let figures () =
   let awakes =
     if quick then [ 1.0; 100.0; 400.0; 800.0 ] else Figures.default_awake_periods
   in
-  Format.printf "%a@.@." Figures.pp_sec3 (Figures.sec3_noninterference ());
-  let fig3m = Figures.fig3_markov ~timeouts () in
+  Format.printf "%a@.@." Figures.pp_sec3
+    (timed "sec3" (fun () -> Figures.sec3_noninterference ()));
+  let fig3m = timed "fig3-markov" (fun () -> Figures.fig3_markov ~timeouts ()) in
   Format.printf "%a@.@." (Figures.pp_rpc_rows ~title:"Fig. 3 (left): rpc Markovian") fig3m;
-  let fig3g = Figures.fig3_general ~timeouts ~sim:rpc_sim () in
+  let fig3g =
+    timed "fig3-general" (fun () -> Figures.fig3_general ~timeouts ~sim:rpc_sim ())
+  in
   Format.printf "%a@.@." (Figures.pp_rpc_rows ~title:"Fig. 3 (right): rpc general") fig3g;
-  let fig4 = Figures.fig4_markov ~awake_periods:awakes () in
+  let fig4 = timed "fig4" (fun () -> Figures.fig4_markov ~awake_periods:awakes ()) in
   Format.printf "%a@.@."
     (Figures.pp_streaming_rows ~title:"Fig. 4: streaming Markovian") fig4;
   Format.printf "%a@.@." Figures.pp_validation_rows
-    (Figures.fig5_validation ~sim:rpc_sim ());
-  let fig6 = Figures.fig6_general ~awake_periods:awakes ~sim:streaming_sim () in
+    (timed "fig5" (fun () -> Figures.fig5_validation ~sim:rpc_sim ()));
+  let fig6 =
+    timed "fig6" (fun () ->
+        Figures.fig6_general ~awake_periods:awakes ~sim:streaming_sim ())
+  in
   Format.printf "%a@.@."
     (Figures.pp_streaming_rows ~title:"Fig. 6: streaming general") fig6;
   Figures.pp_fig7 ~markov:fig3m ~general:fig3g Format.std_formatter ();
@@ -66,16 +119,17 @@ let figures () =
   Figures.pp_fig8 ~markov:fig4 ~general:fig6 Format.std_formatter ();
   Format.printf "@.@.";
   (* Design-choice ablations (not figures of the paper; see DESIGN.md). *)
-  Format.printf "%a@.@." Figures.pp_policy_rows (Figures.ablation_rpc_policy ());
-  Format.printf "%a@.@." Figures.pp_lumping_rows (Figures.ablation_lumping ());
-  Format.printf "%a@.@." Figures.pp_family_rows
-    (Figures.ablation_distribution_family
-       ~sim:
-         (if quick then
-            { General.default_sim_params with runs = 5; duration = 8_000.0; warmup = 800.0 }
-          else
-            { General.default_sim_params with runs = 10; duration = 15_000.0; warmup = 1_500.0 })
-       ());
+  timed "ablations" (fun () ->
+      Format.printf "%a@.@." Figures.pp_policy_rows (Figures.ablation_rpc_policy ());
+      Format.printf "%a@.@." Figures.pp_lumping_rows (Figures.ablation_lumping ());
+      Format.printf "%a@.@." Figures.pp_family_rows
+        (Figures.ablation_distribution_family
+           ~sim:
+             (if quick then
+                { General.default_sim_params with runs = 5; duration = 8_000.0; warmup = 800.0 }
+              else
+                { General.default_sim_params with runs = 10; duration = 15_000.0; warmup = 1_500.0 })
+           ()));
   (* Battery lifetime (the title's unit): see lib/models/battery.ml. *)
   let battery = Dpma_models.Battery.default_params in
   Format.printf
@@ -87,20 +141,29 @@ let figures () =
       Format.printf "%-9.1f | %-12.2f %-12.2f %+.0f%%@." t
         l.Dpma_models.Battery.with_dpm l.Dpma_models.Battery.without_dpm
         (100.0 *. l.Dpma_models.Battery.extension))
-    (Dpma_models.Battery.lifetime_sweep battery
-       ~timeouts:(if quick then [ 1.0; 10.0 ] else [ 0.5; 1.0; 2.0; 5.0; 10.0; 25.0 ]));
+    (timed "battery" (fun () ->
+         Dpma_models.Battery.lifetime_sweep battery
+           ~timeouts:(if quick then [ 1.0; 10.0 ] else [ 0.5; 1.0; 2.0; 5.0; 10.0; 25.0 ])));
   Format.printf "@.";
   (* Third case study: the disk-drive break-even sweep. *)
   Format.printf "== Disk drive: spin-down break-even (third case study) ==@.";
   Format.printf "%-16s | %-12s %-12s | %-8s %s@." "interarrival(s)" "e/req DPM"
     "e/req no" "drop DPM" "verdict";
+  let disk_rows =
+    timed "disk" (fun () ->
+        Pool.parallel_map
+          (fun inter ->
+            let w, wo =
+              Dpma_models.Disk.compare_dpm
+                { Dpma_models.Disk.default_params with
+                  Dpma_models.Disk.interarrival_mean = inter }
+            in
+            (inter, w, wo))
+          (if quick then [ 2_000.0; 30_000.0 ]
+           else [ 500.0; 2_000.0; 8_000.0; 15_000.0; 30_000.0; 120_000.0 ]))
+  in
   List.iter
-    (fun inter ->
-      let w, wo =
-        Dpma_models.Disk.compare_dpm
-          { Dpma_models.Disk.default_params with
-            Dpma_models.Disk.interarrival_mean = inter }
-      in
+    (fun (inter, w, wo) ->
       Format.printf "%-16.1f | %-12.0f %-12.0f | %-8.4f %s@."
         (inter /. 1000.0) w.Dpma_models.Disk.energy_per_request
         wo.Dpma_models.Disk.energy_per_request w.Dpma_models.Disk.drop_ratio
@@ -109,8 +172,7 @@ let figures () =
            < wo.Dpma_models.Disk.energy_per_request
          then "DPM wins"
          else "DPM counterproductive"))
-    (if quick then [ 2_000.0; 30_000.0 ]
-     else [ 500.0; 2_000.0; 8_000.0; 15_000.0; 30_000.0; 120_000.0 ]);
+    disk_rows;
   Format.printf "@."
 
 (* ------------------------------------------------------------------ *)
@@ -144,8 +206,8 @@ let micro_tests =
         let lts = Lazy.force rpc_lts in
         let hidden, removed =
           NI.observed_pair lts
-            ~high:(fun a -> List.mem a Rpc.high_actions)
-            ~low:(fun a -> List.mem a Rpc.low_actions)
+            ~high:(fun a -> List.exists (String.equal a) Rpc.high_actions)
+            ~low:(fun a -> List.exists (String.equal a) Rpc.low_actions)
         in
         ignore (Bisim.weak_equivalent hidden removed));
     t "ctmc/solve-rpc" (fun () ->
@@ -180,6 +242,8 @@ let micro_tests =
              ()));
   ]
 
+(* Runs the micro suite, prints the table and returns
+   [(name, ns_per_run, r_square)] rows for the JSON report. *)
 let run_micro () =
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
@@ -197,9 +261,9 @@ let run_micro () =
   Format.printf "%-36s %14s %8s@." "benchmark" "time/run" "r^2";
   let rows =
     Hashtbl.fold (fun name v acc -> (name, v) :: acc) results []
-    |> List.sort compare
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
-  List.iter
+  List.map
     (fun (name, v) ->
       let estimate =
         match Analyze.OLS.estimates v with Some (e :: _) -> e | _ -> nan
@@ -211,9 +275,55 @@ let run_micro () =
         else if estimate > 1e3 then Printf.sprintf "%.3f us" (estimate /. 1e3)
         else Printf.sprintf "%.1f ns" estimate
       in
-      Format.printf "%-36s %14s %8.4f@." name pretty r2)
+      Format.printf "%-36s %14s %8.4f@." name pretty r2;
+      (name, estimate, r2))
     rows
 
+(* ------------------------------------------------------------------ *)
+(* JSON report                                                         *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float x = if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
+
+let write_json ~jobs ~micro =
+  let figs = List.rev !wall_clock in
+  let total = List.fold_left (fun acc (_, dt) -> acc +. dt) 0.0 figs in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Printf.bprintf b "  \"jobs\": %d,\n" jobs;
+  Printf.bprintf b "  \"quick\": %b,\n" quick;
+  Printf.bprintf b "  \"figures_wall_clock_s\": {\n";
+  List.iter
+    (fun (name, dt) ->
+      Printf.bprintf b "    \"%s\": %s,\n" (json_escape name) (json_float dt))
+    figs;
+  Printf.bprintf b "    \"total\": %s\n  },\n" (json_float total);
+  Printf.bprintf b "  \"micro_ns_per_run\": {";
+  List.iteri
+    (fun i (name, est, r2) ->
+      Printf.bprintf b "%s\n    \"%s\": { \"estimate\": %s, \"r_square\": %s }"
+        (if i = 0 then "" else ",")
+        (json_escape name) (json_float est) (json_float r2))
+    micro;
+  Buffer.add_string b (if micro = [] then "}\n" else "\n  }\n");
+  Buffer.add_string b "}\n";
+  let oc = open_out "BENCH_results.json" in
+  Buffer.output_buffer oc b;
+  close_out oc;
+  Printf.eprintf "[bench] wrote BENCH_results.json\n%!"
+
 let () =
+  Printf.eprintf "[bench] jobs = %d\n%!" (Pool.default_jobs ());
   figures ();
-  run_micro ()
+  let micro = if smoke then [] else run_micro () in
+  if json_mode then write_json ~jobs:(Pool.default_jobs ()) ~micro

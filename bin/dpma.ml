@@ -18,6 +18,7 @@ module General = Dpma_core.General
 module Measure = Dpma_measures.Measure
 module Figures = Dpma_models.Figures
 module Stats = Dpma_util.Stats
+module Pool = Dpma_util.Pool
 
 let read_file path =
   let ic = open_in_bin path in
@@ -93,6 +94,18 @@ let warmup_arg =
     & info [ "warmup" ] ~doc:"Warm-up period excluded from measurement.")
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel sweeps and simulation replications \
+           (default: $(b,DPMA_JOBS) or the machine's core count). Results \
+           are identical for any value.")
+
+let apply_jobs jobs = Option.iter Pool.set_default_jobs jobs
 
 let sim_params runs duration warmup seed =
   { General.default_sim_params with runs; duration; warmup; seed }
@@ -276,7 +289,8 @@ let cmd_solve =
 
 let cmd_simulate =
   let run file max_states measures_file runs duration warmup seed exponential
-      batches =
+      batches jobs =
+    apply_jobs jobs;
     handle (fun () ->
         let el = load file in
         let measures = load_measures measures_file in
@@ -331,12 +345,13 @@ let cmd_simulate =
        ~doc:"Simulate the general-distribution model and estimate the measures")
     Term.(
       const run $ file_arg $ max_states_arg $ measures_arg $ runs_arg
-      $ duration_arg $ warmup_arg $ seed_arg $ exponential $ batches)
+      $ duration_arg $ warmup_arg $ seed_arg $ exponential $ batches $ jobs_arg)
 
 (* validate *)
 
 let cmd_validate =
-  let run file max_states measures_file runs duration warmup seed =
+  let run file max_states measures_file runs duration warmup seed jobs =
+    apply_jobs jobs;
     handle (fun () ->
         let el = load file in
         let measures = load_measures measures_file in
@@ -353,12 +368,13 @@ let cmd_validate =
        ~doc:"Cross-validate the general model against the Markovian solution")
     Term.(
       const run $ file_arg $ max_states_arg $ measures_arg $ runs_arg
-      $ duration_arg $ warmup_arg $ seed_arg)
+      $ duration_arg $ warmup_arg $ seed_arg $ jobs_arg)
 
 (* assess: the full three-phase pipeline *)
 
 let cmd_assess =
-  let run file max_states measures_file high low runs duration warmup seed =
+  let run file max_states measures_file high low runs duration warmup seed jobs =
+    apply_jobs jobs;
     handle (fun () ->
         if high = [] || low = [] then begin
           Printf.eprintf "--high and --low are required for the functional phase\n";
@@ -397,7 +413,7 @@ let cmd_assess =
       $ Arg.(
           value & opt (list string) []
           & info [ "low" ] ~docv:"ACTIONS" ~doc:"Client-observable actions.")
-      $ runs_arg $ duration_arg $ warmup_arg $ seed_arg)
+      $ runs_arg $ duration_arg $ warmup_arg $ seed_arg $ jobs_arg)
 
 (* trace *)
 
@@ -534,16 +550,18 @@ let cmd_firstpassage =
 (* sec3 / figures *)
 
 let cmd_sec3 =
-  let run () =
+  let run jobs =
+    apply_jobs jobs;
     handle (fun () ->
         Format.printf "%a@." Figures.pp_sec3 (Figures.sec3_noninterference ()))
   in
   Cmd.v
     (Cmd.info "sec3" ~doc:"Reproduce the Sect. 3 noninterference results of the paper")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 let cmd_figures =
-  let run which fast =
+  let run which fast jobs =
+    apply_jobs jobs;
     handle (fun () ->
         let rpc_sim =
           if fast then
@@ -633,7 +651,7 @@ let cmd_figures =
   in
   Cmd.v
     (Cmd.info "figures" ~doc:"Regenerate the paper's evaluation figures")
-    Term.(const run $ which $ fast)
+    Term.(const run $ which $ fast $ jobs_arg)
 
 let () =
   let doc = "assess dynamic power management: functionality and performance" in

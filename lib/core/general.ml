@@ -10,10 +10,18 @@ type sim_params = {
   warmup : float;
   confidence : float;
   seed : int;
+  jobs : int option;
 }
 
 let default_sim_params =
-  { runs = 30; duration = 20_000.0; warmup = 2_000.0; confidence = 0.90; seed = 42 }
+  {
+    runs = 30;
+    duration = 20_000.0;
+    warmup = 2_000.0;
+    confidence = 0.90;
+    seed = 42;
+    jobs = None;
+  }
 
 type estimate = { measure : string; summary : Stats.summary }
 
@@ -21,7 +29,7 @@ let simulate lts ~timing ~measures params =
   let compiled = Measure.compile_sim lts measures in
   let summaries =
     Sim.replicate ~timing ~warmup:params.warmup ~confidence:params.confidence
-      ~lts ~duration:params.duration
+      ?jobs:params.jobs ~lts ~duration:params.duration
       ~estimands:(Measure.estimands compiled)
       ~runs:params.runs ~seed:params.seed ()
   in

@@ -12,6 +12,10 @@ type sim_params = {
   warmup : float;
   confidence : float;
   seed : int;
+  jobs : int option;
+      (** domains used for the replications; [None] defers to
+          {!Dpma_util.Pool.default_jobs}. The estimates are identical for
+          every job count. *)
 }
 
 val default_sim_params : sim_params

@@ -24,7 +24,8 @@ let analyze_lts_lumped lts measures =
 let analyze ?max_states spec measures =
   analyze_lts (Lts.of_spec ?max_states spec) measures
 
-let without_dpm lts ~high = Lts.restrict lts ~remove:(fun a -> List.mem a high)
+let without_dpm lts ~high =
+  Lts.restrict lts ~remove:(fun a -> List.exists (String.equal a) high)
 
 let compare_dpm ?max_states spec ~high measures =
   let lts = Lts.of_spec ?max_states spec in

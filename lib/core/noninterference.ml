@@ -26,8 +26,8 @@ let check_lts lts ~high ~low =
 let check_spec ?max_states spec ~high ~low =
   let lts = Lts.of_spec ?max_states spec in
   check_lts lts
-    ~high:(fun a -> List.mem a high)
-    ~low:(fun a -> List.mem a low)
+    ~high:(fun a -> List.exists (String.equal a) high)
+    ~low:(fun a -> List.exists (String.equal a) low)
 
 let pp_verdict ppf = function
   | Secure ->
@@ -46,8 +46,8 @@ let branching_secure lts ~high ~low =
 let branching_secure_spec ?max_states spec ~high ~low =
   let lts = Lts.of_spec ?max_states spec in
   branching_secure lts
-    ~high:(fun a -> List.mem a high)
-    ~low:(fun a -> List.mem a low)
+    ~high:(fun a -> List.exists (String.equal a) high)
+    ~low:(fun a -> List.exists (String.equal a) low)
 
 let trace_secure lts ~high ~low =
   let hidden, removed = observed_pair lts ~high ~low in
@@ -56,5 +56,5 @@ let trace_secure lts ~high ~low =
 let trace_secure_spec ?max_states spec ~high ~low =
   let lts = Lts.of_spec ?max_states spec in
   trace_secure lts
-    ~high:(fun a -> List.mem a high)
-    ~low:(fun a -> List.mem a low)
+    ~high:(fun a -> List.exists (String.equal a) high)
+    ~low:(fun a -> List.exists (String.equal a) low)

@@ -31,7 +31,8 @@ let assess ?(sim_params = General.default_sim_params) ?max_states study =
       ~low:study.low
   in
   let functional_lts = Lts.of_spec ?max_states functional in
-  let high a = List.mem a study.high and low a = List.mem a study.low in
+  let high a = List.exists (String.equal a) study.high
+  and low a = List.exists (String.equal a) study.low in
   let trace_secure = Noninterference.trace_secure functional_lts ~high ~low in
   let branching_secure =
     Noninterference.branching_secure functional_lts ~high ~low

@@ -48,7 +48,8 @@ let merge_counts lists =
          let cur = Option.value ~default:0.0 (Hashtbl.find_opt table a) in
          Hashtbl.replace table a (cur +. c)))
     lists;
-  Hashtbl.fold (fun a c acc -> (a, c) :: acc) table [] |> List.sort compare
+  Hashtbl.fold (fun a c acc -> (a, c) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let of_lts (lts : Lts.t) =
   let n0 = lts.num_states in
@@ -118,7 +119,7 @@ let of_lts (lts : Lts.t) =
             dist;
           let dist =
             Hashtbl.fold (fun v p acc -> (v, p) :: acc) merged []
-            |> List.sort compare
+            |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
           in
           let counts = merge_counts (List.map snd parts) in
           Hashtbl.remove in_progress s;
@@ -187,7 +188,7 @@ let uniformization_rate c =
 let succ_fun c s =
   c.transitions.(s)
   |> List.filter_map (fun (t, r, _) -> if r > 0.0 && t <> s then Some t else None)
-  |> List.sort_uniq compare
+  |> List.sort_uniq Int.compare
 
 let bsccs c = Scc.bottom_components ~succ:(fun s -> succ_fun c s) c.n
 

@@ -3,6 +3,7 @@ module Elaborate = Dpma_adl.Elaborate
 module Lts = Dpma_lts.Lts
 module Ctmc = Dpma_ctmc.Ctmc
 module Markov = Dpma_core.Markov
+module Pool = Dpma_util.Pool
 
 type params = {
   rpc : Rpc.params;
@@ -151,12 +152,25 @@ let expected_lifetime ?policy p =
   in
   { with_dpm; without_dpm; extension = (with_dpm /. without_dpm) -. 1.0 }
 
-let lifetime_sweep ?policy p ~timeouts =
-  List.map
+let lifetime_sweep ?policy ?jobs p ~timeouts =
+  (* Sweep-level cache: restricting the DPM commands removes the only
+     transitions whose rate carries the shutdown timeout, so the DPM-less
+     lifetime is the same at every sweep point — solve that chain once and
+     share it, then solve the with-DPM chains in parallel. *)
+  let without_dpm =
+    let el = Elaborate.elaborate (archi ?policy p) in
+    let lts = Lts.of_spec el.Elaborate.spec in
+    lifetime_of_lts (Markov.without_dpm lts ~high:Rpc.high_actions)
+  in
+  Pool.parallel_map ?jobs
     (fun timeout ->
+      let el =
+        Elaborate.elaborate
+          (archi ?policy { p with rpc = { p.rpc with Rpc.shutdown_mean = timeout } })
+      in
+      let with_dpm = lifetime_of_lts (Lts.of_spec el.Elaborate.spec) in
       ( timeout,
-        expected_lifetime ?policy
-          { p with rpc = { p.rpc with Rpc.shutdown_mean = timeout } } ))
+        { with_dpm; without_dpm; extension = (with_dpm /. without_dpm) -. 1.0 } ))
     timeouts
 
 let power_of_state (ctmc : Ctmc.t) s =

@@ -48,8 +48,14 @@ val expected_lifetime : ?policy:Rpc.policy -> params -> lifetime
     with the DPM active and with its commands restricted. *)
 
 val lifetime_sweep :
-  ?policy:Rpc.policy -> params -> timeouts:float list -> (float * lifetime) list
-(** [expected_lifetime] across DPM shutdown timeouts. *)
+  ?policy:Rpc.policy ->
+  ?jobs:int ->
+  params ->
+  timeouts:float list ->
+  (float * lifetime) list
+(** [expected_lifetime] across DPM shutdown timeouts. The sweep points run
+    in parallel on [jobs] domains; the DPM-less chain does not depend on
+    the timeout, so it is solved once and shared across the sweep. *)
 
 val expected_energy_delivered : ?policy:Rpc.policy -> params -> float
 (** Expected energy (power-unit-ms) accumulated by the server until the

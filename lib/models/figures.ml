@@ -4,6 +4,14 @@ module Markov = Dpma_core.Markov
 module General = Dpma_core.General
 module Elaborate = Dpma_adl.Elaborate
 module Stats = Dpma_util.Stats
+module Pool = Dpma_util.Pool
+
+(* Every sweep below is embarrassingly parallel: one elaborate -> LTS ->
+   CTMC-solve/simulate chain per sweep point, with no shared mutable
+   state (the elaboration caches in [Rpc]/[Streaming] are mutex-guarded).
+   [?jobs] defaults to [Pool.default_jobs]; results are independent of the
+   job count because each point's work is deterministic and the rows are
+   returned in sweep order. *)
 
 (* ------------------------------------------------------------------ *)
 (* Section 3                                                           *)
@@ -14,33 +22,39 @@ type sec3 = {
   streaming : NI.verdict;
 }
 
-let sec3_noninterference () =
-  let simplified =
-    (Elaborate.elaborate (Rpc.simplified_archi ())).Elaborate.spec
+let sec3_noninterference ?jobs () =
+  let checks =
+    [
+      (fun () ->
+        let simplified =
+          (Elaborate.elaborate (Rpc.simplified_archi ())).Elaborate.spec
+        in
+        NI.check_spec simplified ~high:Rpc.high_actions
+          ~low:Rpc.low_actions_simplified);
+      (fun () ->
+        let revised =
+          (Rpc.elaborate ~mode:Rpc.Markovian ~monitors:false Rpc.default_params)
+            .Elaborate.spec
+        in
+        NI.check_spec revised ~high:Rpc.high_actions ~low:Rpc.low_actions);
+      (fun () ->
+        let small_streaming =
+          (Streaming.elaborate ~mode:Streaming.Markovian ~monitors:false
+             {
+               Streaming.default_params with
+               ap_buffer_size = 2;
+               client_buffer_size = 2;
+             })
+            .Elaborate.spec
+        in
+        NI.check_spec small_streaming ~high:Streaming.high_actions
+          ~low:Streaming.low_actions);
+    ]
   in
-  let revised =
-    (Rpc.elaborate ~mode:Rpc.Markovian ~monitors:false Rpc.default_params)
-      .Elaborate.spec
-  in
-  let small_streaming =
-    (Streaming.elaborate ~mode:Streaming.Markovian ~monitors:false
-       {
-         Streaming.default_params with
-         ap_buffer_size = 2;
-         client_buffer_size = 2;
-       })
-      .Elaborate.spec
-  in
-  {
-    simplified_rpc =
-      NI.check_spec simplified ~high:Rpc.high_actions
-        ~low:Rpc.low_actions_simplified;
-    revised_rpc =
-      NI.check_spec revised ~high:Rpc.high_actions ~low:Rpc.low_actions;
-    streaming =
-      NI.check_spec small_streaming ~high:Streaming.high_actions
-        ~low:Streaming.low_actions;
-  }
+  match Pool.parallel_map ?jobs (fun check -> check ()) checks with
+  | [ simplified_rpc; revised_rpc; streaming ] ->
+      { simplified_rpc; revised_rpc; streaming }
+  | _ -> assert false
 
 let pp_sec3 ppf s =
   Format.fprintf ppf
@@ -65,7 +79,7 @@ let default_rpc_timeouts =
 
 let rpc_measures = Rpc.measures ()
 
-let fig3_markov ?(timeouts = default_rpc_timeouts) () =
+let fig3_markov ?jobs ?(timeouts = default_rpc_timeouts) () =
   (* The DPM-less chain does not depend on the shutdown timeout: restrict
      the DPM commands once. *)
   let base =
@@ -76,7 +90,7 @@ let fig3_markov ?(timeouts = default_rpc_timeouts) () =
   let without_dpm =
     Rpc.metrics_of_values (Markov.analyze_lts without_lts rpc_measures).Markov.values
   in
-  List.map
+  Pool.parallel_map ?jobs
     (fun shutdown_timeout ->
       let el =
         Rpc.elaborate ~mode:Rpc.Markovian ~monitors:true
@@ -97,7 +111,7 @@ let estimates_to_values estimates =
     (fun { General.measure; summary } -> (measure, summary.Stats.mean))
     estimates
 
-let fig3_general ?(timeouts = default_rpc_timeouts)
+let fig3_general ?jobs ?(timeouts = default_rpc_timeouts)
     ?(sim = general_rpc_sim_defaults) () =
   let simulate_metrics lts timing =
     Rpc.metrics_of_values
@@ -112,7 +126,7 @@ let fig3_general ?(timeouts = default_rpc_timeouts)
   let without_dpm =
     simulate_metrics (Markov.without_dpm base_lts ~high:Rpc.high_actions) base_timing
   in
-  List.map
+  Pool.parallel_map ?jobs
     (fun shutdown_timeout ->
       let el =
         Rpc.elaborate ~mode:Rpc.General ~monitors:true
@@ -148,9 +162,9 @@ type validation_row = {
   sim_energy : Stats.summary;
 }
 
-let fig5_validation ?(timeouts = [ 1.0; 5.0; 10.0; 15.0; 20.0; 25.0 ])
+let fig5_validation ?jobs ?(timeouts = [ 1.0; 5.0; 10.0; 15.0; 20.0; 25.0 ])
     ?(sim = general_rpc_sim_defaults) () =
-  List.map
+  Pool.parallel_map ?jobs
     (fun v_timeout ->
       let el =
         Rpc.elaborate ~mode:Rpc.General ~monitors:true
@@ -200,7 +214,7 @@ type streaming_row = {
 
 let default_awake_periods = [ 1.0; 25.0; 50.0; 100.0; 200.0; 400.0; 800.0 ]
 
-let fig4_markov ?(awake_periods = default_awake_periods) () =
+let fig4_markov ?jobs ?(awake_periods = default_awake_periods) () =
   let p0 = Streaming.default_params in
   let measures = Streaming.measures p0 in
   let base = Streaming.elaborate ~mode:Streaming.Markovian ~monitors:true p0 in
@@ -210,7 +224,7 @@ let fig4_markov ?(awake_periods = default_awake_periods) () =
     Streaming.metrics_of_values
       (Markov.analyze_lts without_lts measures).Markov.values
   in
-  List.map
+  Pool.parallel_map ?jobs
     (fun awake_period ->
       let el =
         Streaming.elaborate ~mode:Streaming.Markovian ~monitors:true
@@ -232,7 +246,7 @@ let general_streaming_sim_defaults =
     warmup = 5_000.0;
   }
 
-let fig6_general ?(awake_periods = default_awake_periods)
+let fig6_general ?jobs ?(awake_periods = default_awake_periods)
     ?(sim = general_streaming_sim_defaults) () =
   let p0 = Streaming.default_params in
   let measures = Streaming.measures p0 in
@@ -248,7 +262,7 @@ let fig6_general ?(awake_periods = default_awake_periods)
       (Markov.without_dpm base_lts ~high:Streaming.high_actions)
       base_timing
   in
-  List.map
+  Pool.parallel_map ?jobs
     (fun awake_period ->
       let el =
         Streaming.elaborate ~mode:Streaming.General ~monitors:true
@@ -319,7 +333,7 @@ type policy_row = {
   predictive_policy : Rpc.metrics;
 }
 
-let ablation_rpc_policy ?(timeouts = [ 0.5; 2.0; 5.0; 10.0; 25.0 ]) () =
+let ablation_rpc_policy ?jobs ?(timeouts = [ 0.5; 2.0; 5.0; 10.0; 25.0 ]) () =
   let metrics_of policy shutdown_mean =
     let el =
       Rpc.elaborate ~mode:Rpc.Markovian ~monitors:true ~policy
@@ -329,7 +343,7 @@ let ablation_rpc_policy ?(timeouts = [ 0.5; 2.0; 5.0; 10.0; 25.0 ]) () =
       (Markov.analyze_lts (Lts.of_spec el.Elaborate.spec) rpc_measures)
         .Markov.values
   in
-  List.map
+  Pool.parallel_map ?jobs
     (fun p_timeout ->
       {
         p_timeout;
@@ -364,7 +378,7 @@ type lumping_row = {
   max_relative_error : float;
 }
 
-let ablation_lumping () =
+let ablation_lumping ?jobs () =
   let compare_one name lts measures =
     let full = Markov.analyze_lts lts measures in
     let lumped = Markov.analyze_lts_lumped lts measures in
@@ -394,10 +408,13 @@ let ablation_lumping () =
       (Streaming.elaborate ~mode:Streaming.Markovian ~monitors:true sp)
         .Elaborate.spec
   in
-  [
-    compare_one "rpc" rpc rpc_measures;
-    compare_one "streaming (buffers 4)" streaming (Streaming.measures sp);
-  ]
+  Pool.parallel_map ?jobs
+    (fun work -> work ())
+    [
+      (fun () -> compare_one "rpc" rpc rpc_measures);
+      (fun () ->
+        compare_one "streaming (buffers 4)" streaming (Streaming.measures sp));
+    ]
 
 let pp_lumping_rows ppf rows =
   Format.fprintf ppf
@@ -426,7 +443,8 @@ type family_row = {
 let family_sim_defaults =
   { General.default_sim_params with runs = 10; duration = 15_000.0; warmup = 1_500.0 }
 
-let ablation_distribution_family ?(timeouts = [ 2.0; 5.0; 8.0; 10.0; 12.5; 15.0; 25.0 ])
+let ablation_distribution_family ?jobs
+    ?(timeouts = [ 2.0; 5.0; 8.0; 10.0; 12.5; 15.0; 25.0 ])
     ?(sim = family_sim_defaults) () =
   let throughput_at mode shutdown_mean =
     let el =
@@ -438,7 +456,7 @@ let ablation_distribution_family ?(timeouts = [ 2.0; 5.0; 8.0; 10.0; 12.5; 15.0;
     let estimates = General.simulate lts ~timing ~measures:rpc_measures sim in
     (Rpc.metrics_of_values (estimates_to_values estimates)).Rpc.throughput
   in
-  List.map
+  Pool.parallel_map ?jobs
     (fun f_timeout ->
       {
         f_timeout;

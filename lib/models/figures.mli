@@ -3,7 +3,11 @@
     Each [figN_*] function sweeps the same parameter the paper sweeps and
     returns the same series the paper plots (see EXPERIMENTS.md for the
     paper-vs-measured record). The [pp_*] printers render the series as
-    aligned text tables, one row per sweep point. *)
+    aligned text tables, one row per sweep point.
+
+    Every sweep runs its points in parallel on [jobs] domains (default
+    {!Dpma_util.Pool.default_jobs}); the returned rows — including the
+    simulation statistics — are bit-identical for every job count. *)
 
 (** Section 3: noninterference verdicts for the three functional models. *)
 type sec3 = {
@@ -12,7 +16,7 @@ type sec3 = {
   streaming : Dpma_core.Noninterference.verdict;  (** expected: Secure *)
 }
 
-val sec3_noninterference : unit -> sec3
+val sec3_noninterference : ?jobs:int -> unit -> sec3
 val pp_sec3 : Format.formatter -> sec3 -> unit
 
 (** One sweep point of the rpc comparison (Fig. 3, both halves; Fig. 7). *)
@@ -25,10 +29,11 @@ type rpc_row = {
 val default_rpc_timeouts : float list
 (** 0.1 … 25 ms, the x-axis of Fig. 3. *)
 
-val fig3_markov : ?timeouts:float list -> unit -> rpc_row list
+val fig3_markov : ?jobs:int -> ?timeouts:float list -> unit -> rpc_row list
 (** Left half of Fig. 3: CTMC solution. *)
 
 val fig3_general :
+  ?jobs:int ->
   ?timeouts:float list ->
   ?sim:Dpma_core.General.sim_params ->
   unit ->
@@ -48,6 +53,7 @@ type validation_row = {
 }
 
 val fig5_validation :
+  ?jobs:int ->
   ?timeouts:float list ->
   ?sim:Dpma_core.General.sim_params ->
   unit ->
@@ -65,9 +71,10 @@ type streaming_row = {
 val default_awake_periods : float list
 (** 1 … 800 ms, the x-axis of Figs. 4 and 6. *)
 
-val fig4_markov : ?awake_periods:float list -> unit -> streaming_row list
+val fig4_markov : ?jobs:int -> ?awake_periods:float list -> unit -> streaming_row list
 
 val fig6_general :
+  ?jobs:int ->
   ?awake_periods:float list ->
   ?sim:Dpma_core.General.sim_params ->
   unit ->
@@ -101,7 +108,7 @@ type policy_row = {
   predictive_policy : Rpc.metrics;
 }
 
-val ablation_rpc_policy : ?timeouts:float list -> unit -> policy_row list
+val ablation_rpc_policy : ?jobs:int -> ?timeouts:float list -> unit -> policy_row list
 val pp_policy_rows : Format.formatter -> policy_row list -> unit
 
 (** Ordinary lumpability as a CTMC pre-reduction: states, solve time and
@@ -113,7 +120,7 @@ type lumping_row = {
   max_relative_error : float;  (** across all measures *)
 }
 
-val ablation_lumping : unit -> lumping_row list
+val ablation_lumping : ?jobs:int -> unit -> lumping_row list
 val pp_lumping_rows : Format.formatter -> lumping_row list -> unit
 
 (** Distribution-family ablation: rpc throughput (with DPM) when the
@@ -129,6 +136,7 @@ type family_row = {
 }
 
 val ablation_distribution_family :
+  ?jobs:int ->
   ?timeouts:float list ->
   ?sim:Dpma_core.General.sim_params ->
   unit ->

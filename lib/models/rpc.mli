@@ -73,6 +73,11 @@ val elaborate :
   ?policy:policy ->
   params ->
   Dpma_adl.Elaborate.elaborated
+(** [Elaborate.elaborate (archi ...)], memoized per configuration: figure
+    sweeps revisit the same points across figures (fig3/fig5/fig7 share
+    timeouts and every sweep needs the default-params base), so repeated
+    calls return the cached elaboration. Thread-safe — sweeps run on the
+    {!Dpma_util.Pool} domain pool. *)
 
 val high_actions : string list
 (** The DPM command channel. *)

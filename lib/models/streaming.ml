@@ -304,7 +304,27 @@ let archi ?(mode = Markovian) ?(monitors = true) p =
       ];
   }
 
-let elaborate ?mode ?monitors p = Elaborate.elaborate (archi ?mode ?monitors p)
+(* Memoized exactly like [Rpc.elaborate]: figure sweeps (fig4, fig6, fig8
+   and the DPM-less references) revisit the same configurations, and the
+   sweeps run on a domain pool, hence the mutex. *)
+let elaborate_cache : (mode * bool * params, Elaborate.elaborated) Hashtbl.t =
+  Hashtbl.create 64
+
+let elaborate_cache_mutex = Mutex.create ()
+
+let elaborate ?(mode = Markovian) ?(monitors = true) p =
+  let key = (mode, monitors, p) in
+  let cached =
+    Mutex.protect elaborate_cache_mutex (fun () ->
+        Hashtbl.find_opt elaborate_cache key)
+  in
+  match cached with
+  | Some el -> el
+  | None ->
+      let el = Elaborate.elaborate (archi ~mode ~monitors p) in
+      Mutex.protect elaborate_cache_mutex (fun () ->
+          Hashtbl.replace elaborate_cache key el);
+      el
 
 let high_actions =
   [

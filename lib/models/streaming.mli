@@ -36,6 +36,8 @@ val archi : ?mode:mode -> ?monitors:bool -> params -> Dpma_adl.Ast.archi
 
 val elaborate :
   ?mode:mode -> ?monitors:bool -> params -> Dpma_adl.Elaborate.elaborated
+(** Memoized per configuration, exactly like {!Rpc.elaborate}
+    (thread-safe; sweeps run on the {!Dpma_util.Pool} domain pool). *)
 
 val high_actions : string list
 (** DPM shutdown and wakeup channels. *)

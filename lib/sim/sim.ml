@@ -2,6 +2,7 @@ module Lts = Dpma_lts.Lts
 module Rate = Dpma_pa.Rate
 module Dist = Dpma_dist.Dist
 module Prng = Dpma_util.Prng
+module Pool = Dpma_util.Pool
 module Stats = Dpma_util.Stats
 
 type timing =
@@ -270,16 +271,31 @@ let run ?timing ?trace ?(warmup = 0.0) ~lts ~duration ~estimands g =
     horizon = warmup +. duration;
   }
 
-let replicate ?timing ?warmup ?confidence ~lts ~duration ~estimands ~runs ~seed
-    () =
-  assert (runs >= 1);
+(* Derive the replication PRNG streams up front, in run order: stream [i]
+   is the [i]-th split of the master generator, exactly as the sequential
+   loop produced, so the per-run randomness — and hence every statistic —
+   is independent of how many domains execute the runs. *)
+let replication_streams ~runs ~seed =
   let master = Prng.create seed in
-  let accs = List.map (fun _ -> Stats.accumulator ()) estimands in
+  let gens = ref [] in
   for _ = 1 to runs do
-    let g = Prng.split master in
-    let result = run ?timing ?warmup ~lts ~duration ~estimands g in
-    List.iteri (fun i acc -> Stats.add acc result.values.(i)) accs
+    gens := Prng.split master :: !gens
   done;
+  List.rev !gens
+
+let replicate ?timing ?warmup ?confidence ?jobs ~lts ~duration ~estimands ~runs
+    ~seed () =
+  assert (runs >= 1);
+  let per_run =
+    Pool.parallel_map ?jobs
+      (fun g -> (run ?timing ?warmup ~lts ~duration ~estimands g).values)
+      (replication_streams ~runs ~seed)
+  in
+  let accs = List.map (fun _ -> Stats.accumulator ()) estimands in
+  (* Accumulate in run order (Welford is order-sensitive in the last bits). *)
+  List.iter
+    (fun values -> List.iteri (fun i acc -> Stats.add acc values.(i)) accs)
+    per_run;
   Array.of_list (List.map (fun acc -> Stats.summarize ?confidence acc) accs)
 
 let batch_means ?timing ?(warmup = 0.0) ?confidence ~lts ~batches
@@ -306,26 +322,31 @@ let batch_means ?timing ?(warmup = 0.0) ?confidence ~lts ~batches
 
 exception Hit of float
 
-let first_passage ?timing ?confidence ?(horizon = 1e7) ~lts ~target ~runs ~seed
-    () =
+let first_passage ?timing ?confidence ?(horizon = 1e7) ?jobs ~lts ~target ~runs
+    ~seed () =
   assert (runs >= 1);
-  let master = Prng.create seed in
+  let outcomes =
+    Pool.parallel_map ?jobs
+      (fun g ->
+        if target lts.Lts.init then (0.0, false)
+        else begin
+          let trace ~time ~action:_ ~state =
+            if target state then raise (Hit time)
+          in
+          match
+            run_segments ?timing ~trace ~lts ~boundaries:[| horizon |]
+              ~estimands:[] g
+          with
+          | _ -> (horizon, true)
+          | exception Hit t -> (t, false)
+        end)
+      (replication_streams ~runs ~seed)
+  in
   let acc = Stats.accumulator () in
   let censored = ref 0 in
-  for _ = 1 to runs do
-    let g = Prng.split master in
-    if target lts.Lts.init then Stats.add acc 0.0
-    else begin
-      let trace ~time ~action:_ ~state =
-        if target state then raise (Hit time)
-      in
-      match
-        run_segments ?timing ~trace ~lts ~boundaries:[| horizon |] ~estimands:[] g
-      with
-      | _ ->
-          incr censored;
-          Stats.add acc horizon
-      | exception Hit t -> Stats.add acc t
-    end
-  done;
+  List.iter
+    (fun (t, was_censored) ->
+      Stats.add acc t;
+      if was_censored then incr censored)
+    outcomes;
   (Stats.summarize ?confidence acc, !censored)

@@ -65,6 +65,7 @@ val replicate :
   ?timing:assignment ->
   ?warmup:float ->
   ?confidence:float ->
+  ?jobs:int ->
   lts:Lts.t ->
   duration:float ->
   estimands:estimand list ->
@@ -73,7 +74,13 @@ val replicate :
   unit ->
   Dpma_util.Stats.summary array
 (** Independent replications with distinct PRNG streams; one
-    {!Dpma_util.Stats.summary} (mean + confidence interval) per estimand. *)
+    {!Dpma_util.Stats.summary} (mean + confidence interval) per estimand.
+
+    Replications run in parallel on [jobs] domains (default
+    {!Dpma_util.Pool.default_jobs}). Stream [i] is always the [i]-th split
+    of the seed's master generator and the per-run values are folded in
+    run order, so mean and confidence interval are bit-identical for every
+    job count. *)
 
 val run_segments :
   ?timing:assignment ->
@@ -112,6 +119,7 @@ val first_passage :
   ?timing:assignment ->
   ?confidence:float ->
   ?horizon:float ->
+  ?jobs:int ->
   lts:Lts.t ->
   target:(int -> bool) ->
   runs:int ->
@@ -122,4 +130,6 @@ val first_passage :
     [target] state, by independent replications; runs that have not hit
     the target by [horizon] (default [1e7]) are censored and reported in
     the returned count (they contribute the horizon as a lower bound, so
-    a non-zero censored count means the true mean is underestimated). *)
+    a non-zero censored count means the true mean is underestimated).
+    Replications run on [jobs] domains with the same per-run streams as
+    {!replicate}, so the estimate is independent of the job count. *)

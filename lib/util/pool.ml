@@ -1,0 +1,98 @@
+(* Fixed-size domain pool over stdlib [Domain] — no domainslib dependency.
+
+   Work is dealt in chunks through an [Atomic] cursor over the input array;
+   each worker (the calling domain plus up to [jobs - 1] spawned ones)
+   repeatedly claims the next chunk and writes results into slots indexed
+   by input position, so the output order is independent of scheduling.
+   Workers run until the cursor is exhausted or a failure has been
+   recorded; the lowest-index exception is re-raised with its backtrace
+   after every domain has joined. *)
+
+let clamp_jobs j = if j < 1 then 1 else j
+
+let env_jobs () =
+  match Sys.getenv_opt "DPMA_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> Some j
+      | Some _ | None -> None)
+
+(* Priority: set_default_jobs (-j flags) > DPMA_JOBS > hardware count. *)
+let override : int option Atomic.t = Atomic.make None
+
+let set_default_jobs j = Atomic.set override (Some (clamp_jobs j))
+
+let default_jobs () =
+  match Atomic.get override with
+  | Some j -> j
+  | None -> (
+      match env_jobs () with
+      | Some j -> j
+      | None -> clamp_jobs (Domain.recommended_domain_count () - 1))
+
+(* Sweeps nest (a parallel figure sweep whose points run parallel
+   replications): workers mark their domain so inner parallel_map calls
+   degrade to sequential maps instead of oversubscribing the machine. *)
+let inside_pool : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+type failure = { index : int; exn : exn; backtrace : Printexc.raw_backtrace }
+
+let record_failure failures f =
+  let rec push () =
+    let cur = Atomic.get failures in
+    if not (Atomic.compare_and_set failures cur (f :: cur)) then push ()
+  in
+  push ()
+
+let parallel_map ?jobs f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ ->
+      let jobs =
+        clamp_jobs (match jobs with Some j -> j | None -> default_jobs ())
+      in
+      if jobs = 1 || Domain.DLS.get inside_pool then List.map f xs
+      else begin
+        let input = Array.of_list xs in
+        let n = Array.length input in
+        let results = Array.make n None in
+        let next = Atomic.make 0 in
+        let failures : failure list Atomic.t = Atomic.make [] in
+        let chunk = clamp_jobs (n / (jobs * 4)) in
+        let worker () =
+          let was_inside = Domain.DLS.get inside_pool in
+          Domain.DLS.set inside_pool true;
+          let continue_ = ref true in
+          while !continue_ do
+            let lo = Atomic.fetch_and_add next chunk in
+            if lo >= n || Atomic.get failures <> [] then continue_ := false
+            else
+              for i = lo to min (lo + chunk) n - 1 do
+                match f input.(i) with
+                | y -> results.(i) <- Some y
+                | exception exn ->
+                    let backtrace = Printexc.get_raw_backtrace () in
+                    record_failure failures { index = i; exn; backtrace }
+              done
+          done;
+          Domain.DLS.set inside_pool was_inside
+        in
+        let spawned =
+          Array.init (min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker)
+        in
+        worker ();
+        Array.iter Domain.join spawned;
+        match Atomic.get failures with
+        | [] -> Array.to_list (Array.map Option.get results)
+        | first :: rest ->
+            let worst =
+              List.fold_left
+                (fun best c -> if c.index < best.index then c else best)
+                first rest
+            in
+            Printexc.raise_with_backtrace worst.exn worst.backtrace
+      end
+
+let parallel_iter ?jobs f xs = ignore (parallel_map ?jobs (fun x -> f x) xs)

@@ -1,0 +1,41 @@
+(** Multicore execution layer: a fixed-size domain pool over stdlib
+    [Domain], with no dependency beyond the compiler's runtime.
+
+    Every embarrassingly parallel loop of the evaluation stack (simulation
+    replications, figure parameter sweeps, battery/disk studies) funnels
+    through {!parallel_map}. Results are order-preserving and independent
+    of the job count, so parallel and sequential executions are
+    interchangeable bit for bit whenever the worker function is
+    deterministic per item. *)
+
+val default_jobs : unit -> int
+(** The job count used when [?jobs] is omitted. Resolution order:
+    {ol {- the last {!set_default_jobs} value (the [-j] command-line flags);}
+        {- the [DPMA_JOBS] environment variable (positive integer);}
+        {- [Domain.recommended_domain_count () - 1], clamped to at least 1
+           (one domain is left to the caller's other work).}} *)
+
+val set_default_jobs : int -> unit
+(** Override the default job count process-wide (clamped to [>= 1]);
+    command-line [-j] flags call this. *)
+
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [parallel_map ~jobs f xs] is [List.map f xs] computed by [jobs] domains
+    (the calling domain plus [jobs - 1] spawned ones). Work is dealt in
+    chunks via an [Atomic] cursor; the result list preserves input order.
+
+    If any application of [f] raises, the exception raised on the
+    lowest-index item is re-raised (with its backtrace) in the calling
+    domain after all workers have finished; no further chunks are claimed
+    once a failure is recorded.
+
+    [jobs <= 1], singleton and empty inputs, and calls made from inside
+    another [parallel_map] worker all run sequentially in the calling
+    domain — nesting therefore never oversubscribes the machine.
+
+    [f] must be safe to run concurrently with itself (the whole library's
+    analysis and simulation paths are: randomness flows through explicit
+    {!Prng.t} values and shared model structures are read-only). *)
+
+val parallel_iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit
+(** [parallel_map] for effects only. *)

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "dpma"
     [
       ("util", Test_util.suite);
+      ("pool", Test_pool.suite);
       ("dist", Test_dist.suite);
       ("pa", Test_pa.suite);
       ("lts", Test_lts.suite);

@@ -1,0 +1,108 @@
+(* Tests for the domain pool: order preservation, exception propagation,
+   job-count independence of the parallel simulation replications. *)
+
+module Pool = Dpma_util.Pool
+module Rpc = Dpma_models.Rpc
+module General = Dpma_core.General
+module Lts = Dpma_lts.Lts
+module Sim = Dpma_sim.Sim
+module Stats = Dpma_util.Stats
+module Elaborate = Dpma_adl.Elaborate
+
+let test_parallel_map_order () =
+  let xs = List.init 100 (fun i -> i + 1) in
+  Alcotest.(check (list int))
+    "squares in input order"
+    (List.map (fun x -> x * x) xs)
+    (Pool.parallel_map ~jobs:4 (fun x -> x * x) xs)
+
+let test_parallel_map_jobs1_equivalent () =
+  let xs = List.init 37 (fun i -> i) in
+  let f x = (3 * x) - 7 in
+  Alcotest.(check (list int))
+    "jobs:1 = jobs:4" (Pool.parallel_map ~jobs:1 f xs)
+    (Pool.parallel_map ~jobs:4 f xs)
+
+let test_parallel_map_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty" [] (Pool.parallel_map ~jobs:4 succ []);
+  Alcotest.(check (list int)) "singleton" [ 8 ] (Pool.parallel_map ~jobs:4 succ [ 7 ])
+
+let test_parallel_map_exception () =
+  Alcotest.check_raises "worker exception re-raised" (Failure "boom") (fun () ->
+      ignore
+        (Pool.parallel_map ~jobs:4
+           (fun x -> if x = 23 then failwith "boom" else x)
+           (List.init 64 (fun i -> i))))
+
+let test_parallel_map_nested () =
+  (* Inner calls from worker domains degrade to sequential maps instead of
+     oversubscribing; results are unchanged. *)
+  let rows =
+    Pool.parallel_map ~jobs:2
+      (fun i -> Pool.parallel_map ~jobs:2 (fun j -> (10 * i) + j) [ 1; 2; 3 ])
+      [ 1; 2 ]
+  in
+  Alcotest.(check (list (list int)))
+    "nested results" [ [ 11; 12; 13 ]; [ 21; 22; 23 ] ] rows
+
+let test_parallel_iter_visits_all () =
+  let sum = Atomic.make 0 in
+  Pool.parallel_iter ~jobs:4
+    (fun x -> ignore (Atomic.fetch_and_add sum x))
+    (List.init 100 (fun i -> i + 1));
+  Alcotest.(check int) "all elements visited once" 5050 (Atomic.get sum)
+
+let test_default_jobs () =
+  Alcotest.(check bool) "default >= 1" true (Pool.default_jobs () >= 1);
+  Pool.set_default_jobs 3;
+  Alcotest.(check int) "override respected" 3 (Pool.default_jobs ());
+  Pool.set_default_jobs 0;
+  Alcotest.(check int) "override clamped to 1" 1 (Pool.default_jobs ())
+
+(* Replication statistics must not depend on the job count: per-run PRNG
+   streams are derived in run order and the per-run values folded in run
+   order, so jobs:1 and jobs:4 agree to the last bit (paper's general
+   phase, rpc appliance). *)
+let test_replicate_jobs_independent () =
+  let el = Rpc.elaborate ~mode:Rpc.General ~monitors:true Rpc.default_params in
+  let lts = Lts.of_spec el.Elaborate.spec in
+  let timing = General.timing_of_list el.Elaborate.general_timings in
+  let estimands =
+    [
+      Sim.Time_average
+        (fun s -> if Lts.enables_action lts s "S.monitor_idle_server" then 1.0 else 0.0);
+      Sim.Rate_of
+        (fun a -> if String.equal a "C.process_result_packet" then 1.0 else 0.0);
+    ]
+  in
+  let replicate jobs =
+    Sim.replicate ~timing ~warmup:100.0 ~jobs ~lts ~duration:1_000.0 ~estimands
+      ~runs:8 ~seed:11 ()
+  in
+  let sequential = replicate 1 and parallel = replicate 4 in
+  Array.iteri
+    (fun i (s : Stats.summary) ->
+      let p = parallel.(i) in
+      Alcotest.(check (float 0.0)) "mean bit-identical" s.Stats.mean p.Stats.mean;
+      Alcotest.(check (float 0.0))
+        "half-width bit-identical" s.Stats.half_width p.Stats.half_width;
+      Alcotest.(check int) "run count" s.Stats.n p.Stats.n)
+    sequential;
+  Alcotest.(check bool)
+    "estimate is meaningful" true
+    (sequential.(0).Stats.mean > 0.0 && sequential.(0).Stats.mean < 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "parallel_map order" `Quick test_parallel_map_order;
+    Alcotest.test_case "parallel_map jobs=1 equivalence" `Quick
+      test_parallel_map_jobs1_equivalent;
+    Alcotest.test_case "parallel_map empty/singleton" `Quick
+      test_parallel_map_empty_and_singleton;
+    Alcotest.test_case "parallel_map exception" `Quick test_parallel_map_exception;
+    Alcotest.test_case "parallel_map nested" `Quick test_parallel_map_nested;
+    Alcotest.test_case "parallel_iter visits all" `Quick test_parallel_iter_visits_all;
+    Alcotest.test_case "default_jobs" `Quick test_default_jobs;
+    Alcotest.test_case "replicate jobs-independent" `Quick
+      test_replicate_jobs_independent;
+  ]
