@@ -1,0 +1,74 @@
+(* Contract check for the bench JSON report: runs as part of @runtest via
+   the rule in bench/dune. Reads a dpma.bench/1 document on stdin (the
+   stdout of `main.exe tiny json`) and verifies that it parses and that
+   the metrics array carries the headline instruments promised by
+   docs/OBSERVABILITY.md. Exits non-zero with a diagnostic otherwise. *)
+
+module Json = Dpma_obs.Json
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("check_json: " ^ s); exit 1) fmt
+
+let read_all ic =
+  let b = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel b ic 4096
+     done
+   with End_of_file -> ());
+  Buffer.contents b
+
+(* Metric names that every pipeline run must populate. *)
+let required =
+  [
+    "lts.states";
+    "lts.transitions";
+    "bisim.refine.rounds";
+    "ctmc.states";
+    "ctmc.solve.iterations";
+    "ctmc.solve.residual";
+    "sim.events";
+    "sim.events_per_sec";
+  ]
+
+let () =
+  let doc =
+    match Json.parse (read_all stdin) with
+    | Ok doc -> doc
+    | Error msg -> fail "report does not parse: %s" msg
+  in
+  (match Json.member "schema" doc with
+  | Some (Json.Str "dpma.bench/1") -> ()
+  | Some j -> fail "unexpected schema %s" (Json.to_string j)
+  | None -> fail "missing \"schema\" field");
+  (match Json.member "figures_wall_clock_s" doc with
+  | Some (Json.Obj _) -> ()
+  | _ -> fail "missing \"figures_wall_clock_s\" object");
+  let metrics =
+    match Json.member "metrics" doc with
+    | Some (Json.List items) -> items
+    | _ -> fail "missing \"metrics\" array"
+  in
+  let name_of = function
+    | Json.Obj _ as item -> (
+        match Json.member "name" item with
+        | Some (Json.Str n) -> n
+        | _ -> fail "metric object without a string \"name\"")
+    | j -> fail "metrics array holds a non-object: %s" (Json.to_string j)
+  in
+  let names = List.map name_of metrics in
+  List.iter
+    (fun n ->
+      if not (List.mem n names) then fail "required metric %s is missing" n)
+    required;
+  (* Counters that must be non-zero after a tiny run. *)
+  List.iter
+    (fun n ->
+      let item =
+        List.find (fun item -> String.equal (name_of item) n) metrics
+      in
+      match Json.member "value" item with
+      | Some (Json.Num v) when v > 0.0 -> ()
+      | Some j -> fail "metric %s should be positive, got %s" n (Json.to_string j)
+      | None -> fail "metric %s has no \"value\"" n)
+    [ "lts.states"; "ctmc.states"; "sim.events" ];
+  print_endline "bench json report ok"

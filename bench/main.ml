@@ -13,11 +13,16 @@
    Arguments (after --):
      quick   shrink the figure sweeps
      smoke   quick figures only, skip the micro-benchmarks (CI smoke)
-     json    also write BENCH_results.json (wall-clock + micro estimates)
+     tiny    minimal single-point run (sec3 + one fig3 point), no micro
+     json    write BENCH_results.json and print the same document to stdout
+     metrics print the metrics registry to stderr on exit
+     trace   record span timings and print the tree to stderr on exit
      -j N    run sweeps on N domains (same as DPMA_JOBS=N)
 
    Figure tables go to stdout and are bit-identical for any job count;
-   wall-clock timing lines go to stderr. *)
+   wall-clock timing lines go to stderr. In json mode stdout carries the
+   pure JSON report (schema dpma.bench/1, see docs/OBSERVABILITY.md) and
+   the figure tables move to stderr. *)
 
 module Figures = Dpma_models.Figures
 module Rpc = Dpma_models.Rpc
@@ -33,8 +38,9 @@ module Elaborate = Dpma_adl.Elaborate
 module Prng = Dpma_util.Prng
 module Pool = Dpma_util.Pool
 
-let quick, json_mode, smoke =
-  let quick = ref false and json = ref false and smoke = ref false in
+let quick, json_mode, smoke, tiny =
+  let quick = ref false and json = ref false in
+  let smoke = ref false and tiny = ref false in
   let rec parse = function
     | [] -> ()
     | "-j" :: n :: rest ->
@@ -54,12 +60,24 @@ let quick, json_mode, smoke =
         smoke := true;
         quick := true;
         parse rest
+    | "tiny" :: rest ->
+        tiny := true;
+        smoke := true;
+        quick := true;
+        parse rest
+    | "metrics" :: rest ->
+        Dpma_obs.Report.configure ~metrics:(Some Dpma_obs.Report.Text) ();
+        parse rest
+    | "trace" :: rest ->
+        Dpma_obs.Report.configure ~trace:true ();
+        parse rest
     | arg :: _ ->
         Printf.eprintf "bench: unknown argument %S\n" arg;
         exit 2
   in
+  Dpma_obs.Report.init_from_env ();
   parse (List.tl (Array.to_list Sys.argv));
-  (!quick, !json, !smoke)
+  (!quick, !json, !smoke, !tiny)
 
 (* ------------------------------------------------------------------ *)
 (* Wall-clock accounting (stderr only, so stdout stays diffable)       *)
@@ -76,6 +94,22 @@ let timed name f =
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: figure regeneration                                         *)
+
+(* Minimal run for CI checks of the JSON contract: one Markovian and one
+   simulated fig3 point, enough to touch every pipeline metric. *)
+let figures_tiny () =
+  let sim =
+    { General.default_sim_params with runs = 2; duration = 2_000.0; warmup = 200.0 }
+  in
+  Format.printf "%a@.@." Figures.pp_sec3
+    (timed "sec3" (fun () -> Figures.sec3_noninterference ()));
+  Format.printf "%a@.@."
+    (Figures.pp_rpc_rows ~title:"Fig. 3 (left): rpc Markovian, one point")
+    (timed "fig3-markov" (fun () -> Figures.fig3_markov ~timeouts:[ 5.0 ] ()));
+  Format.printf "%a@.@."
+    (Figures.pp_rpc_rows ~title:"Fig. 3 (right): rpc general, one point")
+    (timed "fig3-general" (fun () ->
+         Figures.fig3_general ~timeouts:[ 5.0 ] ~sim ()))
 
 let figures () =
   let rpc_sim =
@@ -295,11 +329,12 @@ let json_escape s =
 
 let json_float x = if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
 
-let write_json ~jobs ~micro =
+let json_report ~jobs ~micro =
   let figs = List.rev !wall_clock in
   let total = List.fold_left (fun acc (_, dt) -> acc +. dt) 0.0 figs in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"dpma.bench/1\",\n";
   Printf.bprintf b "  \"jobs\": %d,\n" jobs;
   Printf.bprintf b "  \"quick\": %b,\n" quick;
   Printf.bprintf b "  \"figures_wall_clock_s\": {\n";
@@ -315,15 +350,29 @@ let write_json ~jobs ~micro =
         (if i = 0 then "" else ",")
         (json_escape name) (json_float est) (json_float r2))
     micro;
-  Buffer.add_string b (if micro = [] then "}\n" else "\n  }\n");
+  Buffer.add_string b (if micro = [] then "},\n" else "\n  },\n");
+  (* The same metric objects dpma --metrics=json emits; the names and
+     units are the contract of docs/OBSERVABILITY.md. *)
+  Printf.bprintf b "  \"metrics\": %s\n"
+    (Dpma_obs.Json.to_string ~indent:2 (Dpma_obs.Metrics.to_json ()));
   Buffer.add_string b "}\n";
-  let oc = open_out "BENCH_results.json" in
-  Buffer.output_buffer oc b;
-  close_out oc;
-  Printf.eprintf "[bench] wrote BENCH_results.json\n%!"
+  Buffer.contents b
 
 let () =
+  (* In json mode stdout must carry nothing but the JSON document, so the
+     figure tables (all printed through [Format.std_formatter]) move to
+     stderr. *)
+  if json_mode then Format.set_formatter_out_channel stderr;
+  at_exit (fun () -> Dpma_obs.Report.emit stderr);
   Printf.eprintf "[bench] jobs = %d\n%!" (Pool.default_jobs ());
-  figures ();
+  if tiny then figures_tiny () else figures ();
   let micro = if smoke then [] else run_micro () in
-  if json_mode then write_json ~jobs:(Pool.default_jobs ()) ~micro
+  if json_mode then begin
+    let report = json_report ~jobs:(Pool.default_jobs ()) ~micro in
+    let oc = open_out "BENCH_results.json" in
+    output_string oc report;
+    close_out oc;
+    Printf.eprintf "[bench] wrote BENCH_results.json\n%!";
+    print_string report;
+    flush stdout
+  end

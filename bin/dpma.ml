@@ -19,6 +19,7 @@ module Measure = Dpma_measures.Measure
 module Figures = Dpma_models.Figures
 module Stats = Dpma_util.Stats
 module Pool = Dpma_util.Pool
+module Report = Dpma_obs.Report
 
 let read_file path =
   let ic = open_in_bin path in
@@ -107,13 +108,50 @@ let jobs_arg =
 
 let apply_jobs jobs = Option.iter Pool.set_default_jobs jobs
 
+(* Observability: every subcommand accepts --metrics[=FORMAT] and --trace;
+   the report is emitted to stderr by an [at_exit] hook so it also covers
+   the error paths that leave through [exit 1]. The contract is documented
+   in docs/OBSERVABILITY.md. *)
+let obs_term =
+  let metrics =
+    Arg.(
+      value
+      & opt ~vopt:(Some "text") (some string) None
+      & info [ "metrics" ] ~docv:"FORMAT"
+          ~doc:
+            "Print pipeline metrics to stderr on exit; $(docv) is \
+             $(b,text) (default) or $(b,json). Equivalent to setting \
+             $(b,DPMA_METRICS).")
+  in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Record span timings and print the nested timing tree to \
+             stderr on exit. Equivalent to $(b,DPMA_TRACE=1).")
+  in
+  let setup metrics trace =
+    (match metrics with
+    | None -> ()
+    | Some fmt ->
+        let fmt =
+          match String.lowercase_ascii (String.trim fmt) with
+          | "json" -> Report.Json
+          | _ -> Report.Text
+        in
+        Report.configure ~metrics:(Some fmt) ());
+    if trace then Report.configure ~trace:true ()
+  in
+  Term.(const setup $ metrics $ trace)
+
 let sim_params runs duration warmup seed =
   { General.default_sim_params with runs; duration; warmup; seed }
 
 (* parse *)
 
 let cmd_parse =
-  let run file pretty =
+  let run file pretty () =
     handle (fun () ->
         let archi = Parser.parse (read_file file) in
         Elaborate.check archi;
@@ -144,12 +182,12 @@ let cmd_parse =
   in
   Cmd.v
     (Cmd.info "parse" ~doc:"Parse and statically check an architectural description")
-    Term.(const run $ file_arg $ pretty)
+    Term.(const run $ file_arg $ pretty $ obs_term)
 
 (* lts *)
 
 let cmd_lts =
-  let run file max_states verbose dot =
+  let run file max_states verbose dot () =
     handle (fun () ->
         let el = load file in
         let lts = Lts.of_spec ~max_states el.Elaborate.spec in
@@ -184,12 +222,12 @@ let cmd_lts =
   in
   Cmd.v
     (Cmd.info "lts" ~doc:"Build the labelled transition system and report its size")
-    Term.(const run $ file_arg $ max_states_arg $ verbose $ dot)
+    Term.(const run $ file_arg $ max_states_arg $ verbose $ dot $ obs_term)
 
 (* minimize *)
 
 let cmd_minimize =
-  let run file max_states weak =
+  let run file max_states weak () =
     handle (fun () ->
         let el = load file in
         let lts = Lts.of_spec ~max_states el.Elaborate.spec in
@@ -205,12 +243,12 @@ let cmd_minimize =
   in
   Cmd.v
     (Cmd.info "minimize" ~doc:"Minimize the state space up to (weak) bisimulation")
-    Term.(const run $ file_arg $ max_states_arg $ weak)
+    Term.(const run $ file_arg $ max_states_arg $ weak $ obs_term)
 
 (* noninterference *)
 
 let cmd_noninterference =
-  let run file max_states high low branching =
+  let run file max_states high low branching () =
     handle (fun () ->
         if high = [] then begin
           Printf.eprintf "--high must list at least one DPM command action\n";
@@ -264,12 +302,12 @@ let cmd_noninterference =
   Cmd.v
     (Cmd.info "noninterference"
        ~doc:"Check that the high actions are transparent to the low observer")
-    Term.(const run $ file_arg $ max_states_arg $ high $ low $ branching)
+    Term.(const run $ file_arg $ max_states_arg $ high $ low $ branching $ obs_term)
 
 (* solve *)
 
 let cmd_solve =
-  let run file max_states measures_file =
+  let run file max_states measures_file () =
     handle (fun () ->
         let el = load file in
         let measures = load_measures measures_file in
@@ -283,13 +321,13 @@ let cmd_solve =
   Cmd.v
     (Cmd.info "solve"
        ~doc:"Solve the underlying CTMC and evaluate reward-based measures")
-    Term.(const run $ file_arg $ max_states_arg $ measures_arg)
+    Term.(const run $ file_arg $ max_states_arg $ measures_arg $ obs_term)
 
 (* simulate *)
 
 let cmd_simulate =
   let run file max_states measures_file runs duration warmup seed exponential
-      batches jobs =
+      batches jobs () =
     apply_jobs jobs;
     handle (fun () ->
         let el = load file in
@@ -345,12 +383,13 @@ let cmd_simulate =
        ~doc:"Simulate the general-distribution model and estimate the measures")
     Term.(
       const run $ file_arg $ max_states_arg $ measures_arg $ runs_arg
-      $ duration_arg $ warmup_arg $ seed_arg $ exponential $ batches $ jobs_arg)
+      $ duration_arg $ warmup_arg $ seed_arg $ exponential $ batches $ jobs_arg
+      $ obs_term)
 
 (* validate *)
 
 let cmd_validate =
-  let run file max_states measures_file runs duration warmup seed jobs =
+  let run file max_states measures_file runs duration warmup seed jobs () =
     apply_jobs jobs;
     handle (fun () ->
         let el = load file in
@@ -368,12 +407,13 @@ let cmd_validate =
        ~doc:"Cross-validate the general model against the Markovian solution")
     Term.(
       const run $ file_arg $ max_states_arg $ measures_arg $ runs_arg
-      $ duration_arg $ warmup_arg $ seed_arg $ jobs_arg)
+      $ duration_arg $ warmup_arg $ seed_arg $ jobs_arg $ obs_term)
 
 (* assess: the full three-phase pipeline *)
 
 let cmd_assess =
-  let run file max_states measures_file high low runs duration warmup seed jobs =
+  let run file max_states measures_file high low runs duration warmup seed jobs
+      () =
     apply_jobs jobs;
     handle (fun () ->
         if high = [] || low = [] then begin
@@ -413,12 +453,12 @@ let cmd_assess =
       $ Arg.(
           value & opt (list string) []
           & info [ "low" ] ~docv:"ACTIONS" ~doc:"Client-observable actions.")
-      $ runs_arg $ duration_arg $ warmup_arg $ seed_arg $ jobs_arg)
+      $ runs_arg $ duration_arg $ warmup_arg $ seed_arg $ jobs_arg $ obs_term)
 
 (* trace *)
 
 let cmd_trace =
-  let run file max_states events seed exponential =
+  let run file max_states events seed exponential () =
     handle (fun () ->
         let el = load file in
         let lts = Lts.of_spec ~max_states el.Elaborate.spec in
@@ -457,12 +497,13 @@ let cmd_trace =
       $ Arg.(
           value & flag
           & info [ "exponential" ]
-              ~doc:"Exponentialize the general distributions first."))
+              ~doc:"Exponentialize the general distributions first.")
+      $ obs_term)
 
 (* transient *)
 
 let cmd_transient =
-  let run file max_states measures_file time =
+  let run file max_states measures_file time () =
     handle (fun () ->
         let el = load file in
         let measures = load_measures measures_file in
@@ -501,12 +542,12 @@ let cmd_transient =
   Cmd.v
     (Cmd.info "transient"
        ~doc:"Evaluate state-reward measures at a time point (uniformization)")
-    Term.(const run $ file_arg $ max_states_arg $ measures_arg $ time)
+    Term.(const run $ file_arg $ max_states_arg $ measures_arg $ time $ obs_term)
 
 (* firstpassage *)
 
 let cmd_firstpassage =
-  let run file max_states action =
+  let run file max_states action () =
     handle (fun () ->
         let el = load file in
         let lts = Lts.of_spec ~max_states el.Elaborate.spec in
@@ -545,22 +586,22 @@ let cmd_firstpassage =
   Cmd.v
     (Cmd.info "firstpassage"
        ~doc:"Mean time until a state enabling the given action is first reached")
-    Term.(const run $ file_arg $ max_states_arg $ action)
+    Term.(const run $ file_arg $ max_states_arg $ action $ obs_term)
 
 (* sec3 / figures *)
 
 let cmd_sec3 =
-  let run jobs =
+  let run jobs () =
     apply_jobs jobs;
     handle (fun () ->
         Format.printf "%a@." Figures.pp_sec3 (Figures.sec3_noninterference ()))
   in
   Cmd.v
     (Cmd.info "sec3" ~doc:"Reproduce the Sect. 3 noninterference results of the paper")
-    Term.(const run $ jobs_arg)
+    Term.(const run $ jobs_arg $ obs_term)
 
 let cmd_figures =
-  let run which fast jobs =
+  let run which fast jobs () =
     apply_jobs jobs;
     handle (fun () ->
         let rpc_sim =
@@ -651,9 +692,11 @@ let cmd_figures =
   in
   Cmd.v
     (Cmd.info "figures" ~doc:"Regenerate the paper's evaluation figures")
-    Term.(const run $ which $ fast $ jobs_arg)
+    Term.(const run $ which $ fast $ jobs_arg $ obs_term)
 
 let () =
+  Report.init_from_env ();
+  at_exit (fun () -> Report.emit stderr);
   let doc = "assess dynamic power management: functionality and performance" in
   let info = Cmd.info "dpma" ~version:"1.0.0" ~doc in
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -348,6 +348,7 @@ let rate_of_expr ~context = function
 let max_expansions_default = 200_000
 
 let elaborate ?(max_expansions = max_expansions_default) (archi : Ast.archi) =
+  Dpma_obs.Trace.with_span "adl.elaborate" (fun () ->
   check archi;
   let timings : (string, Dist.t) Hashtbl.t = Hashtbl.create 16 in
   let record_timing name dist context =
@@ -475,6 +476,7 @@ let elaborate ?(max_expansions = max_expansions_default) (archi : Ast.archi) =
         term
   in
   let spec = Term.spec ~defs:!defs ~init in
+  Dpma_obs.Metrics.add Dpma_obs.Instruments.adl_constants (List.length !defs);
   let attached_ports =
     List.concat_map
       (fun (a : Ast.attachment) ->
@@ -498,7 +500,7 @@ let elaborate ?(max_expansions = max_expansions_default) (archi : Ast.archi) =
       |> List.sort compare;
     instance_actions;
     unattached_interactions;
-  }
+  })
 
 let actions_of_instance elaborated inst =
   match List.assoc_opt inst elaborated.instance_actions with

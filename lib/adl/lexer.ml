@@ -158,4 +158,6 @@ let tokenize src =
       | _ -> error (Printf.sprintf "unexpected character %C" c)
     end
   done;
-  List.rev ({ token = EOF; line = !line; col = !col } :: !tokens)
+  let result = List.rev ({ token = EOF; line = !line; col = !col } :: !tokens) in
+  Dpma_obs.Metrics.add Dpma_obs.Instruments.adl_tokens (List.length result - 1);
+  result

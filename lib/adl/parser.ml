@@ -432,6 +432,7 @@ let parse_attachments st =
   end
 
 let parse src =
+  Dpma_obs.Trace.with_span "adl.parse" (fun () ->
   let st = { tokens = Array.of_list (Lexer.tokenize src); pos = 0 } in
   expect_keyword st "ARCHI_TYPE";
   let name = expect_ident st in
@@ -453,7 +454,12 @@ let parse src =
   | _ ->
       error_at (peek st)
         (Format.asprintf "trailing input after END: %a" pp_token (peek st).token));
-  { Ast.name; elem_types; instances; attachments }
+  let module I = Dpma_obs.Instruments in
+  Dpma_obs.Metrics.incr I.adl_parses;
+  Dpma_obs.Metrics.add I.adl_elem_types (List.length elem_types);
+  Dpma_obs.Metrics.add I.adl_instances (List.length instances);
+  Dpma_obs.Metrics.add I.adl_attachments (List.length attachments);
+  { Ast.name; elem_types; instances; attachments })
 
 let parse_result src =
   match parse src with

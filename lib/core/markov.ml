@@ -9,12 +9,18 @@ type analysis = {
 }
 
 let analyze_lts lts measures =
+  Dpma_obs.Trace.with_span "markov.analyze"
+    ~attrs:[ ("states", Dpma_obs.Trace.Int lts.Lts.num_states) ] (fun () ->
   let ctmc = Ctmc.of_lts lts in
   let pi = Ctmc.steady_state ctmc in
+  let t0 = Dpma_obs.Clock.now_s () in
   let values =
     List.map (fun m -> (m.Measure.name, Measure.eval_ctmc ctmc pi m)) measures
   in
-  { states = lts.Lts.num_states; tangible = ctmc.Ctmc.n; values }
+  if measures <> [] then
+    Dpma_obs.Metrics.observe Dpma_obs.Instruments.ctmc_reward_seconds
+      (Dpma_obs.Clock.now_s () -. t0);
+  { states = lts.Lts.num_states; tangible = ctmc.Ctmc.n; values })
 
 let analyze_lts_lumped lts measures =
   let partition = Dpma_lts.Bisim.markovian_partition lts in

@@ -23,33 +23,42 @@ type report = {
 }
 
 let assess ?(sim_params = General.default_sim_params) ?max_states study =
+  let span = Dpma_obs.Trace.with_span in
+  span "pipeline.assess"
+    ~attrs:[ ("study", Dpma_obs.Trace.Str study.study_name) ] (fun () ->
   let functional =
     Option.value ~default:study.spec study.functional_spec
   in
-  let verdict =
-    Noninterference.check_spec ?max_states functional ~high:study.high
-      ~low:study.low
-  in
-  let functional_lts = Lts.of_spec ?max_states functional in
-  let high a = List.exists (String.equal a) study.high
-  and low a = List.exists (String.equal a) study.low in
-  let trace_secure = Noninterference.trace_secure functional_lts ~high ~low in
-  let branching_secure =
-    Noninterference.branching_secure functional_lts ~high ~low
+  let verdict, trace_secure, branching_secure =
+    span "pipeline.functional" (fun () ->
+        let verdict =
+          Noninterference.check_spec ?max_states functional ~high:study.high
+            ~low:study.low
+        in
+        let functional_lts = Lts.of_spec ?max_states functional in
+        let high a = List.exists (String.equal a) study.high
+        and low a = List.exists (String.equal a) study.low in
+        ( verdict,
+          Noninterference.trace_secure functional_lts ~high ~low,
+          Noninterference.branching_secure functional_lts ~high ~low ))
   in
   let lts = Lts.of_spec ?max_states study.spec in
   let lts_without = Markov.without_dpm lts ~high:study.high in
-  let markovian_with_dpm = Markov.analyze_lts lts study.measures in
-  let markovian_without_dpm = Markov.analyze_lts lts_without study.measures in
+  let markovian_with_dpm, markovian_without_dpm =
+    span "pipeline.markovian" (fun () ->
+        ( Markov.analyze_lts lts study.measures,
+          Markov.analyze_lts lts_without study.measures ))
+  in
   let timing = General.timing_of_list study.general_timings in
   let validation =
-    General.validate lts ~timing ~measures:study.measures sim_params
+    span "pipeline.validation" (fun () ->
+        General.validate lts ~timing ~measures:study.measures sim_params)
   in
-  let general_with_dpm =
-    General.simulate lts ~timing ~measures:study.measures sim_params
-  in
-  let general_without_dpm =
-    General.simulate lts_without ~timing ~measures:study.measures sim_params
+  let general_with_dpm, general_without_dpm =
+    span "pipeline.general" (fun () ->
+        ( General.simulate lts ~timing ~measures:study.measures sim_params,
+          General.simulate lts_without ~timing ~measures:study.measures
+            sim_params ))
   in
   {
     verdict;
@@ -60,7 +69,7 @@ let assess ?(sim_params = General.default_sim_params) ?max_states study =
     validation;
     general_with_dpm;
     general_without_dpm;
-  }
+  })
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>Phase 1 (functional): %a@,"

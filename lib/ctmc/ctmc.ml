@@ -3,6 +3,7 @@ module Rate = Dpma_pa.Rate
 module Linalg = Dpma_util.Linalg
 module Sparse = Dpma_util.Sparse
 module Scc = Dpma_util.Scc
+module Obs = Dpma_obs
 
 type t = {
   n : int;
@@ -52,6 +53,8 @@ let merge_counts lists =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let of_lts (lts : Lts.t) =
+  Obs.Trace.with_span "ctmc.build"
+    ~attrs:[ ("lts_states", Obs.Trace.Int lts.num_states) ] (fun () ->
   let n0 = lts.num_states in
   (* Classify states and validate rates. *)
   let vanishing = Array.make n0 false in
@@ -171,7 +174,12 @@ let of_lts (lts : Lts.t) =
   let initial =
     fst (resolve lts.init) |> List.map (fun (v, p) -> (new_id.(v), p))
   in
-  { n; initial; transitions; immediate_rates; enabled_actions }
+  let module I = Obs.Instruments in
+  Obs.Metrics.incr I.ctmc_builds;
+  Obs.Metrics.add I.ctmc_states n;
+  Obs.Metrics.add I.ctmc_transitions
+    (Array.fold_left (fun acc l -> acc + List.length l) 0 transitions);
+  { n; initial; transitions; immediate_rates; enabled_actions })
 
 let total_exit_rate c s =
   List.fold_left
@@ -192,13 +200,43 @@ let succ_fun c s =
 
 let bsccs c = Scc.bottom_components ~succ:(fun s -> succ_fun c s) c.n
 
+(* Steady-state residual of a local solution: max_j |sum_i pi_i q_ij|
+   over the BSCC, recomputed from the transition lists so it measures the
+   solution itself rather than the solver's own stopping test. *)
+let bscc_residual c states_arr local_id pi =
+  let k = Array.length pi in
+  let balance = Array.make k 0.0 in
+  Array.iteri
+    (fun i s ->
+      List.iter
+        (fun (t, r, _) ->
+          if t <> s then
+            match Hashtbl.find_opt local_id t with
+            | Some j ->
+                balance.(j) <- balance.(j) +. (pi.(i) *. r);
+                balance.(i) <- balance.(i) -. (pi.(i) *. r)
+            | None -> ())
+        c.transitions.(s))
+    states_arr;
+  Array.fold_left (fun acc b -> Float.max acc (abs_float b)) 0.0 balance
+
+let record_solve ~iterations ~residual =
+  let module I = Obs.Instruments in
+  Obs.Metrics.add I.ctmc_solve_iterations iterations;
+  let cur = Obs.Metrics.value I.ctmc_solve_residual in
+  Obs.Metrics.set I.ctmc_solve_residual
+    (if Float.is_nan cur then residual else Float.max cur residual)
+
 (* Stationary distribution inside one BSCC given as a state list. *)
 let solve_bscc c states =
   let k = List.length states in
   let local_id = Hashtbl.create k in
   List.iteri (fun i s -> Hashtbl.add local_id s i) states;
   let states_arr = Array.of_list states in
-  if k = 1 then [ (states_arr.(0), 1.0) ]
+  if k = 1 then begin
+    record_solve ~iterations:1 ~residual:0.0;
+    [ (states_arr.(0), 1.0) ]
+  end
   else if k <= dense_threshold then begin
     (* Solve pi Q = 0, sum pi = 1: take Q^T, overwrite the last row with the
        normalization equation. *)
@@ -224,6 +262,9 @@ let solve_bscc c states =
     let rhs = Array.make k 0.0 in
     rhs.(k - 1) <- 1.0;
     let pi = Linalg.solve m rhs in
+    (* A direct dense solve counts one "iteration" per elimination pivot. *)
+    record_solve ~iterations:k
+      ~residual:(bscc_residual c states_arr local_id pi);
     List.mapi (fun i s -> (s, pi.(i))) states
   end
   else begin
@@ -240,7 +281,10 @@ let solve_bscc c states =
               | None -> ())
           c.transitions.(s))
       states_arr;
-    let pi = Sparse.gauss_seidel_stationary q in
+    let stats = ref { Sparse.iterations = 0; last_delta = infinity } in
+    let pi = Sparse.gauss_seidel_stationary ~stats q in
+    record_solve ~iterations:!stats.Sparse.iterations
+      ~residual:(bscc_residual c states_arr local_id pi);
     List.mapi (fun i s -> (s, pi.(i))) states
   end
 
@@ -282,7 +326,8 @@ let absorption_weights c bscc_list =
       done;
       if !delta < 1e-14 then continue_ := false;
       incr sweeps
-    done
+    done;
+    Obs.Metrics.add Obs.Instruments.ctmc_absorption_sweeps !sweeps
   end;
   let weights = Array.make nb 0.0 in
   List.iter
@@ -294,6 +339,9 @@ let absorption_weights c bscc_list =
   weights
 
 let steady_state c =
+  Obs.Trace.with_span "ctmc.solve"
+    ~attrs:[ ("states", Obs.Trace.Int c.n) ] (fun () ->
+  Obs.Metrics.incr Obs.Instruments.ctmc_solves;
   let bscc_list = bsccs c in
   let weights =
     match bscc_list with
@@ -308,7 +356,7 @@ let steady_state c =
           (fun (s, p) -> pi.(s) <- pi.(s) +. (weights.(bi) *. p))
           (solve_bscc c states))
     bscc_list;
-  pi
+  pi)
 
 let transient c time =
   assert (time >= 0.0);

@@ -31,6 +31,8 @@ let tau_closure (lts : Lts.t) =
   closure
 
 let saturate (lts : Lts.t) =
+  Dpma_obs.Trace.with_span "bisim.saturate"
+    ~attrs:[ ("states", Dpma_obs.Trace.Int lts.num_states) ] (fun () ->
   let n = lts.num_states in
   let closure = tau_closure lts in
   let trans = Array.make n [] in
@@ -57,17 +59,22 @@ let saturate (lts : Lts.t) =
           lts.trans.(s1))
       closure.(s)
   done;
-  { lts with trans }
+  { lts with trans })
 
 (* Signature-based partition refinement. [signature] maps a state to a
    canonical representation of its outgoing behaviour w.r.t. the current
    blocks; refinement stops when the block count is stable. *)
 let refine (lts : Lts.t) ~signature =
+  Dpma_obs.Trace.with_span "bisim.refine"
+    ~attrs:[ ("states", Dpma_obs.Trace.Int lts.num_states) ] (fun () ->
+  let module I = Dpma_obs.Instruments in
+  Dpma_obs.Metrics.incr I.bisim_refines;
   let n = lts.num_states in
   let block = Array.make n 0 in
   let num_blocks = ref 1 in
   let continue_ = ref (n > 0) in
   while !continue_ do
+    Dpma_obs.Metrics.incr I.bisim_rounds;
     let table = Hashtbl.create (2 * !num_blocks) in
     let next = ref 0 in
     let new_block = Array.make n 0 in
@@ -80,13 +87,15 @@ let refine (lts : Lts.t) ~signature =
           new_block.(s) <- !next;
           incr next
     done;
+    Dpma_obs.Metrics.observe I.bisim_blocks_per_round (float_of_int !next);
     if !next = !num_blocks then continue_ := false
     else begin
       num_blocks := !next;
       Array.blit new_block 0 block 0 n
     end
   done;
-  block
+  Dpma_obs.Metrics.set I.bisim_blocks (float_of_int !num_blocks);
+  block)
 
 let strong_signature (lts : Lts.t) block s =
   lts.trans.(s)

@@ -32,6 +32,8 @@ type t = {
 exception Too_many_states of int
 
 let of_spec ?(max_states = 500_000) (spec : Term.spec) =
+  Dpma_obs.Trace.with_span "lts.build" (fun () ->
+  let t0 = Dpma_obs.Clock.now_s () in
   let table : (Term.t, int) Hashtbl.t = Hashtbl.create 1024 in
   let states : Term.t list ref = ref [] in
   let count = ref 0 in
@@ -65,8 +67,14 @@ let of_spec ?(max_states = 500_000) (spec : Term.spec) =
   List.iter (fun (id, outgoing) -> trans.(id) <- outgoing) !edges;
   let terms = Array.make n Term.stop in
   List.iteri (fun i term -> terms.(n - 1 - i) <- term) !states;
+  let module I = Dpma_obs.Instruments in
+  Dpma_obs.Metrics.incr I.lts_builds;
+  Dpma_obs.Metrics.add I.lts_states n;
+  Dpma_obs.Metrics.add I.lts_transitions
+    (Array.fold_left (fun acc ts -> acc + List.length ts) 0 trans);
+  Dpma_obs.Metrics.observe I.lts_build_seconds (Dpma_obs.Clock.now_s () -. t0);
   (* State names are rendered lazily: they are only needed in diagnostics. *)
-  { init; num_states = n; trans; state_name = (fun i -> Term.to_string terms.(i)) }
+  { init; num_states = n; trans; state_name = (fun i -> Term.to_string terms.(i)) })
 
 let num_transitions lts =
   Array.fold_left (fun acc ts -> acc + List.length ts) 0 lts.trans

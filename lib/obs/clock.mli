@@ -1,0 +1,10 @@
+(** Wall-clock time source shared by the tracer and the instrumented
+    libraries.
+
+    Kept in one place so every span duration and throughput gauge is
+    measured against the same clock, and so the rest of the stack does not
+    need its own [unix] dependency. *)
+
+val now_s : unit -> float
+(** Seconds since the Unix epoch, with sub-microsecond resolution.
+    Differences of two [now_s] values are wall-clock durations. *)

@@ -1,0 +1,143 @@
+(* Every instrument of the stack, registered eagerly at module init.
+   Names, units, and descriptions are the stable contract documented in
+   docs/OBSERVABILITY.md (checked by test/doc_sync.ml). *)
+
+let c = Metrics.counter
+
+let g = Metrics.gauge
+
+let h = Metrics.histogram
+
+(* Front end *)
+
+let adl_tokens =
+  c ~unit_:"tokens" ~desc:"tokens produced by the lexer" "adl.lex.tokens"
+
+let adl_parses =
+  c ~unit_:"descriptions" ~desc:"architectural descriptions parsed"
+    "adl.parse.archis"
+
+let adl_elem_types =
+  c ~unit_:"types" ~desc:"element types parsed" "adl.parse.elem_types"
+
+let adl_instances =
+  c ~unit_:"instances" ~desc:"instances parsed" "adl.parse.instances"
+
+let adl_attachments =
+  c ~unit_:"attachments" ~desc:"attachments parsed" "adl.parse.attachments"
+
+let adl_constants =
+  c ~unit_:"constants" ~desc:"process constants produced by elaboration"
+    "adl.elaborate.constants"
+
+(* State space *)
+
+let lts_builds = c ~unit_:"builds" ~desc:"LTS constructions" "lts.builds"
+
+let lts_states =
+  c ~unit_:"states" ~desc:"states explored, summed over builds" "lts.states"
+
+let lts_transitions =
+  c ~unit_:"transitions" ~desc:"transitions derived, summed over builds"
+    "lts.transitions"
+
+let lts_build_seconds =
+  h ~unit_:"seconds" ~desc:"wall-clock time of each LTS construction"
+    "lts.build.seconds"
+
+(* Equivalence checking *)
+
+let bisim_refines =
+  c ~unit_:"fixpoints" ~desc:"partition-refinement fixpoints computed"
+    "bisim.refines"
+
+let bisim_rounds =
+  c ~unit_:"rounds" ~desc:"refinement iterations, summed over fixpoints"
+    "bisim.refine.rounds"
+
+let bisim_blocks_per_round =
+  h ~unit_:"blocks" ~desc:"block count after each refinement round"
+    "bisim.refine.blocks"
+
+let bisim_blocks =
+  g ~unit_:"blocks" ~desc:"final block count of the last refinement"
+    "bisim.blocks"
+
+(* Markovian solution *)
+
+let ctmc_builds =
+  c ~unit_:"builds" ~desc:"CTMC extractions (vanishing-state eliminations)"
+    "ctmc.builds"
+
+let ctmc_states =
+  c ~unit_:"states" ~desc:"tangible states, summed over extractions"
+    "ctmc.states"
+
+let ctmc_transitions =
+  c ~unit_:"transitions" ~desc:"rated transitions, summed over extractions"
+    "ctmc.transitions"
+
+let ctmc_solves =
+  c ~unit_:"solves" ~desc:"steady-state solutions computed" "ctmc.solves"
+
+let ctmc_solve_iterations =
+  c ~unit_:"iterations"
+    ~desc:
+      "solver iterations, summed over BSCC solves (Gauss-Seidel sweeps; a \
+       direct dense solve counts one per elimination pivot)"
+    "ctmc.solve.iterations"
+
+let ctmc_absorption_sweeps =
+  c ~unit_:"sweeps" ~desc:"fixed-point sweeps of the absorption computation"
+    "ctmc.absorption.sweeps"
+
+let ctmc_solve_residual =
+  g ~unit_:"residual" ~desc:"final ||pi Q||_inf of the last solve (worst BSCC)"
+    "ctmc.solve.residual"
+
+let ctmc_reward_seconds =
+  h ~unit_:"seconds" ~desc:"wall-clock time of each reward-evaluation batch"
+    "ctmc.rewards.seconds"
+
+(* Simulation *)
+
+let sim_runs =
+  c ~unit_:"runs" ~desc:"simulation trajectories executed" "sim.runs"
+
+let sim_events =
+  c ~unit_:"events" ~desc:"simulation events executed, summed over runs"
+    "sim.events"
+
+let sim_events_per_sec =
+  g ~unit_:"events/s"
+    ~desc:"aggregate event throughput of the last replication set"
+    "sim.events_per_sec"
+
+let sim_ci_rel_half_width =
+  h ~unit_:"ratio"
+    ~desc:"relative CI half-width of each estimate (half_width / |mean|)"
+    "sim.ci.rel_half_width"
+
+(* Domain pool *)
+
+let pool_parallel_maps =
+  c ~unit_:"calls" ~desc:"parallel maps that spawned worker domains"
+    "pool.parallel_maps"
+
+let pool_tasks =
+  c ~unit_:"tasks" ~desc:"work items dealt to pool workers" "pool.tasks"
+
+let pool_tasks_per_worker =
+  h ~unit_:"tasks" ~desc:"items processed by each worker of each parallel map"
+    "pool.tasks_per_worker"
+
+let pool_jobs =
+  g ~unit_:"workers" ~desc:"worker-domain count of the last parallel map"
+    "pool.jobs"
+
+let pool_utilization =
+  g ~unit_:"fraction"
+    ~desc:"busy fraction of the last parallel map (busy / workers x elapsed)"
+    "pool.utilization"
+
+let force () = ()

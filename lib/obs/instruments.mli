@@ -1,0 +1,139 @@
+(** The complete set of metrics recorded by the toolset — the measurement
+    contract, declared in one place.
+
+    Every counter, gauge, and histogram used anywhere in the stack is
+    defined here, so that (a) the registry contents do not depend on which
+    modules happen to be linked, (b) [docs/OBSERVABILITY.md] documents
+    exactly this list (checked by [test/doc_sync.ml] via the [@checkdocs]
+    alias), and (c) a name/unit change is a deliberate, reviewable edit to
+    a single file.
+
+    Naming convention: [<layer>.<subject>[.<aspect>]], all lowercase,
+    dot-separated — [adl.*] front end, [lts.*] state-space construction,
+    [bisim.*] partition refinement, [ctmc.*] Markovian solution, [sim.*]
+    discrete-event simulation, [pool.*] the domain pool. *)
+
+(** {1 Front end (adl)} *)
+
+val adl_tokens : Metrics.counter
+(** [adl.lex.tokens] — tokens produced by the lexer (EOF excluded). *)
+
+val adl_parses : Metrics.counter
+(** [adl.parse.archis] — architectural descriptions parsed. *)
+
+val adl_elem_types : Metrics.counter
+(** [adl.parse.elem_types] — element types across parsed descriptions. *)
+
+val adl_instances : Metrics.counter
+(** [adl.parse.instances] — instances across parsed descriptions. *)
+
+val adl_attachments : Metrics.counter
+(** [adl.parse.attachments] — attachments across parsed descriptions. *)
+
+val adl_constants : Metrics.counter
+(** [adl.elaborate.constants] — process constants produced by elaboration
+    (one per reachable (equation, argument) tuple). *)
+
+(** {1 State space (lts)} *)
+
+val lts_builds : Metrics.counter
+(** [lts.builds] — LTS constructions run. *)
+
+val lts_states : Metrics.counter
+(** [lts.states] — states explored, summed over builds. *)
+
+val lts_transitions : Metrics.counter
+(** [lts.transitions] — transitions derived, summed over builds. *)
+
+val lts_build_seconds : Metrics.histogram
+(** [lts.build.seconds] — wall-clock time of each LTS construction. *)
+
+(** {1 Equivalence checking (bisim)} *)
+
+val bisim_refines : Metrics.counter
+(** [bisim.refines] — partition-refinement fixpoints computed. *)
+
+val bisim_rounds : Metrics.counter
+(** [bisim.refine.rounds] — refinement iterations, summed over fixpoints
+    (the "bisim iterations" of a run). *)
+
+val bisim_blocks_per_round : Metrics.histogram
+(** [bisim.refine.blocks] — block count after each refinement round. *)
+
+val bisim_blocks : Metrics.gauge
+(** [bisim.blocks] — final block count of the last refinement fixpoint. *)
+
+(** {1 Markovian solution (ctmc)} *)
+
+val ctmc_builds : Metrics.counter
+(** [ctmc.builds] — CTMC extractions (vanishing-state eliminations). *)
+
+val ctmc_states : Metrics.counter
+(** [ctmc.states] — tangible states, summed over extractions. *)
+
+val ctmc_transitions : Metrics.counter
+(** [ctmc.transitions] — rated transitions, summed over extractions. *)
+
+val ctmc_solves : Metrics.counter
+(** [ctmc.solves] — steady-state solutions computed. *)
+
+val ctmc_solve_iterations : Metrics.counter
+(** [ctmc.solve.iterations] — linear-solver iterations, summed over BSCC
+    solves: Gauss–Seidel sweeps for sparse components, one per elimination
+    pivot for direct dense solves. *)
+
+val ctmc_absorption_sweeps : Metrics.counter
+(** [ctmc.absorption.sweeps] — fixed-point sweeps of the BSCC absorption
+    computation, summed over solves. *)
+
+val ctmc_solve_residual : Metrics.gauge
+(** [ctmc.solve.residual] — final balance-equation residual
+    [||pi Q||_inf] of the last steady-state solve (worst BSCC). *)
+
+val ctmc_reward_seconds : Metrics.histogram
+(** [ctmc.rewards.seconds] — wall-clock time of each reward-measure
+    evaluation batch against a solved CTMC. *)
+
+(** {1 Simulation (sim)} *)
+
+val sim_runs : Metrics.counter
+(** [sim.runs] — simulation trajectories executed (replications,
+    batch-means runs, and first-passage runs). *)
+
+val sim_events : Metrics.counter
+(** [sim.events] — simulation events executed, summed over trajectories. *)
+
+val sim_events_per_sec : Metrics.gauge
+(** [sim.events_per_sec] — aggregate event throughput of the last
+    replication set (events over wall-clock seconds, all domains). *)
+
+val sim_ci_rel_half_width : Metrics.histogram
+(** [sim.ci.rel_half_width] — relative confidence-interval half-width
+    ([half_width / |mean|]) of each estimated measure, recorded once per
+    replication or batch-means estimate with a non-zero mean. *)
+
+(** {1 Domain pool (pool)} *)
+
+val pool_parallel_maps : Metrics.counter
+(** [pool.parallel_maps] — parallel map invocations that actually spawned
+    worker domains (sequential fallbacks excluded). *)
+
+val pool_tasks : Metrics.counter
+(** [pool.tasks] — work items dealt to pool workers. *)
+
+val pool_tasks_per_worker : Metrics.histogram
+(** [pool.tasks_per_worker] — items processed by each worker of each
+    parallel map (balance indicator: a tight distribution means even
+    dealing). *)
+
+val pool_jobs : Metrics.gauge
+(** [pool.jobs] — worker-domain count of the last parallel map. *)
+
+val pool_utilization : Metrics.gauge
+(** [pool.utilization] — busy fraction of the last parallel map: summed
+    worker wall-time over (workers x elapsed), in [0, 1]. *)
+
+val force : unit -> unit
+(** No-op whose call forces this module's initialization, guaranteeing
+    every instrument above is registered (used by tools that only read the
+    registry, e.g. [test/doc_sync.ml]). *)

@@ -1,0 +1,271 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let num_of_int n = Num (float_of_int n)
+
+(* Shortest decimal that parses back to the same float (same idea as
+   Dpma_util.Floatfmt, duplicated because this library sits below util). *)
+let float_repr x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else
+    let try_prec p =
+      let s = Printf.sprintf "%.*g" p x in
+      if float_of_string s = x then Some s else None
+    in
+    match try_prec 15 with
+    | Some s -> s
+    | None -> (
+        match try_prec 16 with
+        | Some s -> s
+        | None -> Printf.sprintf "%.17g" x)
+
+let escape_to b s =
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let to_string ?indent j =
+  let b = Buffer.create 256 in
+  let nl level =
+    match indent with
+    | None -> ()
+    | Some step ->
+        Buffer.add_char b '\n';
+        Buffer.add_string b (String.make (level * step) ' ')
+  in
+  let sep () = Buffer.add_char b ',' in
+  let rec render level = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Num x ->
+        if Float.is_finite x then Buffer.add_string b (float_repr x)
+        else Buffer.add_string b "null"
+    | Str s ->
+        Buffer.add_char b '"';
+        escape_to b s;
+        Buffer.add_char b '"'
+    | List [] -> Buffer.add_string b "[]"
+    | List items ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then sep ();
+            nl (level + 1);
+            render (level + 1) item)
+          items;
+        nl level;
+        Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj fields ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then sep ();
+            nl (level + 1);
+            Buffer.add_char b '"';
+            escape_to b k;
+            Buffer.add_string b (if indent = None then "\":" else "\": ");
+            render (level + 1) v)
+          fields;
+        nl level;
+        Buffer.add_char b '}'
+  in
+  render 0 j;
+  Buffer.contents b
+
+exception Bad of string
+
+let parse src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "at offset %d: %s" !pos msg)) in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match src.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> incr pos
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub src !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v = int_of_string_opt ("0x" ^ String.sub src !pos 4) in
+    match v with
+    | None -> fail "malformed \\u escape"
+    | Some v ->
+        pos := !pos + 4;
+        v
+  in
+  let utf8_of b cp =
+    if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let continue_ = ref true in
+    while !continue_ do
+      if !pos >= n then fail "unterminated string";
+      let c = src.[!pos] in
+      incr pos;
+      if c = '"' then continue_ := false
+      else if c = '\\' then begin
+        if !pos >= n then fail "unterminated escape";
+        let e = src.[!pos] in
+        incr pos;
+        match e with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'n' -> Buffer.add_char b '\n'
+        | 'r' -> Buffer.add_char b '\r'
+        | 't' -> Buffer.add_char b '\t'
+        | 'u' -> utf8_of b (parse_hex4 ())
+        | _ -> fail (Printf.sprintf "bad escape \\%C" e)
+      end
+      else Buffer.add_char b c
+    done;
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char src.[!pos] do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub src start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let continue_ = ref true in
+          while !continue_ do
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr pos
+            | Some '}' ->
+                incr pos;
+                continue_ := false
+            | _ -> fail "expected ',' or '}'"
+          done;
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          List []
+        end
+        else begin
+          let items = ref [] in
+          let continue_ = ref true in
+          while !continue_ do
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr pos
+            | Some ']' ->
+                incr pos;
+                continue_ := false
+            | _ -> fail "expected ',' or ']'"
+          done;
+          List (List.rev !items)
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing input";
+    v
+  with
+  | v -> Ok v
+  | exception Bad msg -> Error msg
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> Bool.equal x y
+  | Num x, Num y -> Float.equal x y
+  | Str x, Str y -> String.equal x y
+  | List xs, List ys ->
+      List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Obj xs, Obj ys ->
+      List.length xs = List.length ys
+      && List.for_all
+           (fun (k, v) ->
+             match List.assoc_opt k ys with
+             | Some w -> equal v w
+             | None -> false)
+           xs
+  | (Null | Bool _ | Num _ | Str _ | List _ | Obj _), _ -> false
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | Null | Bool _ | Num _ | Str _ | List _ -> None

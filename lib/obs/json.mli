@@ -1,0 +1,39 @@
+(** Minimal JSON values: enough to render the stable metrics/trace schema
+    and to parse it back in tests and tooling.
+
+    Self-contained on purpose — the observability layer sits below every
+    other library of the repository and must not pull in an external JSON
+    dependency. Rendering is deterministic (object fields keep their
+    construction order; floats print as the shortest decimal that
+    round-trips), so JSON output is diffable across runs. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val num_of_int : int -> t
+(** [num_of_int n] is [Num (float_of_int n)]. *)
+
+val to_string : ?indent:int -> t -> string
+(** Render to a string. With [indent] (a non-negative column width,
+    default: compact single-line output) the value is pretty-printed with
+    newlines and the given indentation step. Non-finite numbers render as
+    [null] — the schema never carries NaN or infinities. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed; trailing input
+    is an error). Supports the full escape set including [\uXXXX] (decoded
+    to UTF-8). Numbers parse to [Num]; no distinction between integer and
+    float literals is kept. *)
+
+val equal : t -> t -> bool
+(** Structural equality. Object fields compare order-insensitively;
+    numbers compare with [Float.equal] (so [NaN] equals [NaN]). *)
+
+val member : string -> t -> t option
+(** [member key j] is the value of field [key] when [j] is an object that
+    has it. *)

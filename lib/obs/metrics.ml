@@ -1,0 +1,239 @@
+(* Sharded, domain-safe metric cells.
+
+   Every mutable cell is an [Atomic]; sharding by domain id only reduces
+   contention (two domains whose ids collide modulo [num_shards] still
+   update correctly, just on the same cache line). Merging happens at
+   snapshot time, which is rare and never on a hot path. *)
+
+let num_shards = 64 (* power of two *)
+
+let shard () = (Domain.self () :> int) land (num_shards - 1)
+
+type counter = { c_cells : int Atomic.t array }
+
+(* Log-scale (base-2) buckets starting at [lowest_bound]; the last bucket
+   is unbounded. Spans 1 ns .. ~9.2e9 in seconds, and equally well counts
+   of up to billions. *)
+let num_buckets = 64
+
+let lowest_bound = 1e-9
+
+let bucket_bound i =
+  if i >= num_buckets - 1 then infinity
+  else lowest_bound *. Float.of_int (1 lsl i)
+
+let bucket_of v =
+  if not (v > lowest_bound) then 0
+  else
+    let i = int_of_float (Float.ceil (Float.log2 (v /. lowest_bound))) in
+    if i < 0 then 0 else if i >= num_buckets then num_buckets - 1 else i
+
+type gauge = { g_cell : float Atomic.t }
+
+type histogram = {
+  h_counts : int Atomic.t array array; (* shard -> bucket *)
+  h_sums : float Atomic.t array; (* per shard *)
+  h_min : float Atomic.t;
+  h_max : float Atomic.t;
+}
+
+let rec atomic_update cell f =
+  let cur = Atomic.get cell in
+  let next = f cur in
+  if not (Float.equal cur next) then
+    if not (Atomic.compare_and_set cell cur next) then atomic_update cell f
+
+type registered = C of counter | G of gauge | H of histogram
+
+type entry = { name : string; unit_ : string; desc : string; reg : registered }
+
+(* The registry: a mutex-protected table for registration plus an ordered
+   id -> entry map for deterministic snapshots. Registration happens at
+   module-initialization time; recording never takes the lock. *)
+let lock = Mutex.create ()
+
+let by_name : (string, entry) Hashtbl.t = Hashtbl.create 64
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let wrong_type name =
+  invalid_arg
+    (Printf.sprintf
+       "Dpma_obs.Metrics: %s already registered with a different type" name)
+
+let counter ?(unit_ = "") ?(desc = "") name =
+  locked (fun () ->
+      match Hashtbl.find_opt by_name name with
+      | Some { reg = C c; _ } -> c
+      | Some _ -> wrong_type name
+      | None ->
+          let c = { c_cells = Array.init num_shards (fun _ -> Atomic.make 0) } in
+          Hashtbl.add by_name name { name; unit_; desc; reg = C c };
+          c)
+
+let gauge ?(unit_ = "") ?(desc = "") name =
+  locked (fun () ->
+      match Hashtbl.find_opt by_name name with
+      | Some { reg = G g; _ } -> g
+      | Some _ -> wrong_type name
+      | None ->
+          let g = { g_cell = Atomic.make nan } in
+          Hashtbl.add by_name name { name; unit_; desc; reg = G g };
+          g)
+
+let histogram ?(unit_ = "") ?(desc = "") name =
+  locked (fun () ->
+      match Hashtbl.find_opt by_name name with
+      | Some { reg = H h; _ } -> h
+      | Some _ -> wrong_type name
+      | None ->
+          let h =
+            {
+              h_counts =
+                Array.init num_shards (fun _ ->
+                    Array.init num_buckets (fun _ -> Atomic.make 0));
+              h_sums = Array.init num_shards (fun _ -> Atomic.make 0.0);
+              h_min = Atomic.make nan;
+              h_max = Atomic.make nan;
+            }
+          in
+          Hashtbl.add by_name name { name; unit_; desc; reg = H h };
+          h)
+
+let add c n =
+  if n > 0 then ignore (Atomic.fetch_and_add c.c_cells.(shard ()) n)
+
+let incr c = add c 1
+
+let count c = Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 c.c_cells
+
+let set g v = Atomic.set g.g_cell v
+
+let value g = Atomic.get g.g_cell
+
+let observe h v =
+  let s = shard () in
+  ignore (Atomic.fetch_and_add h.h_counts.(s).(bucket_of v) 1);
+  atomic_update h.h_sums.(s) (fun cur -> cur +. v);
+  atomic_update h.h_min (fun cur ->
+      if Float.is_nan cur || v < cur then v else cur);
+  atomic_update h.h_max (fun cur ->
+      if Float.is_nan cur || v > cur then v else cur)
+
+type hist_stats = {
+  hist_count : int;
+  hist_sum : float;
+  hist_min : float;
+  hist_max : float;
+  buckets : (float * int) list;
+}
+
+let stats h =
+  let per_bucket = Array.make num_buckets 0 in
+  Array.iter
+    (fun row ->
+      Array.iteri (fun b cell -> per_bucket.(b) <- per_bucket.(b) + Atomic.get cell) row)
+    h.h_counts;
+  let buckets = ref [] in
+  for b = num_buckets - 1 downto 0 do
+    if per_bucket.(b) > 0 then buckets := (bucket_bound b, per_bucket.(b)) :: !buckets
+  done;
+  {
+    hist_count = Array.fold_left (fun acc n -> acc + n) 0 per_bucket;
+    hist_sum = Array.fold_left (fun acc cell -> acc +. Atomic.get cell) 0.0 h.h_sums;
+    hist_min = Atomic.get h.h_min;
+    hist_max = Atomic.get h.h_max;
+    buckets = !buckets;
+  }
+
+type value_view =
+  | Counter_value of int
+  | Gauge_value of float
+  | Histogram_value of hist_stats
+
+type item = { name : string; unit_ : string; desc : string; value : value_view }
+
+let entries () : entry list =
+  locked (fun () -> Hashtbl.fold (fun _ e acc -> e :: acc) by_name [])
+  |> List.sort (fun (a : entry) (b : entry) -> String.compare a.name b.name)
+
+let snapshot () =
+  entries ()
+  |> List.map (fun e ->
+         let value =
+           match e.reg with
+           | C c -> Counter_value (count c)
+           | G g -> Gauge_value (value g)
+           | H h -> Histogram_value (stats h)
+         in
+         { name = e.name; unit_ = e.unit_; desc = e.desc; value })
+
+let names () = List.map (fun (e : entry) -> e.name) (entries ())
+
+let reset () =
+  List.iter
+    (fun e ->
+      match e.reg with
+      | C c -> Array.iter (fun cell -> Atomic.set cell 0) c.c_cells
+      | G g -> Atomic.set g.g_cell nan
+      | H h ->
+          Array.iter (Array.iter (fun cell -> Atomic.set cell 0)) h.h_counts;
+          Array.iter (fun cell -> Atomic.set cell 0.0) h.h_sums;
+          Atomic.set h.h_min nan;
+          Atomic.set h.h_max nan)
+    (entries ())
+
+let float_str x =
+  if Float.is_nan x then "-" else Printf.sprintf "%.6g" x
+
+let pp_float ppf x = Format.pp_print_string ppf (float_str x)
+
+let pp_text ppf () =
+  List.iter
+    (fun it ->
+      (match it.value with
+      | Counter_value n -> Format.fprintf ppf "%-28s %14d" it.name n
+      | Gauge_value v -> Format.fprintf ppf "%-28s %14s" it.name (float_str v)
+      | Histogram_value s ->
+          Format.fprintf ppf "%-28s n=%d sum=%a min=%a max=%a" it.name
+            s.hist_count pp_float s.hist_sum pp_float s.hist_min pp_float
+            s.hist_max);
+      if it.unit_ <> "" then Format.fprintf ppf " %s" it.unit_;
+      Format.fprintf ppf "@.")
+    (snapshot ())
+
+let to_json () =
+  Json.List
+    (List.map
+       (fun it ->
+         let base =
+           [ ("name", Json.Str it.name) ]
+           @ (if it.unit_ = "" then [] else [ ("unit", Json.Str it.unit_) ])
+           @ if it.desc = "" then [] else [ ("desc", Json.Str it.desc) ]
+         in
+         match it.value with
+         | Counter_value n ->
+             Json.Obj
+               (base @ [ ("type", Json.Str "counter"); ("value", Json.num_of_int n) ])
+         | Gauge_value v ->
+             Json.Obj (base @ [ ("type", Json.Str "gauge"); ("value", Json.Num v) ])
+         | Histogram_value s ->
+             Json.Obj
+               (base
+               @ [
+                   ("type", Json.Str "histogram");
+                   ("count", Json.num_of_int s.hist_count);
+                   ("sum", Json.Num s.hist_sum);
+                   ("min", Json.Num s.hist_min);
+                   ("max", Json.Num s.hist_max);
+                   ( "buckets",
+                     Json.List
+                       (List.map
+                          (fun (le, n) ->
+                            Json.Obj
+                              [ ("le", Json.Num le); ("count", Json.num_of_int n) ])
+                          s.buckets) );
+                 ]))
+       (snapshot ()))

@@ -1,0 +1,103 @@
+(** Process-wide metrics registry: named counters, gauges, and log-scale
+    histograms.
+
+    Instruments are registered once (usually at module initialization; the
+    full set lives in {!Instruments}) and recorded from anywhere — including
+    from the worker domains of [Dpma_util.Pool]. Recording is domain-safe
+    and contention-free: counter and histogram cells are sharded per domain
+    and merged only when a snapshot is read, so parallel sweeps pay one
+    uncontended atomic add per recording.
+
+    Recording is always on. It is cheap by design — every instrumentation
+    point in the library is coarse-grained (per build, per solve, per
+    refinement round, per replication; never per simulation event) — and
+    the [--metrics] flags only control whether the registry is *reported*.
+
+    The metric names, units, and JSON rendering form a stable interface
+    documented in [docs/OBSERVABILITY.md]; [test/doc_sync.ml] keeps the two
+    in sync. *)
+
+type counter
+(** Monotone integer count, e.g. states explored or events simulated. *)
+
+type gauge
+(** Last-recorded float value, e.g. the final solver residual. Unset
+    gauges read as [nan] and render as [null] / ["-"]. *)
+
+type histogram
+(** Distribution of non-negative float observations in logarithmic
+    (base-2) buckets, with exact count, sum, min, and max. *)
+
+val counter : ?unit_:string -> ?desc:string -> string -> counter
+(** [counter name] registers (or retrieves) the counter called [name].
+    Raises [Invalid_argument] if [name] is registered with another type. *)
+
+val gauge : ?unit_:string -> ?desc:string -> string -> gauge
+(** Same registration contract as {!counter}, for gauges. *)
+
+val histogram : ?unit_:string -> ?desc:string -> string -> histogram
+(** Same registration contract as {!counter}, for histograms. *)
+
+val incr : counter -> unit
+(** Add one. *)
+
+val add : counter -> int -> unit
+(** Add [n] (negative increments are not meaningful and are ignored). *)
+
+val count : counter -> int
+(** Merged total across all domain shards. *)
+
+val set : gauge -> float -> unit
+(** Record the current value; the last write wins. *)
+
+val value : gauge -> float
+(** Last recorded value; [nan] when never set. *)
+
+val observe : histogram -> float -> unit
+(** Record one observation. Values [<= 0] land in the lowest bucket but
+    still contribute exactly to count, sum, min, and max. *)
+
+type hist_stats = {
+  hist_count : int;  (** number of observations *)
+  hist_sum : float;  (** sum of observations *)
+  hist_min : float;  (** smallest observation; [nan] when empty *)
+  hist_max : float;  (** largest observation; [nan] when empty *)
+  buckets : (float * int) list;
+      (** non-empty buckets as [(upper_bound, count)], ascending;
+          the last bound may be [infinity] *)
+}
+
+val stats : histogram -> hist_stats
+(** Merged histogram statistics across all domain shards. *)
+
+type value_view =
+  | Counter_value of int
+  | Gauge_value of float
+  | Histogram_value of hist_stats
+      (** One metric's merged value, as read by {!snapshot}. *)
+
+type item = {
+  name : string;
+  unit_ : string;  (** e.g. ["states"], ["seconds"], ["events/s"] *)
+  desc : string;
+  value : value_view;
+}
+(** One row of a registry snapshot. *)
+
+val snapshot : unit -> item list
+(** All registered metrics with their merged values, sorted by name. *)
+
+val names : unit -> string list
+(** Registered metric names, sorted. *)
+
+val reset : unit -> unit
+(** Zero every value (registrations are kept). Counters return to 0,
+    gauges to unset, histograms to empty. *)
+
+val pp_text : Format.formatter -> unit -> unit
+(** Human-readable table of {!snapshot}, one metric per line. *)
+
+val to_json : unit -> Json.t
+(** The snapshot as a JSON array of metric objects — the stable shape
+    documented in [docs/OBSERVABILITY.md] (carried by the [dpma.obs/1]
+    and [dpma.bench/1] reports). *)

@@ -4,6 +4,21 @@ module Dist = Dpma_dist.Dist
 module Prng = Dpma_util.Prng
 module Pool = Dpma_util.Pool
 module Stats = Dpma_util.Stats
+module Obs = Dpma_obs
+
+(* One record per completed run/batch set: totals feed the sim.* counters,
+   the throughput gauge keeps the most recent runs-per-wall-second figure. *)
+let record_runs ~runs ~events ~elapsed =
+  let module I = Obs.Instruments in
+  Obs.Metrics.add I.sim_runs runs;
+  Obs.Metrics.add I.sim_events events;
+  if elapsed > 0.0 && events > 0 then
+    Obs.Metrics.set I.sim_events_per_sec (float_of_int events /. elapsed)
+
+let record_ci (s : Stats.summary) =
+  if s.mean <> 0.0 && Float.is_finite s.half_width then
+    Obs.Metrics.observe Obs.Instruments.sim_ci_rel_half_width
+      (abs_float (s.half_width /. s.mean))
 
 type timing =
   | Timed of Dist.t
@@ -286,17 +301,29 @@ let replication_streams ~runs ~seed =
 let replicate ?timing ?warmup ?confidence ?jobs ~lts ~duration ~estimands ~runs
     ~seed () =
   assert (runs >= 1);
+  Obs.Trace.with_span "sim.replicate"
+    ~attrs:[ ("runs", Obs.Trace.Int runs) ] (fun () ->
+  let t0 = Obs.Clock.now_s () in
   let per_run =
     Pool.parallel_map ?jobs
-      (fun g -> (run ?timing ?warmup ~lts ~duration ~estimands g).values)
+      (fun g ->
+        let r = run ?timing ?warmup ~lts ~duration ~estimands g in
+        (r.values, r.events))
       (replication_streams ~runs ~seed)
   in
+  record_runs ~runs
+    ~events:(List.fold_left (fun acc (_, e) -> acc + e) 0 per_run)
+    ~elapsed:(Obs.Clock.now_s () -. t0);
   let accs = List.map (fun _ -> Stats.accumulator ()) estimands in
   (* Accumulate in run order (Welford is order-sensitive in the last bits). *)
   List.iter
-    (fun values -> List.iteri (fun i acc -> Stats.add acc values.(i)) accs)
+    (fun (values, _) -> List.iteri (fun i acc -> Stats.add acc values.(i)) accs)
     per_run;
-  Array.of_list (List.map (fun acc -> Stats.summarize ?confidence acc) accs)
+  let summaries =
+    Array.of_list (List.map (fun acc -> Stats.summarize ?confidence acc) accs)
+  in
+  Array.iter record_ci summaries;
+  summaries)
 
 let batch_means ?timing ?(warmup = 0.0) ?confidence ~lts ~batches
     ~batch_duration ~estimands ~seed () =
@@ -310,15 +337,21 @@ let batch_means ?timing ?(warmup = 0.0) ?confidence ~lts ~batches
           else warmup +. (float_of_int i *. batch_duration)
         else float_of_int (i + 1) *. batch_duration)
   in
-  let values, _ =
+  let t0 = Obs.Clock.now_s () in
+  let values, events =
     run_segments ?timing ~lts ~boundaries ~estimands (Prng.create seed)
   in
+  record_runs ~runs:1 ~events ~elapsed:(Obs.Clock.now_s () -. t0);
   let first_batch = if warmup > 0.0 then 1 else 0 in
   let accs = List.map (fun _ -> Stats.accumulator ()) estimands in
   for seg = first_batch to Array.length boundaries - 1 do
     List.iteri (fun i acc -> Stats.add acc values.(seg).(i)) accs
   done;
-  Array.of_list (List.map (fun acc -> Stats.summarize ?confidence acc) accs)
+  let summaries =
+    Array.of_list (List.map (fun acc -> Stats.summarize ?confidence acc) accs)
+  in
+  Array.iter record_ci summaries;
+  summaries
 
 exception Hit of float
 
@@ -342,6 +375,7 @@ let first_passage ?timing ?confidence ?(horizon = 1e7) ?jobs ~lts ~target ~runs
         end)
       (replication_streams ~runs ~seed)
   in
+  Obs.Metrics.add Obs.Instruments.sim_runs runs;
   let acc = Stats.accumulator () in
   let censored = ref 0 in
   List.iter
@@ -349,4 +383,6 @@ let first_passage ?timing ?confidence ?(horizon = 1e7) ?jobs ~lts ~target ~runs
       Stats.add acc t;
       if was_censored then incr censored)
     outcomes;
-  (Stats.summarize ?confidence acc, !censored)
+  let summary = Stats.summarize ?confidence acc in
+  record_ci summary;
+  (summary, !censored)

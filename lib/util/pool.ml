@@ -8,6 +8,8 @@
    recorded; the lowest-index exception is re-raised with its backtrace
    after every domain has joined. *)
 
+module Obs = Dpma_obs
+
 let clamp_jobs j = if j < 1 then 1 else j
 
 let env_jobs () =
@@ -61,15 +63,26 @@ let parallel_map ?jobs f xs =
         let next = Atomic.make 0 in
         let failures : failure list Atomic.t = Atomic.make [] in
         let chunk = clamp_jobs (n / (jobs * 4)) in
+        let busy_s = Atomic.make 0.0 in
+        let add_busy dt =
+          let rec go () =
+            let cur = Atomic.get busy_s in
+            if not (Atomic.compare_and_set busy_s cur (cur +. dt)) then go ()
+          in
+          go ()
+        in
         let worker () =
           let was_inside = Domain.DLS.get inside_pool in
           Domain.DLS.set inside_pool true;
+          let t0 = Obs.Clock.now_s () in
+          let processed = ref 0 in
           let continue_ = ref true in
           while !continue_ do
             let lo = Atomic.fetch_and_add next chunk in
             if lo >= n || Atomic.get failures <> [] then continue_ := false
             else
               for i = lo to min (lo + chunk) n - 1 do
+                incr processed;
                 match f input.(i) with
                 | y -> results.(i) <- Some y
                 | exception exn ->
@@ -77,13 +90,25 @@ let parallel_map ?jobs f xs =
                     record_failure failures { index = i; exn; backtrace }
               done
           done;
+          add_busy (Obs.Clock.now_s () -. t0);
+          Obs.Metrics.observe Obs.Instruments.pool_tasks_per_worker
+            (float_of_int !processed);
           Domain.DLS.set inside_pool was_inside
         in
+        let t_start = Obs.Clock.now_s () in
         let spawned =
           Array.init (min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker)
         in
         worker ();
         Array.iter Domain.join spawned;
+        let elapsed = Obs.Clock.now_s () -. t_start in
+        let workers = Array.length spawned + 1 in
+        Obs.Metrics.incr Obs.Instruments.pool_parallel_maps;
+        Obs.Metrics.add Obs.Instruments.pool_tasks n;
+        Obs.Metrics.set Obs.Instruments.pool_jobs (float_of_int workers);
+        if elapsed > 0.0 then
+          Obs.Metrics.set Obs.Instruments.pool_utilization
+            (Atomic.get busy_s /. (float_of_int workers *. elapsed));
         match Atomic.get failures with
         | [] -> Array.to_list (Array.map Option.get results)
         | first :: rest ->

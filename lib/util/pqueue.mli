@@ -6,8 +6,13 @@
 type 'a t
 
 val create : unit -> 'a t
+(** A fresh empty heap. *)
+
 val is_empty : 'a t -> bool
+(** [true] iff the heap holds no entries. *)
+
 val size : 'a t -> int
+(** Number of entries currently in the heap. *)
 
 val add : 'a t -> float -> 'a -> unit
 (** [add q priority v] inserts [v] with the given priority. *)
@@ -20,6 +25,7 @@ val pop : 'a t -> (float * 'a) option
     priorities, the earliest inserted wins. *)
 
 val clear : 'a t -> unit
+(** Remove every entry, keeping the underlying storage for reuse. *)
 
 val to_sorted_list : 'a t -> (float * 'a) list
 (** Non-destructive: all entries in ascending priority order. *)

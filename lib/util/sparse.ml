@@ -45,7 +45,9 @@ let power_stationary ?(max_iter = 200_000) ?(tol = 1e-12) p ~init =
   done;
   !x
 
-let gauss_seidel_stationary ?(max_iter = 100_000) ?(tol = 1e-12) q =
+type solve_stats = { iterations : int; last_delta : float }
+
+let gauss_seidel_stationary ?(max_iter = 100_000) ?(tol = 1e-12) ?stats q =
   let n = q.n in
   (* Column access: pi Q = 0 means for each j: sum_i pi_i q_ij = 0, i.e.
      pi_j = (sum_{i<>j} pi_i q_ij) / (-q_jj). Build the transposed structure. *)
@@ -59,6 +61,7 @@ let gauss_seidel_stationary ?(max_iter = 100_000) ?(tol = 1e-12) q =
   let pi = Array.make n (1.0 /. float_of_int n) in
   let iter = ref 0 in
   let continue_ = ref true in
+  let final_delta = ref infinity in
   while !continue_ && !iter < max_iter do
     let delta = ref 0.0 in
     for j = 0 to n - 1 do
@@ -73,6 +76,10 @@ let gauss_seidel_stationary ?(max_iter = 100_000) ?(tol = 1e-12) q =
     let total = Array.fold_left ( +. ) 0.0 pi in
     if total > 0.0 then Array.iteri (fun i v -> pi.(i) <- v /. total) pi;
     if !delta < tol then continue_ := false;
+    final_delta := !delta;
     incr iter
   done;
+  (match stats with
+  | Some r -> r := { iterations = !iter; last_delta = !final_delta }
+  | None -> ());
   pi

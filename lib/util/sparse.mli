@@ -10,18 +10,23 @@ val create : int -> t
 (** [create n] is an [n × n] zero matrix. *)
 
 val dim : t -> int
+(** Side length of the (square) matrix. *)
 
 val add_entry : t -> int -> int -> float -> unit
 (** [add_entry m i j v] adds [v] to entry [(i, j)] (accumulating). *)
 
 val get : t -> int -> int -> float
+(** [get m i j] is entry [(i, j)]; [0.] where no entry was added. *)
 
 val row : t -> int -> (int * float) list
+(** [row m i] is the non-zero entries of row [i] as [(column, value)]
+    pairs, in insertion order. *)
 
 val nnz : t -> int
+(** Number of stored (non-zero) entries. *)
 
 val vec_mat : float array -> t -> float array
-(** [vec_mat x m] is the row vector [x m]. *)
+(** [vec_mat x m] is the row-vector product [x m]. *)
 
 val power_stationary :
   ?max_iter:int -> ?tol:float -> t -> init:float array -> float array
@@ -29,8 +34,13 @@ val power_stationary :
     L1 change falls below [tol] (default [1e-12]); [p] must be a stochastic
     matrix. Returns the (sub)stationary vector reached. *)
 
+type solve_stats = { iterations : int; last_delta : float }
+(** Convergence report of an iterative solve: the number of sweeps
+    performed and the L1 change of the final sweep. *)
+
 val gauss_seidel_stationary :
-  ?max_iter:int -> ?tol:float -> t -> float array
+  ?max_iter:int -> ?tol:float -> ?stats:solve_stats ref -> t -> float array
 (** [gauss_seidel_stationary q] solves [pi Q = 0, sum pi = 1] for an
     irreducible generator [q] by Gauss–Seidel sweeps on the normalized
-    balance equations. *)
+    balance equations. When [stats] is given, the cell is overwritten
+    with the iteration count and final delta of this solve. *)

@@ -8,8 +8,14 @@ type accumulator
 (** Welford running accumulator for mean and variance. *)
 
 val accumulator : unit -> accumulator
+(** A fresh accumulator with no observations. *)
+
 val add : accumulator -> float -> unit
+(** Feed one observation into the accumulator. *)
+
 val count : accumulator -> int
+(** Number of observations added so far. *)
+
 val mean : accumulator -> float
 (** Mean of the observations added so far; [nan] when empty. *)
 
@@ -17,6 +23,7 @@ val variance : accumulator -> float
 (** Unbiased sample variance; [0.] with fewer than two observations. *)
 
 val stddev : accumulator -> float
+(** Square root of {!variance}. *)
 
 type summary = {
   n : int;
@@ -31,6 +38,7 @@ val summarize : ?confidence:float -> accumulator -> summary
     [confidence] defaults to [0.90] (the level used in the paper's Fig. 5). *)
 
 val of_samples : ?confidence:float -> float list -> summary
+(** {!summarize} over a list of observations. *)
 
 val student_t_quantile : df:int -> float -> float
 (** [student_t_quantile ~df p] is the [p]-quantile of the Student-t
@@ -42,5 +50,7 @@ val normal_quantile : float -> float
     (Acklam's rational approximation, |error| < 1.2e-8). *)
 
 val mean_of : float list -> float
+(** Arithmetic mean of a list; [nan] when empty. *)
+
 val relative_error : reference:float -> float -> float
 (** [relative_error ~reference x] = |x - reference| / max(|reference|, eps). *)

@@ -3,6 +3,7 @@
 let () =
   Alcotest.run "dpma"
     [
+      ("obs", Test_obs.suite);
       ("util", Test_util.suite);
       ("pool", Test_pool.suite);
       ("dist", Test_dist.suite);

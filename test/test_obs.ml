@@ -1,0 +1,260 @@
+(* Tests for the observability layer: metric cell semantics, shard
+   merging under real parallel_map workers, JSON round-trips, and the
+   well-formedness of the span tree. The registry and the trace store are
+   process-global, so tests use uniquely named metrics and reset the
+   trace state they touch. *)
+
+module Metrics = Dpma_obs.Metrics
+module Trace = Dpma_obs.Trace
+module Json = Dpma_obs.Json
+module Report = Dpma_obs.Report
+module Pool = Dpma_util.Pool
+
+let find_item name =
+  match
+    List.find_opt (fun it -> String.equal it.Metrics.name name) (Metrics.snapshot ())
+  with
+  | Some it -> it
+  | None -> Alcotest.failf "metric %s not in snapshot" name
+
+(* --- counters ----------------------------------------------------- *)
+
+let test_counter_semantics () =
+  let c = Metrics.counter ~unit_:"items" "test.obs.counter" in
+  Alcotest.(check int) "starts at zero" 0 (Metrics.count c);
+  Metrics.incr c;
+  Metrics.add c 41;
+  Alcotest.(check int) "incr + add" 42 (Metrics.count c);
+  Metrics.add c 0;
+  Metrics.add c (-5);
+  Alcotest.(check int) "non-positive add ignored" 42 (Metrics.count c);
+  let c' = Metrics.counter "test.obs.counter" in
+  Metrics.incr c';
+  Alcotest.(check int) "re-registration shares the cell" 43 (Metrics.count c)
+
+let test_registration_type_conflict () =
+  ignore (Metrics.counter "test.obs.conflict");
+  Alcotest.check_raises "counter name reused as gauge"
+    (Invalid_argument
+       "Dpma_obs.Metrics: test.obs.conflict already registered with a \
+        different type") (fun () -> ignore (Metrics.gauge "test.obs.conflict"))
+
+let test_gauge_semantics () =
+  let g = Metrics.gauge ~unit_:"ratio" "test.obs.gauge" in
+  Alcotest.(check bool) "unset gauge is nan" true (Float.is_nan (Metrics.value g));
+  Metrics.set g 0.75;
+  Alcotest.(check (float 0.0)) "set overwrites" 0.75 (Metrics.value g)
+
+(* --- histograms --------------------------------------------------- *)
+
+let test_histogram_semantics () =
+  let h = Metrics.histogram ~unit_:"s" "test.obs.hist" in
+  List.iter (Metrics.observe h) [ 1e-6; 2e-6; 0.5; 3.0 ];
+  let s =
+    match (find_item "test.obs.hist").Metrics.value with
+    | Metrics.Histogram_value s -> s
+    | _ -> Alcotest.fail "expected histogram"
+  in
+  Alcotest.(check int) "count" 4 s.Metrics.hist_count;
+  Alcotest.(check (float 1e-9)) "sum" 3.500003 s.Metrics.hist_sum;
+  Alcotest.(check (float 0.0)) "min" 1e-6 s.Metrics.hist_min;
+  Alcotest.(check (float 0.0)) "max" 3.0 s.Metrics.hist_max;
+  let bucket_total = List.fold_left (fun acc (_, n) -> acc + n) 0 s.Metrics.buckets in
+  Alcotest.(check int) "buckets account for every observation" 4 bucket_total;
+  List.iter
+    (fun (le, _) ->
+      Alcotest.(check bool) "bucket bounds are positive" true (le > 0.0))
+    s.Metrics.buckets
+
+(* --- shard merge under parallel workers --------------------------- *)
+
+let test_shard_merge_under_pool () =
+  let c = Metrics.counter "test.obs.sharded" in
+  let h = Metrics.histogram "test.obs.sharded_hist" in
+  let n = 1000 in
+  ignore
+    (Pool.parallel_map ~jobs:4
+       (fun i ->
+         Metrics.incr c;
+         Metrics.observe h (float_of_int (1 + (i mod 7)));
+         i)
+       (List.init n (fun i -> i)));
+  Alcotest.(check int) "each worker increment merged at read" n (Metrics.count c);
+  let s =
+    match (find_item "test.obs.sharded_hist").Metrics.value with
+    | Metrics.Histogram_value s -> s
+    | _ -> Alcotest.fail "expected histogram"
+  in
+  Alcotest.(check int) "histogram shards merged" n s.Metrics.hist_count
+
+(* --- snapshot and JSON -------------------------------------------- *)
+
+let test_snapshot_sorted_and_reset () =
+  ignore (Metrics.counter "test.obs.zz");
+  ignore (Metrics.counter "test.obs.aa");
+  let names = Metrics.names () in
+  Alcotest.(check (list string))
+    "names are sorted" (List.sort String.compare names) names;
+  let c = Metrics.counter "test.obs.resettable" in
+  Metrics.add c 5;
+  Metrics.reset ();
+  Alcotest.(check int) "reset clears counters" 0 (Metrics.count c)
+
+let test_metrics_json_round_trip () =
+  let c = Metrics.counter ~unit_:"things" ~desc:"round trip" "test.obs.json" in
+  Metrics.add c 7;
+  (* Unset gauges are [nan] and render as [null], so the round-trip
+     property is at the rendering level: render(parse(render(m))) must
+     reproduce render(m) byte for byte. *)
+  let rendered = Json.to_string ~indent:2 (Metrics.to_json ()) in
+  match Json.parse rendered with
+  | Error msg -> Alcotest.failf "metrics JSON does not parse: %s" msg
+  | Ok parsed ->
+      Alcotest.(check string)
+        "render is stable under parse" rendered
+        (Json.to_string ~indent:2 parsed)
+
+let test_json_value_round_trip () =
+  let doc =
+    Json.Obj
+      [
+        ("s", Json.Str "a\"b\\c\nd");
+        ("n", Json.Num 1.5);
+        ("neg", Json.Num (-0.25));
+        ("i", Json.num_of_int 42);
+        ("t", Json.Bool true);
+        ("nil", Json.Null);
+        ("l", Json.List [ Json.Num 1.0; Json.Str "x"; Json.Obj [] ]);
+      ]
+  in
+  match Json.parse (Json.to_string doc) with
+  | Error msg -> Alcotest.failf "round trip parse failed: %s" msg
+  | Ok parsed ->
+      Alcotest.(check bool) "structural equality" true (Json.equal doc parsed);
+      (* Non-finite numbers must degrade to null, keeping output parseable. *)
+      let inf_doc = Json.Obj [ ("x", Json.Num infinity) ] in
+      Alcotest.(check bool)
+        "non-finite renders as null" true
+        (match Json.parse (Json.to_string inf_doc) with
+        | Ok j -> Json.equal j (Json.Obj [ ("x", Json.Null) ])
+        | Error _ -> false)
+
+(* --- spans --------------------------------------------------------- *)
+
+let test_span_nesting () =
+  Trace.reset ();
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.reset ())
+    (fun () ->
+      let r =
+        Trace.with_span "outer" (fun () ->
+            Trace.with_span "inner.a" (fun () -> ());
+            Trace.with_span "inner.b" ~attrs:[ ("k", Trace.Int 3) ] (fun () -> ());
+            17)
+      in
+      Alcotest.(check int) "with_span returns the body's value" 17 r;
+      match Trace.roots () with
+      | [ root ] ->
+          Alcotest.(check string) "root name" "outer" root.Trace.name;
+          Alcotest.(check (list string))
+            "children in start order" [ "inner.a"; "inner.b" ]
+            (List.map (fun s -> s.Trace.name) root.Trace.children);
+          List.iter
+            (fun child ->
+              Alcotest.(check bool) "child starts after parent" true
+                (child.Trace.start_s >= root.Trace.start_s);
+              Alcotest.(check bool) "child fits inside parent" true
+                (child.Trace.start_s +. child.Trace.dur_s
+                 <= root.Trace.start_s +. root.Trace.dur_s +. 1e-6))
+            root.Trace.children
+      | roots -> Alcotest.failf "expected 1 root, got %d" (List.length roots))
+
+let test_span_exception_safety () =
+  Trace.reset ();
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.reset ())
+    (fun () ->
+      (try Trace.with_span "failing" (fun () -> failwith "boom") with
+      | Failure _ -> ());
+      (* The stack must have been unwound: a new span is again a root. *)
+      Trace.with_span "after" (fun () -> ());
+      let names = List.map (fun s -> s.Trace.name) (Trace.roots ()) in
+      Alcotest.(check (list string))
+        "both spans closed as roots" [ "failing"; "after" ] names)
+
+let test_span_disabled_is_transparent () =
+  Trace.reset ();
+  Alcotest.(check bool) "disabled by default here" false (Trace.enabled ());
+  let r = Trace.with_span "ignored" (fun () -> 5) in
+  Alcotest.(check int) "body still runs" 5 r;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Trace.roots ()))
+
+let test_trace_json () =
+  Trace.reset ();
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.reset ())
+    (fun () ->
+      Trace.with_span "a" (fun () -> Trace.with_span "b" (fun () -> ()));
+      let doc = Trace.to_json () in
+      (match Json.member "schema" doc with
+      | Some (Json.Str "dpma.trace/1") -> ()
+      | _ -> Alcotest.fail "trace schema missing");
+      match Json.parse (Json.to_string doc) with
+      | Ok j ->
+          Alcotest.(check bool) "trace JSON round-trips" true (Json.equal j doc)
+      | Error msg -> Alcotest.failf "trace JSON does not parse: %s" msg)
+
+(* --- instruments / report ----------------------------------------- *)
+
+let test_instruments_registered () =
+  Dpma_obs.Instruments.force ();
+  let names = Metrics.names () in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " registered") true (List.mem n names))
+    [
+      "lts.states";
+      "bisim.refine.rounds";
+      "ctmc.solve.iterations";
+      "ctmc.solve.residual";
+      "sim.events_per_sec";
+      "pool.utilization";
+    ]
+
+let test_report_json_shape () =
+  let doc = Report.to_json () in
+  (match Json.member "schema" doc with
+  | Some (Json.Str "dpma.obs/1") -> ()
+  | _ -> Alcotest.fail "report schema missing");
+  match Json.member "metrics" doc with
+  | Some (Json.List _) -> ()
+  | _ -> Alcotest.fail "report metrics array missing"
+
+let suite =
+  [
+    Alcotest.test_case "counter semantics" `Quick test_counter_semantics;
+    Alcotest.test_case "registration type conflict" `Quick
+      test_registration_type_conflict;
+    Alcotest.test_case "gauge semantics" `Quick test_gauge_semantics;
+    Alcotest.test_case "histogram semantics" `Quick test_histogram_semantics;
+    Alcotest.test_case "shard merge under pool" `Quick test_shard_merge_under_pool;
+    Alcotest.test_case "snapshot sorted, reset" `Quick test_snapshot_sorted_and_reset;
+    Alcotest.test_case "metrics JSON round trip" `Quick test_metrics_json_round_trip;
+    Alcotest.test_case "json value round trip" `Quick test_json_value_round_trip;
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "span exception safety" `Quick test_span_exception_safety;
+    Alcotest.test_case "disabled spans are transparent" `Quick
+      test_span_disabled_is_transparent;
+    Alcotest.test_case "trace JSON" `Quick test_trace_json;
+    Alcotest.test_case "instruments registered" `Quick test_instruments_registered;
+    Alcotest.test_case "report JSON shape" `Quick test_report_json_shape;
+  ]
