@@ -20,6 +20,10 @@ let read_all ic =
 (* Metric names that every pipeline run must populate. *)
 let required =
   [
+    "pa.terms";
+    "pa.labels";
+    "sos.memo.hits";
+    "sos.memo.misses";
     "lts.states";
     "lts.transitions";
     "bisim.refine.rounds";
@@ -43,6 +47,26 @@ let () =
   (match Json.member "figures_wall_clock_s" doc with
   | Some (Json.Obj _) -> ()
   | _ -> fail "missing \"figures_wall_clock_s\" object");
+  (* Tiny runs time the two paper studies through the compiled core; both
+     phases must be present and positive for both studies. *)
+  (match Json.member "study_seconds" doc with
+  | Some (Json.Obj _ as studies) ->
+      List.iter
+        (fun study ->
+          match Json.member study studies with
+          | Some (Json.Obj _ as entry) ->
+              List.iter
+                (fun phase ->
+                  match Json.member phase entry with
+                  | Some (Json.Num v) when v > 0.0 -> ()
+                  | Some j ->
+                      fail "study_seconds.%s.%s should be positive, got %s"
+                        study phase (Json.to_string j)
+                  | None -> fail "study_seconds.%s misses %s" study phase)
+                [ "lts.build_seconds"; "bisim.refine_seconds" ]
+          | _ -> fail "study_seconds misses study %s" study)
+        [ "rpc"; "streaming" ]
+  | _ -> fail "missing \"study_seconds\" object");
   let metrics =
     match Json.member "metrics" doc with
     | Some (Json.List items) -> items
@@ -70,5 +94,5 @@ let () =
       | Some (Json.Num v) when v > 0.0 -> ()
       | Some j -> fail "metric %s should be positive, got %s" n (Json.to_string j)
       | None -> fail "metric %s has no \"value\"" n)
-    [ "lts.states"; "ctmc.states"; "sim.events" ];
+    [ "lts.states"; "ctmc.states"; "sim.events"; "sos.memo.hits"; "sos.memo.misses" ];
   print_endline "bench json report ok"

@@ -93,6 +93,68 @@ let timed name f =
   r
 
 (* ------------------------------------------------------------------ *)
+(* Per-study compiled-core timings and state-count goldens             *)
+
+(* Smoke and tiny runs time the two paper studies through the compiled
+   state-space core (BFS build over the memoized SOS engine, then the
+   weak-bisimulation noninterference check) and assert the known state
+   counts — a refactor of the term/label/LTS representation must change
+   neither. The timings land in BENCH_results.json under
+   "study_seconds" so regressions of the two hot phases are visible
+   per study, not just as aggregate histograms. *)
+
+let study_seconds : (string * (string * float) list) list ref = ref []
+
+let study_golden_counts =
+  [ ("rpc", (546, 546)); ("streaming", (2565, 19133)) ]
+
+let study_timings () =
+  let check what expected actual =
+    if expected <> actual then begin
+      Printf.eprintf
+        "[bench] GOLDEN MISMATCH %s: expected %d states, got %d\n%!" what
+        expected actual;
+      exit 1
+    end
+  in
+  let one name (study : Dpma_core.Pipeline.study) =
+    let functional_states, full_states =
+      List.assoc name study_golden_counts
+    in
+    let t0 = Unix.gettimeofday () in
+    let lts = Lts.of_spec study.Dpma_core.Pipeline.spec in
+    let build_s = Unix.gettimeofday () -. t0 in
+    check (name ^ " full") full_states lts.Lts.num_states;
+    let functional =
+      Option.value ~default:study.Dpma_core.Pipeline.spec
+        study.Dpma_core.Pipeline.functional_spec
+    in
+    let flts = Lts.of_spec functional in
+    check (name ^ " functional") functional_states flts.Lts.num_states;
+    let t1 = Unix.gettimeofday () in
+    (match
+       NI.check_spec functional ~high:study.Dpma_core.Pipeline.high
+         ~low:study.Dpma_core.Pipeline.low
+     with
+    | NI.Secure -> ()
+    | NI.Insecure _ ->
+        Printf.eprintf "[bench] GOLDEN MISMATCH %s: expected secure verdict\n%!"
+          name;
+        exit 1);
+    let refine_s = Unix.gettimeofday () -. t1 in
+    Printf.eprintf "[bench] %-16s lts.build %.3f s, bisim.refine %.3f s\n%!"
+      name build_s refine_s;
+    study_seconds :=
+      ( name,
+        [ ("lts.build_seconds", build_s); ("bisim.refine_seconds", refine_s) ]
+      )
+      :: !study_seconds
+  in
+  one "rpc" (Rpc.study Rpc.default_params);
+  one "streaming" (Streaming.study Streaming.default_params);
+  study_seconds := List.rev !study_seconds
+
+(* ------------------------------------------------------------------ *)
 (* Part 1: figure regeneration                                         *)
 
 (* Minimal run for CI checks of the JSON contract: one Markovian and one
@@ -343,6 +405,21 @@ let json_report ~jobs ~micro =
       Printf.bprintf b "    \"%s\": %s,\n" (json_escape name) (json_float dt))
     figs;
   Printf.bprintf b "    \"total\": %s\n  },\n" (json_float total);
+  if !study_seconds <> [] then begin
+    Printf.bprintf b "  \"study_seconds\": {";
+    List.iteri
+      (fun i (study, entries) ->
+        Printf.bprintf b "%s\n    \"%s\": {" (if i = 0 then "" else ",")
+          (json_escape study);
+        List.iteri
+          (fun j (k, v) ->
+            Printf.bprintf b "%s \"%s\": %s" (if j = 0 then "" else ",")
+              (json_escape k) (json_float v))
+          entries;
+        Printf.bprintf b " }")
+      !study_seconds;
+    Printf.bprintf b "\n  },\n"
+  end;
   Printf.bprintf b "  \"micro_ns_per_run\": {";
   List.iteri
     (fun i (name, est, r2) ->
@@ -366,6 +443,7 @@ let () =
   at_exit (fun () -> Dpma_obs.Report.emit stderr);
   Printf.eprintf "[bench] jobs = %d\n%!" (Pool.default_jobs ());
   if tiny then figures_tiny () else figures ();
+  if smoke then timed "study-timings" study_timings;
   let micro = if smoke then [] else run_micro () in
   if json_mode then begin
     let report = json_report ~jobs:(Pool.default_jobs ()) ~micro in

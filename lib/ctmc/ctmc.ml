@@ -17,20 +17,20 @@ exception Build_error of string
 
 let dense_threshold = 1500
 
-let label_name = function Lts.Tau -> Dpma_pa.Term.tau | Lts.Obs a -> a
+let label_name = Lts.label_name
 
 (* Immediate alternatives of a vanishing state: maximal priority wins, then
    weights give a probabilistic choice. *)
 let immediate_branches (lts : Lts.t) s =
-  let imms =
-    List.filter_map
-      (fun (tr : Lts.transition) ->
-        match tr.rate with
-        | Some (Rate.Imm { prio; weight }) ->
-            Some (prio, weight, label_name tr.label, tr.target)
-        | Some (Rate.Exp _ | Rate.Passive _) | None -> None)
-      lts.trans.(s)
-  in
+  let imms = ref [] in
+  for i = lts.row.(s + 1) - 1 downto lts.row.(s) do
+    if lts.rate_kind.(i) = 2 then
+      imms :=
+        (lts.rate_prio.(i), lts.rate_val.(i), label_name lts.lab.(i),
+         lts.tgt.(i))
+        :: !imms
+  done;
+  let imms = !imms in
   match imms with
   | [] -> None
   | _ ->
@@ -59,27 +59,26 @@ let of_lts (lts : Lts.t) =
   (* Classify states and validate rates. *)
   let vanishing = Array.make n0 false in
   for s = 0 to n0 - 1 do
-    List.iter
-      (fun (tr : Lts.transition) ->
-        match tr.rate with
-        | None ->
-            raise
-              (Build_error
-                 (Printf.sprintf
-                    "state %d has an unrated transition on %s (functional \
-                     model fed to the CTMC builder?)"
-                    s
-                    (label_name tr.label)))
-        | Some (Rate.Passive _) ->
-            raise
-              (Build_error
-                 (Printf.sprintf
-                    "unsynchronized passive action %s in state %d: every \
-                     passive action must be attached to an active partner"
-                    (label_name tr.label) s))
-        | Some (Rate.Imm _) -> vanishing.(s) <- true
-        | Some (Rate.Exp _) -> ())
-      lts.trans.(s)
+    for i = lts.row.(s) to lts.row.(s + 1) - 1 do
+      match lts.rate_kind.(i) with
+      | 0 ->
+          raise
+            (Build_error
+               (Printf.sprintf
+                  "state %d has an unrated transition on %s (functional \
+                   model fed to the CTMC builder?)"
+                  s
+                  (label_name lts.lab.(i))))
+      | 3 ->
+          raise
+            (Build_error
+               (Printf.sprintf
+                  "unsynchronized passive action %s in state %d: every \
+                   passive action must be attached to an active partner"
+                  (label_name lts.lab.(i)) s))
+      | 2 -> vanishing.(s) <- true
+      | _ -> ()
+    done
   done;
   (* Resolve a vanishing state to its distribution over tangible states,
      together with the expected number of firings of each immediate action
@@ -147,26 +146,26 @@ let of_lts (lts : Lts.t) =
     if not vanishing.(s) then begin
       let id = new_id.(s) in
       enabled_actions.(id) <-
-        List.filter_map
-          (fun (tr : Lts.transition) ->
-            match tr.label with Lts.Obs a -> Some a | Lts.Tau -> None)
-          lts.trans.(s)
-        |> List.sort_uniq String.compare;
+        (let names = ref [] in
+         for i = lts.row.(s + 1) - 1 downto lts.row.(s) do
+           if lts.lab.(i) <> Lts.tau then
+             names := label_name lts.lab.(i) :: !names
+         done;
+         List.sort_uniq String.compare !names);
       let outgoing = ref [] in
       let imm_parts = ref [] in
-      List.iter
-        (fun (tr : Lts.transition) ->
-          match tr.rate with
-          | Some (Rate.Exp lambda) ->
-              let a = label_name tr.label in
-              let dist, counts = resolve tr.target in
-              outgoing :=
-                List.map (fun (v, p) -> (new_id.(v), lambda *. p, a)) dist
-                @ !outgoing;
-              imm_parts :=
-                List.map (fun (b, c) -> (b, lambda *. c)) counts :: !imm_parts
-          | Some (Rate.Imm _ | Rate.Passive _) | None -> ())
-        lts.trans.(s);
+      for i = lts.row.(s) to lts.row.(s + 1) - 1 do
+        if lts.rate_kind.(i) = 1 then begin
+          let lambda = lts.rate_val.(i) in
+          let a = label_name lts.lab.(i) in
+          let dist, counts = resolve lts.tgt.(i) in
+          outgoing :=
+            List.map (fun (v, p) -> (new_id.(v), lambda *. p, a)) dist
+            @ !outgoing;
+          imm_parts :=
+            List.map (fun (b, c) -> (b, lambda *. c)) counts :: !imm_parts
+        end
+      done;
       transitions.(id) <- !outgoing;
       immediate_rates.(id) <- merge_counts !imm_parts
     end

@@ -1,7 +1,59 @@
 module Rate = Dpma_pa.Rate
 
+(* Signatures are canonical encodings of a state's outgoing behaviour
+   w.r.t. the current partition. They are packed into flat arrays — an
+   [ints] part (encoded (label, block) data) and a [floats] part
+   (cumulative rates, empty for non-Markovian signatures) — so the
+   refinement loop hashes and compares machine integers and floats only,
+   never polymorphic values. A (label, block) pair packs into one int:
+   block ids are bounded by the state count (< 2^31 by Lts.of_spec's
+   max_states ceiling) and label ids by the interned-label count. *)
+
+let pack_pair label block = (label lsl 31) lor block
+
+module Sig_key = struct
+  type t = { old_block : int; ints : int array; floats : float array }
+
+  let equal a b =
+    a.old_block = b.old_block
+    && Array.length a.ints = Array.length b.ints
+    && Array.length a.floats = Array.length b.floats
+    && (let ok = ref true in
+        Array.iteri (fun i x -> if x <> b.ints.(i) then ok := false) a.ints;
+        !ok)
+    && (let ok = ref true in
+        Array.iteri
+          (fun i (x : float) -> if x <> b.floats.(i) then ok := false)
+          a.floats;
+        !ok)
+
+  let hash { old_block; ints; floats } =
+    let h = ref (old_block + 1) in
+    Array.iter (fun x -> h := (!h * 31) + x) ints;
+    Array.iter
+      (fun x -> h := (!h * 31) + (Int64.to_int (Int64.bits_of_float x) land max_int))
+      floats;
+    !h land max_int
+end
+
+module Sig_tbl = Hashtbl.Make (Sig_key)
+
+type signature = { ints : int array; floats : float array }
+
+let ints_signature ints = { ints; floats = [||] }
+
+module Int_key = struct
+  type t = int
+
+  let equal : int -> int -> bool = Int.equal
+
+  let hash = Hashtbl.hash
+end
+
+module Int_tbl = Hashtbl.Make (Int_key)
+
 let tau_closure (lts : Lts.t) =
-  (* For each state, the set of states reachable through Tau transitions,
+  (* For each state, the set of states reachable through tau transitions,
      including itself, as a sorted int list. *)
   let n = lts.num_states in
   let closure = Array.make n [] in
@@ -17,16 +69,16 @@ let tau_closure (lts : Lts.t) =
       | x :: rest ->
           stack := rest;
           acc := x :: !acc;
-          List.iter
-            (fun (tr : Lts.transition) ->
-              if tr.label = Lts.Tau && not seen.(tr.target) then begin
-                seen.(tr.target) <- true;
-                stack := tr.target :: !stack
-              end)
-            lts.trans.(x)
+          for i = lts.row.(x) to lts.row.(x + 1) - 1 do
+            let t = lts.tgt.(i) in
+            if lts.lab.(i) = Lts.tau && not seen.(t) then begin
+              seen.(t) <- true;
+              stack := t :: !stack
+            end
+          done
     done;
     List.iter (fun x -> scratch.(x) <- false) !acc;
-    closure.(s) <- List.sort compare !acc
+    closure.(s) <- List.sort Int.compare !acc
   done;
   closure
 
@@ -36,30 +88,29 @@ let saturate (lts : Lts.t) =
   let n = lts.num_states in
   let closure = tau_closure lts in
   let trans = Array.make n [] in
-  let seen = Hashtbl.create 256 in
+  let seen = Int_tbl.create 256 in
   for s = 0 to n - 1 do
-    Hashtbl.reset seen;
+    Int_tbl.reset seen;
     let add label target =
-      if not (Hashtbl.mem seen (label, target)) then begin
-        Hashtbl.add seen (label, target) ();
+      let key = pack_pair label target in
+      if not (Int_tbl.mem seen key) then begin
+        Int_tbl.add seen key ();
         trans.(s) <- { Lts.label; rate = None; target } :: trans.(s)
       end
     in
     (* s =tau*=> s' gives weak internal moves to everything in closure. *)
-    List.iter (fun s' -> add Lts.Tau s') closure.(s);
+    List.iter (fun s' -> add Lts.tau s') closure.(s);
     (* s =tau*=> s1 -a-> s2 =tau*=> t gives weak observable moves. *)
     List.iter
       (fun s1 ->
-        List.iter
-          (fun (tr : Lts.transition) ->
-            match tr.label with
-            | Lts.Tau -> ()
-            | Lts.Obs _ as l ->
-                List.iter (fun t -> add l t) closure.(tr.target))
-          lts.trans.(s1))
+        for i = lts.row.(s1) to lts.row.(s1 + 1) - 1 do
+          let l = lts.lab.(i) in
+          if l <> Lts.tau then
+            List.iter (fun t -> add l t) closure.(lts.tgt.(i))
+        done)
       closure.(s)
   done;
-  { lts with trans })
+  Lts.make ~init:lts.init ~state_name:lts.state_name trans)
 
 (* Signature-based partition refinement. [signature] maps a state to a
    canonical representation of its outgoing behaviour w.r.t. the current
@@ -75,15 +126,16 @@ let refine (lts : Lts.t) ~signature =
   let continue_ = ref (n > 0) in
   while !continue_ do
     Dpma_obs.Metrics.incr I.bisim_rounds;
-    let table = Hashtbl.create (2 * !num_blocks) in
+    let table = Sig_tbl.create (2 * !num_blocks) in
     let next = ref 0 in
     let new_block = Array.make n 0 in
     for s = 0 to n - 1 do
-      let key = (block.(s), signature block s) in
-      match Hashtbl.find_opt table key with
+      let { ints; floats } = signature block s in
+      let key = { Sig_key.old_block = block.(s); ints; floats } in
+      match Sig_tbl.find_opt table key with
       | Some id -> new_block.(s) <- id
       | None ->
-          Hashtbl.add table key !next;
+          Sig_tbl.add table key !next;
           new_block.(s) <- !next;
           incr next
     done;
@@ -97,10 +149,15 @@ let refine (lts : Lts.t) ~signature =
   Dpma_obs.Metrics.set I.bisim_blocks (float_of_int !num_blocks);
   block)
 
+let sorted_dedup_array (l : int list) =
+  Array.of_list (List.sort_uniq Int.compare l)
+
 let strong_signature (lts : Lts.t) block s =
-  lts.trans.(s)
-  |> List.map (fun (tr : Lts.transition) -> (tr.label, block.(tr.target)))
-  |> List.sort_uniq compare
+  let rec go i acc =
+    if i < lts.row.(s) then acc
+    else go (i - 1) (pack_pair lts.lab.(i) block.(lts.tgt.(i)) :: acc)
+  in
+  ints_signature (sorted_dedup_array (go (lts.row.(s + 1) - 1) []))
 
 let strong_partition lts = refine lts ~signature:(strong_signature lts)
 
@@ -109,10 +166,13 @@ let strong_partition lts = refine lts ~signature:(strong_signature lts)
    weak equivalence and shrinks the quadratic saturation step. *)
 let tau_scc_partition (lts : Lts.t) =
   let tau_succ s =
-    List.filter_map
-      (fun (tr : Lts.transition) ->
-        if tr.label = Lts.Tau then Some tr.target else None)
-      lts.trans.(s)
+    let rec go i acc =
+      if i < lts.row.(s) then acc
+      else
+        go (i - 1)
+          (if lts.lab.(i) = Lts.tau then lts.tgt.(i) :: acc else acc)
+    in
+    go (lts.row.(s + 1) - 1) []
   in
   let comps = Dpma_util.Scc.tarjan ~succ:tau_succ lts.num_states in
   Dpma_util.Scc.component_index ~n:lts.num_states comps
@@ -131,26 +191,55 @@ let weak_partition lts =
   compose p3 (compose p2 p1)
 
 (* For lumping, transitions to the same block accumulate: exponential rates
-   add up; immediate weights add up per priority; passive weights add up. *)
-type rate_class = Exp_class | Imm_class of int | Passive_class
+   add up; immediate weights add up per priority; passive weights add up.
+   The rate class is encoded as a small non-negative int: 0 exponential
+   (and unrated), 1 passive, 2 + prio-code for immediate. *)
+let class_code kind prio =
+  match kind with
+  | 2 -> 2 + if prio >= 0 then 2 * prio else (2 * -prio) - 1
+  | _ -> if kind = 3 then 1 else 0
+
+module Triple_key = struct
+  type t = int * int * int (* label, target block, rate class *)
+
+  let equal (a1, b1, c1) (a2, b2, c2) = a1 = a2 && b1 = b2 && c1 = c2
+
+  let hash (a, b, c) = (((a * 31) + b) * 31) + c
+end
+
+module Triple_tbl = Hashtbl.Make (Triple_key)
 
 let markovian_signature (lts : Lts.t) block s =
-  let table = Hashtbl.create 8 in
-  List.iter
-    (fun (tr : Lts.transition) ->
-      let cls, value =
-        match tr.rate with
-        | None -> (Exp_class, 0.0)
-        | Some (Rate.Exp lambda) -> (Exp_class, lambda)
-        | Some (Rate.Imm { prio; weight }) -> (Imm_class prio, weight)
-        | Some (Rate.Passive { weight }) -> (Passive_class, weight)
-      in
-      let key = (tr.label, block.(tr.target), cls) in
-      let current = Option.value ~default:0.0 (Hashtbl.find_opt table key) in
-      Hashtbl.replace table key (current +. value))
-    lts.trans.(s);
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
-  |> List.sort compare
+  let table = Triple_tbl.create 8 in
+  for i = lts.row.(s) to lts.row.(s + 1) - 1 do
+    let value = if lts.rate_kind.(i) = 0 then 0.0 else lts.rate_val.(i) in
+    let key =
+      (lts.lab.(i), block.(lts.tgt.(i)),
+       class_code lts.rate_kind.(i) lts.rate_prio.(i))
+    in
+    let current = Option.value ~default:0.0 (Triple_tbl.find_opt table key) in
+    Triple_tbl.replace table key (current +. value)
+  done;
+  let entries = Triple_tbl.fold (fun k v acc -> (k, v) :: acc) table [] in
+  let entries =
+    List.sort
+      (fun ((a1, b1, c1), _) ((a2, b2, c2), _) ->
+        match Int.compare a1 a2 with
+        | 0 -> ( match Int.compare b1 b2 with 0 -> Int.compare c1 c2 | d -> d)
+        | d -> d)
+      entries
+  in
+  let k = List.length entries in
+  let ints = Array.make (3 * k) 0 in
+  let floats = Array.make k 0.0 in
+  List.iteri
+    (fun i ((a, b, c), v) ->
+      ints.(3 * i) <- a;
+      ints.((3 * i) + 1) <- b;
+      ints.((3 * i) + 2) <- c;
+      floats.(i) <- v)
+    entries;
+  { ints; floats }
 
 let markovian_partition lts = refine lts ~signature:(markovian_signature lts)
 
@@ -162,8 +251,8 @@ let markovian_partition lts = refine lts ~signature:(markovian_signature lts)
 let branching_signature (lts : Lts.t) block s =
   let b = block.(s) in
   (* Same-block tau closure of s. *)
-  let seen = Hashtbl.create 8 in
-  Hashtbl.add seen s ();
+  let seen = Int_tbl.create 8 in
+  Int_tbl.add seen s ();
   let stack = ref [ s ] in
   let closure = ref [ s ] in
   while !stack <> [] do
@@ -171,27 +260,30 @@ let branching_signature (lts : Lts.t) block s =
     | [] -> ()
     | x :: rest ->
         stack := rest;
-        List.iter
-          (fun (tr : Lts.transition) ->
-            if
-              tr.label = Lts.Tau
-              && block.(tr.target) = b
-              && not (Hashtbl.mem seen tr.target)
-            then begin
-              Hashtbl.add seen tr.target ();
-              closure := tr.target :: !closure;
-              stack := tr.target :: !stack
-            end)
-          lts.trans.(x)
+        for i = lts.row.(x) to lts.row.(x + 1) - 1 do
+          let t = lts.tgt.(i) in
+          if lts.lab.(i) = Lts.tau && block.(t) = b && not (Int_tbl.mem seen t)
+          then begin
+            Int_tbl.add seen t ();
+            closure := t :: !closure;
+            stack := t :: !stack
+          end
+        done
   done;
   !closure
   |> List.concat_map (fun s' ->
-         List.filter_map
-           (fun (tr : Lts.transition) ->
-             if tr.label = Lts.Tau && block.(tr.target) = b then None
-             else Some (tr.label, block.(tr.target)))
-           lts.trans.(s'))
-  |> List.sort_uniq compare
+         let rec go i acc =
+           if i < lts.row.(s') then acc
+           else
+             let t = lts.tgt.(i) in
+             let acc =
+               if lts.lab.(i) = Lts.tau && block.(t) = b then acc
+               else pack_pair lts.lab.(i) block.(t) :: acc
+             in
+             go (i - 1) acc
+         in
+         go (lts.row.(s' + 1) - 1) [])
+  |> sorted_dedup_array |> ints_signature
 
 let branching_partition lts = refine lts ~signature:(branching_signature lts)
 
@@ -218,23 +310,33 @@ let minimize_weak lts =
   let saturated = saturate lts in
   Lts.quotient saturated (refine saturated ~signature:(strong_signature saturated))
 
+module Int_list_key = struct
+  type t = int list
+
+  let equal = List.equal Int.equal
+
+  let hash l = List.fold_left (fun acc x -> (acc * 31) + x) 17 l land max_int
+end
+
+module Int_list_tbl = Hashtbl.Make (Int_list_key)
+
 let determinize ?(max_states = 500_000) (lts : Lts.t) =
   let closure = tau_closure lts in
   let close set =
-    List.concat_map (fun s -> closure.(s)) set |> List.sort_uniq compare
+    List.concat_map (fun s -> closure.(s)) set |> List.sort_uniq Int.compare
   in
-  let table : (int list, int) Hashtbl.t = Hashtbl.create 64 in
+  let table = Int_list_tbl.create 64 in
   let rev_states = ref [] in
   let count = ref 0 in
   let queue = Queue.create () in
   let id_of set =
-    match Hashtbl.find_opt table set with
+    match Int_list_tbl.find_opt table set with
     | Some id -> id
     | None ->
         if !count >= max_states then raise (Lts.Too_many_states max_states);
         let id = !count in
         incr count;
-        Hashtbl.add table set id;
+        Int_list_tbl.add table set id;
         rev_states := set :: !rev_states;
         Queue.add (id, set) queue;
         id
@@ -244,23 +346,21 @@ let determinize ?(max_states = 500_000) (lts : Lts.t) =
   while not (Queue.is_empty queue) do
     let id, set = Queue.pop queue in
     (* Group the observable successors of the (already tau-closed) set. *)
-    let by_label : (string, int list) Hashtbl.t = Hashtbl.create 8 in
+    let by_label : int list Int_tbl.t = Int_tbl.create 8 in
     List.iter
       (fun s ->
-        List.iter
-          (fun (tr : Lts.transition) ->
-            match tr.label with
-            | Lts.Tau -> ()
-            | Lts.Obs a ->
-                let cur = Option.value ~default:[] (Hashtbl.find_opt by_label a) in
-                Hashtbl.replace by_label a (tr.target :: cur))
-          lts.trans.(s))
+        for i = lts.row.(s) to lts.row.(s + 1) - 1 do
+          let l = lts.lab.(i) in
+          if l <> Lts.tau then begin
+            let cur = Option.value ~default:[] (Int_tbl.find_opt by_label l) in
+            Int_tbl.replace by_label l (lts.tgt.(i) :: cur)
+          end
+        done)
       set;
     let outgoing =
-      Hashtbl.fold
-        (fun a targets acc ->
-          { Lts.label = Lts.Obs a; rate = None; target = id_of (close targets) }
-          :: acc)
+      Int_tbl.fold
+        (fun l targets acc ->
+          { Lts.label = l; rate = None; target = id_of (close targets) } :: acc)
         by_label []
     in
     edges := (id, outgoing) :: !edges
@@ -270,13 +370,10 @@ let determinize ?(max_states = 500_000) (lts : Lts.t) =
   List.iter (fun (id, outgoing) -> trans.(id) <- outgoing) !edges;
   let sets = Array.make n [] in
   List.iteri (fun i set -> sets.(n - 1 - i) <- set) !rev_states;
-  {
-    Lts.init;
-    num_states = n;
-    trans;
-    state_name =
-      (fun i -> "{" ^ String.concat "," (List.map string_of_int sets.(i)) ^ "}");
-  }
+  Lts.make ~init
+    ~state_name:(fun i ->
+      "{" ^ String.concat "," (List.map string_of_int sets.(i)) ^ "}")
+    trans
 
 let trace_equivalent a b =
   strong_equivalent (determinize a) (determinize b)

@@ -43,16 +43,16 @@ let distinguishing_formula (lts : Lts.t) s0 t0 =
            blocks they can reach; the first proper split wins. *)
         let attempt label =
           let targets_of s =
-            lts.trans.(s)
+            Lts.transitions_of lts s
             |> List.filter_map (fun (tr : Lts.transition) ->
                    if Lts.label_equal tr.label label then
                      Some leaf.(tr.target).id
                    else None)
-            |> List.sort_uniq compare
+            |> List.sort_uniq Int.compare
           in
           let reach = List.map (fun s -> (s, targets_of s)) states in
           let candidate_ids =
-            List.concat_map snd reach |> List.sort_uniq compare
+            List.concat_map snd reach |> List.sort_uniq Int.compare
           in
           let rec find_splitter = function
             | [] -> false
@@ -76,7 +76,7 @@ let distinguishing_formula (lts : Lts.t) s0 t0 =
                               Lts.label_equal tr.label label
                               && leaf.(tr.target).id = cid
                             then found := Some leaf.(tr.target))
-                          lts.trans.(s))
+                          (Lts.transitions_of lts s))
                       yes;
                     match !found with
                     | Some node -> node
@@ -140,7 +140,7 @@ let distinguishing_formula (lts : Lts.t) s0 t0 =
           let s', t' = if s_in_yes then (s, t) else (t, s) in
           (* s' has a [label]-move into the splitter block; t' has none. *)
           let succ_in_splitter =
-            lts.trans.(s')
+            Lts.transitions_of lts s'
             |> List.filter_map (fun (tr : Lts.transition) ->
                    if
                      Lts.label_equal tr.label label
@@ -154,11 +154,11 @@ let distinguishing_formula (lts : Lts.t) s0 t0 =
             | [] -> assert false
           in
           let t_succs =
-            lts.trans.(t')
+            Lts.transitions_of lts t'
             |> List.filter_map (fun (tr : Lts.transition) ->
                    if Lts.label_equal tr.label label then Some tr.target
                    else None)
-            |> List.sort_uniq compare
+            |> List.sort_uniq Int.compare
           in
           let conjuncts = List.map (fun u -> dist witness u) t_succs in
           let formula = Hml.diamond label (Hml.conj conjuncts) in

@@ -38,10 +38,11 @@ let rec sat lts s = function
   | Not f -> not (sat lts s f)
   | And fs -> List.for_all (sat lts s) fs
   | Diamond (l, f) ->
-      List.exists
-        (fun (tr : Lts.transition) ->
-          Lts.label_equal tr.label l && sat lts tr.target f)
-        lts.Lts.trans.(s)
+      let rec go i =
+        i < lts.Lts.row.(s + 1)
+        && ((lts.Lts.lab.(i) = l && sat lts lts.Lts.tgt.(i) f) || go (i + 1))
+      in
+      go lts.Lts.row.(s)
 
 let rec pp ?(weak = true) ppf f =
   let modality = if weak then "EXISTS_WEAK_TRANS" else "EXISTS_TRANS" in
@@ -55,9 +56,9 @@ let rec pp ?(weak = true) ppf f =
            (pp ~weak))
         gs
   | Diamond (l, g) ->
-      let pp_lab ppf = function
-        | Lts.Tau -> Format.pp_print_string ppf "TAU"
-        | Lts.Obs a -> Format.fprintf ppf "LABEL(%s)" a
+      let pp_lab ppf l =
+        if Lts.is_tau l then Format.pp_print_string ppf "TAU"
+        else Format.fprintf ppf "LABEL(%s)" (Lts.label_name l)
       in
       Format.fprintf ppf "@[<hv 2>%s(@,%a;@ REACHED_STATE_SAT(%a)@;<0 -2>)@]"
         modality pp_lab l (pp ~weak) g

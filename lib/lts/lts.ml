@@ -1,51 +1,124 @@
 module Term = Dpma_pa.Term
 module Semantics = Dpma_pa.Semantics
+module Label = Dpma_pa.Label
 
-type label = Tau | Obs of string
+type label = Label.t
 
-let label_equal a b =
-  match (a, b) with
-  | Tau, Tau -> true
-  | Obs x, Obs y -> String.equal x y
-  | (Tau | Obs _), _ -> false
+let tau : label = Label.tau
 
+let obs = Label.intern
+
+let label_name = Label.name
+
+let is_tau l = l = 0
+
+let label_equal : label -> label -> bool = Int.equal
+
+(* Display order, not id order: tau first, then names alphabetically. *)
 let label_compare a b =
-  match (a, b) with
-  | Tau, Tau -> 0
-  | Tau, Obs _ -> -1
-  | Obs _, Tau -> 1
-  | Obs x, Obs y -> String.compare x y
+  if a = b then 0
+  else if a = tau then -1
+  else if b = tau then 1
+  else String.compare (Label.name a) (Label.name b)
 
-let pp_label ppf = function
-  | Tau -> Format.pp_print_string ppf "tau"
-  | Obs a -> Format.pp_print_string ppf a
+let pp_label ppf l = Format.pp_print_string ppf (Label.name l)
 
 type transition = { label : label; rate : Dpma_pa.Rate.t option; target : int }
 
 type t = {
   init : int;
   num_states : int;
-  trans : transition list array;
   state_name : int -> string;
+  row : int array;
+  lab : int array;
+  tgt : int array;
+  rate_kind : int array;
+  rate_val : float array;
+  rate_prio : int array;
 }
 
 exception Too_many_states of int
 
+let pack ~init ~state_name (trans : transition list array) =
+  let n = Array.length trans in
+  let m = Array.fold_left (fun acc l -> acc + List.length l) 0 trans in
+  let row = Array.make (n + 1) 0 in
+  let lab = Array.make m 0 in
+  let tgt = Array.make m 0 in
+  let rate_kind = Array.make m 0 in
+  let rate_val = Array.make m 0.0 in
+  let rate_prio = Array.make m 0 in
+  let e = ref 0 in
+  for s = 0 to n - 1 do
+    row.(s) <- !e;
+    List.iter
+      (fun tr ->
+        let i = !e in
+        lab.(i) <- tr.label;
+        tgt.(i) <- tr.target;
+        (match tr.rate with
+        | None -> ()
+        | Some (Dpma_pa.Rate.Exp lambda) ->
+            rate_kind.(i) <- 1;
+            rate_val.(i) <- lambda
+        | Some (Dpma_pa.Rate.Imm { prio; weight }) ->
+            rate_kind.(i) <- 2;
+            rate_val.(i) <- weight;
+            rate_prio.(i) <- prio
+        | Some (Dpma_pa.Rate.Passive { weight }) ->
+            rate_kind.(i) <- 3;
+            rate_val.(i) <- weight);
+        incr e)
+      trans.(s)
+  done;
+  row.(n) <- !e;
+  { init; num_states = n; state_name; row; lab; tgt; rate_kind; rate_val;
+    rate_prio }
+
+let make ~init ~state_name trans =
+  let t0 = Dpma_obs.Clock.now_s () in
+  let lts = pack ~init ~state_name trans in
+  Dpma_obs.Metrics.observe Dpma_obs.Instruments.lts_csr_pack_seconds
+    (Dpma_obs.Clock.now_s () -. t0);
+  lts
+
+let rate_of lts i =
+  match lts.rate_kind.(i) with
+  | 0 -> None
+  | 1 -> Some (Dpma_pa.Rate.Exp lts.rate_val.(i))
+  | 2 ->
+      Some (Dpma_pa.Rate.Imm { prio = lts.rate_prio.(i); weight = lts.rate_val.(i) })
+  | _ -> Some (Dpma_pa.Rate.Passive { weight = lts.rate_val.(i) })
+
+let transitions_of lts s =
+  let rec go i acc =
+    if i < lts.row.(s) then acc
+    else
+      go (i - 1)
+        ({ label = lts.lab.(i); rate = rate_of lts i; target = lts.tgt.(i) }
+        :: acc)
+  in
+  go (lts.row.(s + 1) - 1) []
+
+let out_degree lts s = lts.row.(s + 1) - lts.row.(s)
+
 let of_spec ?(max_states = 500_000) (spec : Term.spec) =
   Dpma_obs.Trace.with_span "lts.build" (fun () ->
   let t0 = Dpma_obs.Clock.now_s () in
-  let table : (Term.t, int) Hashtbl.t = Hashtbl.create 1024 in
+  let engine = Semantics.make spec.defs in
+  (* Hash-consed terms: the state table is keyed by unique id. *)
+  let table : (int, int) Hashtbl.t = Hashtbl.create 1024 in
   let states : Term.t list ref = ref [] in
   let count = ref 0 in
   let queue = Queue.create () in
-  let id_of term =
-    match Hashtbl.find_opt table term with
+  let id_of (term : Term.t) =
+    match Hashtbl.find_opt table term.Term.uid with
     | Some id -> id
     | None ->
         if !count >= max_states then raise (Too_many_states max_states);
         let id = !count in
         incr count;
-        Hashtbl.add table term id;
+        Hashtbl.add table term.Term.uid id;
         states := term :: !states;
         Queue.add (id, term) queue;
         id
@@ -55,9 +128,8 @@ let of_spec ?(max_states = 500_000) (spec : Term.spec) =
   while not (Queue.is_empty queue) do
     let id, term = Queue.pop queue in
     let outgoing =
-      Semantics.transitions spec.defs term
-      |> List.map (fun (a, rate, k) ->
-             let label = if String.equal a Term.tau then Tau else Obs a in
+      Semantics.derive engine term
+      |> List.map (fun (label, rate, k) ->
              { label; rate = Some rate; target = id_of k })
     in
     edges := (id, outgoing) :: !edges
@@ -68,47 +140,59 @@ let of_spec ?(max_states = 500_000) (spec : Term.spec) =
   let terms = Array.make n Term.stop in
   List.iteri (fun i term -> terms.(n - 1 - i) <- term) !states;
   let module I = Dpma_obs.Instruments in
-  Dpma_obs.Metrics.incr I.lts_builds;
-  Dpma_obs.Metrics.add I.lts_states n;
-  Dpma_obs.Metrics.add I.lts_transitions
+  let module M = Dpma_obs.Metrics in
+  M.incr I.lts_builds;
+  M.add I.lts_states n;
+  M.add I.lts_transitions
     (Array.fold_left (fun acc ts -> acc + List.length ts) 0 trans);
-  Dpma_obs.Metrics.observe I.lts_build_seconds (Dpma_obs.Clock.now_s () -. t0);
+  let stats = Semantics.stats engine in
+  M.add I.sos_memo_hits stats.Semantics.hits;
+  M.add I.sos_memo_misses stats.Semantics.misses;
+  M.set I.pa_terms (float_of_int (Term.hashcons_count ()));
+  M.set I.pa_labels (float_of_int (Label.count ()));
   (* State names are rendered lazily: they are only needed in diagnostics. *)
-  { init; num_states = n; trans; state_name = (fun i -> Term.to_string terms.(i)) })
+  let lts =
+    make ~init ~state_name:(fun i -> Term.to_string terms.(i)) trans
+  in
+  M.observe I.lts_build_seconds (Dpma_obs.Clock.now_s () -. t0);
+  lts)
 
-let num_transitions lts =
-  Array.fold_left (fun acc ts -> acc + List.length ts) 0 lts.trans
+let num_transitions lts = lts.row.(lts.num_states)
 
 let labels lts =
-  let module Lset = Set.Make (struct
-    type nonrec t = label
-
-    let compare = label_compare
-  end) in
-  Array.fold_left
-    (fun acc ts ->
-      List.fold_left (fun acc tr -> Lset.add tr.label acc) acc ts)
-    Lset.empty lts.trans
-  |> Lset.elements
+  let module Iset = Set.Make (Int) in
+  let set = ref Iset.empty in
+  Array.iter (fun l -> set := Iset.add l !set) lts.lab;
+  Iset.elements !set |> List.sort label_compare
 
 let enabled lts s =
-  lts.trans.(s)
-  |> List.map (fun tr -> tr.label)
-  |> List.sort_uniq label_compare
+  let rec go i acc =
+    if i >= lts.row.(s + 1) then acc else go (i + 1) (lts.lab.(i) :: acc)
+  in
+  go lts.row.(s) [] |> List.sort_uniq label_compare
+
+let enables_label lts s l =
+  let rec go i =
+    i < lts.row.(s + 1) && (lts.lab.(i) = l || go (i + 1))
+  in
+  go lts.row.(s)
 
 let enables_action lts s a =
-  List.exists (fun tr -> label_equal tr.label (Obs a)) lts.trans.(s)
+  match Label.find a with
+  | None -> false
+  | Some l -> l <> tau && enables_label lts s l
 
 let successors lts s l =
-  lts.trans.(s)
-  |> List.filter_map (fun tr ->
-         if label_equal tr.label l then Some tr.target else None)
-  |> List.sort_uniq compare
+  let rec go i acc =
+    if i < lts.row.(s) then acc
+    else go (i - 1) (if lts.lab.(i) = l then lts.tgt.(i) :: acc else acc)
+  in
+  go (lts.row.(s + 1) - 1) [] |> List.sort_uniq Int.compare
 
 let deadlock_states lts =
   let out = ref [] in
   for s = lts.num_states - 1 downto 0 do
-    if lts.trans.(s) = [] then out := s :: !out
+    if lts.row.(s + 1) = lts.row.(s) then out := s :: !out
   done;
   !out
 
@@ -119,34 +203,62 @@ let reachable_from lts start =
   Queue.add start queue;
   while not (Queue.is_empty queue) do
     let s = Queue.pop queue in
-    List.iter
-      (fun tr ->
-        if not seen.(tr.target) then begin
-          seen.(tr.target) <- true;
-          Queue.add tr.target queue
-        end)
-      lts.trans.(s)
+    for i = lts.row.(s) to lts.row.(s + 1) - 1 do
+      let t = lts.tgt.(i) in
+      if not seen.(t) then begin
+        seen.(t) <- true;
+        Queue.add t queue
+      end
+    done
   done;
   seen
 
 let disjoint_union a b =
   let n = a.num_states + b.num_states in
-  let shift tr = { tr with target = tr.target + a.num_states } in
-  let trans =
-    Array.init n (fun i ->
-        if i < a.num_states then a.trans.(i)
-        else List.map shift b.trans.(i - a.num_states))
+  let ma = num_transitions a and mb = num_transitions b in
+  let m = ma + mb in
+  let row = Array.make (n + 1) 0 in
+  Array.blit a.row 0 row 0 (a.num_states + 1);
+  for s = 0 to b.num_states do
+    row.(a.num_states + s) <- ma + b.row.(s)
+  done;
+  let append av bv =
+    let out = Array.append av bv in
+    out
   in
+  let lab = append a.lab b.lab in
+  let tgt = Array.make m 0 in
+  Array.blit a.tgt 0 tgt 0 ma;
+  for i = 0 to mb - 1 do
+    tgt.(ma + i) <- b.tgt.(i) + a.num_states
+  done;
+  let rate_kind = append a.rate_kind b.rate_kind in
+  let rate_val = append a.rate_val b.rate_val in
+  let rate_prio = append a.rate_prio b.rate_prio in
   let state_name i =
     if i < a.num_states then a.state_name i
     else b.state_name (i - a.num_states)
   in
-  let union = { init = a.init; num_states = n; trans; state_name } in
+  let union =
+    { init = a.init; num_states = n; state_name; row; lab; tgt; rate_kind;
+      rate_val; rate_prio }
+  in
   (union, a.init, b.init + a.num_states)
+
+(* Monomorphic dedup table over (block, label, target block) triples. *)
+module Triple = struct
+  type t = int * int * int
+
+  let equal (a1, b1, c1) (a2, b2, c2) = a1 = a2 && b1 = b2 && c1 = c2
+
+  let hash (a, b, c) = (((a * 31) + b) * 31) + c
+end
+
+module Triple_tbl = Hashtbl.Make (Triple)
 
 let quotient lts block =
   let num_blocks = 1 + Array.fold_left max (-1) block in
-  let seen = Hashtbl.create 64 in
+  let seen = Triple_tbl.create 64 in
   let trans = Array.make num_blocks [] in
   let representative = Array.make num_blocks (-1) in
   for s = lts.num_states - 1 downto 0 do
@@ -154,45 +266,70 @@ let quotient lts block =
   done;
   for s = 0 to lts.num_states - 1 do
     let b = block.(s) in
-    List.iter
-      (fun tr ->
-        let key = (b, tr.label, block.(tr.target)) in
-        if not (Hashtbl.mem seen key) then begin
-          Hashtbl.add seen key ();
-          trans.(b) <- { tr with target = block.(tr.target) } :: trans.(b)
-        end)
-      lts.trans.(s)
+    for i = lts.row.(s) to lts.row.(s + 1) - 1 do
+      let key = (b, lts.lab.(i), block.(lts.tgt.(i))) in
+      if not (Triple_tbl.mem seen key) then begin
+        Triple_tbl.add seen key ();
+        trans.(b) <-
+          { label = lts.lab.(i); rate = rate_of lts i;
+            target = block.(lts.tgt.(i)) }
+          :: trans.(b)
+      end
+    done
   done;
-  {
-    init = block.(lts.init);
-    num_states = num_blocks;
-    trans;
-    state_name = (fun b -> lts.state_name representative.(b));
-  }
+  make ~init:block.(lts.init)
+    ~state_name:(fun b -> lts.state_name representative.(b))
+    trans
 
 let map_labels lts f =
-  let trans =
-    Array.map
-      (fun ts ->
-        List.filter_map
-          (fun tr ->
-            match f tr.label with
-            | Some label -> Some { tr with label }
-            | None -> None)
-          ts)
-      lts.trans
-  in
-  { lts with trans }
+  (* Rebuild the CSR arrays directly, keeping edge order. *)
+  let m = num_transitions lts in
+  let keep = Array.make m false in
+  let new_lab = Array.make m 0 in
+  let kept = ref 0 in
+  for i = 0 to m - 1 do
+    match f lts.lab.(i) with
+    | Some l ->
+        keep.(i) <- true;
+        new_lab.(i) <- l;
+        incr kept
+    | None -> ()
+  done;
+  let m' = !kept in
+  let row = Array.make (lts.num_states + 1) 0 in
+  let lab = Array.make m' 0 in
+  let tgt = Array.make m' 0 in
+  let rate_kind = Array.make m' 0 in
+  let rate_val = Array.make m' 0.0 in
+  let rate_prio = Array.make m' 0 in
+  let e = ref 0 in
+  for s = 0 to lts.num_states - 1 do
+    row.(s) <- !e;
+    for i = lts.row.(s) to lts.row.(s + 1) - 1 do
+      if keep.(i) then begin
+        lab.(!e) <- new_lab.(i);
+        tgt.(!e) <- lts.tgt.(i);
+        rate_kind.(!e) <- lts.rate_kind.(i);
+        rate_val.(!e) <- lts.rate_val.(i);
+        rate_prio.(!e) <- lts.rate_prio.(i);
+        incr e
+      end
+    done
+  done;
+  row.(lts.num_states) <- !e;
+  { lts with row; lab; tgt; rate_kind; rate_val; rate_prio }
 
 let hide_all_but lts ~keep =
-  map_labels lts (function
-    | Tau -> Some Tau
-    | Obs a -> if keep a then Some (Obs a) else Some Tau)
+  map_labels lts (fun l ->
+      if l = tau then Some tau
+      else if keep (Label.name l) then Some l
+      else Some tau)
 
 let restrict lts ~remove =
-  map_labels lts (function
-    | Tau -> Some Tau
-    | Obs a -> if remove a then None else Some (Obs a))
+  map_labels lts (fun l ->
+      if l = tau then Some tau
+      else if remove (Label.name l) then None
+      else Some l)
 
 let pp_stats ppf lts =
   Format.fprintf ppf "%d states, %d transitions, %d labels" lts.num_states
@@ -207,37 +344,42 @@ let quotient_by_representative lts block =
   done;
   let trans =
     Array.init num_blocks (fun b ->
-        List.map
-          (fun tr -> { tr with target = block.(tr.target) })
-          lts.trans.(representative.(b)))
+        transitions_of lts representative.(b)
+        |> List.map (fun tr -> { tr with target = block.(tr.target) }))
   in
-  {
-    init = block.(lts.init);
-    num_states = num_blocks;
-    trans;
-    state_name = (fun b -> lts.state_name representative.(b));
-  }
+  make ~init:block.(lts.init)
+    ~state_name:(fun b -> lts.state_name representative.(b))
+    trans
 
 let pp_dot ?(max_states = 2000) ppf lts =
   if lts.num_states > max_states then
     invalid_arg
       (Printf.sprintf "Lts.pp_dot: %d states exceed the %d-state rendering limit"
          lts.num_states max_states);
-  let escape s = String.concat "\\\"" (String.split_on_char '"' s) in
+  (* Backslashes must be escaped before quotes: escaping quotes first
+     would double the backslashes it just introduced. *)
+  let escape s =
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        (match c with '\\' | '"' -> Buffer.add_char buf '\\' | _ -> ());
+        Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  in
   Format.fprintf ppf "digraph lts {@.";
   Format.fprintf ppf "  rankdir=LR;@.  node [shape=circle, fontsize=10];@.";
   Format.fprintf ppf "  %d [shape=doublecircle];@." lts.init;
   for s = 0 to lts.num_states - 1 do
-    List.iter
-      (fun tr ->
-        let rate =
-          match tr.rate with
-          | None -> ""
-          | Some r -> Format.asprintf ", %a" Dpma_pa.Rate.pp r
-        in
-        Format.fprintf ppf "  %d -> %d [label=\"%s%s\"];@." s tr.target
-          (escape (Format.asprintf "%a" pp_label tr.label))
-          (escape rate))
-      lts.trans.(s)
+    for i = lts.row.(s) to lts.row.(s + 1) - 1 do
+      let rate =
+        match rate_of lts i with
+        | None -> ""
+        | Some r -> Format.asprintf ", %a" Dpma_pa.Rate.pp r
+      in
+      Format.fprintf ppf "  %d -> %d [label=\"%s%s\"];@." s lts.tgt.(i)
+        (escape (Label.name lts.lab.(i)))
+        (escape rate)
+    done
   done;
   Format.fprintf ppf "}@."

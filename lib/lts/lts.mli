@@ -1,44 +1,90 @@
-(** Labelled transition systems.
+(** Labelled transition systems, stored in compressed sparse row form.
 
     An LTS is the common semantic object of the methodology: the functional
     models are plain LTSs, the Markovian models are LTSs whose transitions
     carry {!Dpma_pa.Rate.t} annotations, and the general models reuse the
     same structure with distributions attached per action name by the
-    simulator. *)
+    simulator.
 
-type label = Tau | Obs of string
+    Labels are interned integers ({!Dpma_pa.Label.t}, [tau = 0]), and the
+    transition relation lives in flat arrays: edges of state [s] occupy the
+    index range [row.(s) .. row.(s+1) - 1] of [lab] (label ids), [tgt]
+    (target states), and the packed rate arrays. Hot loops (partition
+    refinement, simulation stepping, CTMC extraction) index these arrays
+    directly; {!transitions_of} unpacks a state's edges into the
+    list-of-records view for cold consumers. *)
+
+type label = Dpma_pa.Label.t
+(** Interned label id; [tau] is [0]. *)
+
+val tau : label
+
+val obs : string -> label
+(** Intern an observable action name as a label. *)
+
+val label_name : label -> string
+(** Printable name ("tau" for {!tau}). *)
+
+val is_tau : label -> bool
 
 val label_equal : label -> label -> bool
+
 val label_compare : label -> label -> int
+(** Display order: [tau] first, then observable labels alphabetically by
+    name — id order would depend on interning order. *)
+
 val pp_label : Format.formatter -> label -> unit
 
 type transition = { label : label; rate : Dpma_pa.Rate.t option; target : int }
 
-type t = {
+type t = private {
   init : int;
   num_states : int;
-  trans : transition list array;
   state_name : int -> string;
       (** printable description of a state (used in diagnostics) *)
+  row : int array;  (** edge index range of state [s]: [row.(s)] inclusive
+                        to [row.(s+1)] exclusive; length [num_states + 1] *)
+  lab : int array;  (** edge label ids *)
+  tgt : int array;  (** edge target states *)
+  rate_kind : int array;
+      (** 0 = unrated, 1 = exponential, 2 = immediate, 3 = passive *)
+  rate_val : float array;
+      (** exponential rate, immediate weight, or passive weight *)
+  rate_prio : int array;  (** immediate priority (0 otherwise) *)
 }
 
 exception Too_many_states of int
 
+val make : init:int -> state_name:(int -> string) -> transition list array -> t
+(** Pack per-state transition lists (index = state) into CSR form,
+    preserving list order. *)
+
+val rate_of : t -> int -> Dpma_pa.Rate.t option
+(** Rate annotation of the edge at the given flat index. *)
+
+val transitions_of : t -> int -> transition list
+(** The outgoing transitions of a state, in packing order. *)
+
+val out_degree : t -> int -> int
+
 val of_spec : ?max_states:int -> Dpma_pa.Term.spec -> t
 (** Enumerate the reachable states of a process-algebra specification by
-    breadth-first exploration. Raises {!Too_many_states} beyond
-    [max_states] (default 500_000). Transition rates are preserved. *)
+    breadth-first exploration over a memoized SOS engine. Raises
+    {!Too_many_states} beyond [max_states] (default 500_000). Transition
+    rates are preserved. *)
 
 val num_transitions : t -> int
 
 val labels : t -> label list
-(** All distinct transition labels, sorted, [Tau] first if present. *)
+(** All distinct transition labels, sorted by {!label_compare} ([tau]
+    first if present). *)
 
 val enabled : t -> int -> label list
 (** Distinct labels enabled in a state. *)
 
 val enables_action : t -> int -> string -> bool
-(** Does the state have an outgoing [Obs a] transition? *)
+(** Does the state have an outgoing observable transition with that
+    name? *)
 
 val successors : t -> int -> label -> int list
 
@@ -60,7 +106,7 @@ val map_labels : t -> (label -> label option) -> t
 (** Relabel transitions; [None] deletes the transition (restriction). *)
 
 val hide_all_but : t -> keep:(string -> bool) -> t
-(** Turn every observable transition whose name fails [keep] into [Tau]. *)
+(** Turn every observable transition whose name fails [keep] into [tau]. *)
 
 val restrict : t -> remove:(string -> bool) -> t
 (** Delete every observable transition whose name satisfies [remove]. *)

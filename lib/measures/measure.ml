@@ -253,14 +253,19 @@ let compile_sim lts measures =
       match state_clauses with
       | [] -> None
       | cs ->
-          let reward_of_state s =
-            List.fold_left
-              (fun acc c ->
-                if Lts.enables_action lts s c.action then acc +. c.reward
-                else acc)
-              0.0 cs
+          (* Tabulate the state reward once per state up front: the simulator
+             evaluates this on every integration step, and scanning the
+             clause list (with an enables_action edge scan per clause) per
+             step dominated long runs. *)
+          let reward =
+            Array.init lts.Lts.num_states (fun s ->
+                List.fold_left
+                  (fun acc c ->
+                    if Lts.enables_action lts s c.action then acc +. c.reward
+                    else acc)
+                  0.0 cs)
           in
-          Some (push (Sim.Time_average reward_of_state))
+          Some (push (Sim.Time_average (Array.get reward)))
     in
     let trans_slot =
       match trans_clauses with

@@ -30,6 +30,24 @@ let adl_constants =
   c ~unit_:"constants" ~desc:"process constants produced by elaboration"
     "adl.elaborate.constants"
 
+(* Compiled term core *)
+
+let pa_terms =
+  g ~unit_:"terms" ~desc:"live hash-consed terms in the sharing table"
+    "pa.terms"
+
+let pa_labels =
+  g ~unit_:"labels" ~desc:"distinct interned action labels (tau included)"
+    "pa.labels"
+
+let sos_memo_hits =
+  c ~unit_:"lookups" ~desc:"SOS derivations answered from the per-build memo"
+    "sos.memo.hits"
+
+let sos_memo_misses =
+  c ~unit_:"lookups" ~desc:"SOS derivations computed and memoized"
+    "sos.memo.misses"
+
 (* State space *)
 
 let lts_builds = c ~unit_:"builds" ~desc:"LTS constructions" "lts.builds"
@@ -44,6 +62,11 @@ let lts_transitions =
 let lts_build_seconds =
   h ~unit_:"seconds" ~desc:"wall-clock time of each LTS construction"
     "lts.build.seconds"
+
+let lts_csr_pack_seconds =
+  h ~unit_:"seconds"
+    ~desc:"wall-clock time spent packing each LTS into CSR arrays"
+    "lts.csr_pack.seconds"
 
 (* Equivalence checking *)
 

@@ -34,6 +34,24 @@ val adl_constants : Metrics.counter
 (** [adl.elaborate.constants] — process constants produced by elaboration
     (one per reachable (equation, argument) tuple). *)
 
+(** {1 Compiled term core (pa, sos)} *)
+
+val pa_terms : Metrics.gauge
+(** [pa.terms] — live hash-consed terms in the process-wide sharing table
+    (sampled after each LTS build). *)
+
+val pa_labels : Metrics.gauge
+(** [pa.labels] — distinct interned action labels, [tau] included
+    (sampled after each LTS build). *)
+
+val sos_memo_hits : Metrics.counter
+(** [sos.memo.hits] — SOS derivations answered from a build's
+    per-term memo table instead of being recomputed. *)
+
+val sos_memo_misses : Metrics.counter
+(** [sos.memo.misses] — SOS derivations actually computed (and
+    memoized); [hits / (hits + misses)] is the memo hit rate. *)
+
 (** {1 State space (lts)} *)
 
 val lts_builds : Metrics.counter
@@ -47,6 +65,11 @@ val lts_transitions : Metrics.counter
 
 val lts_build_seconds : Metrics.histogram
 (** [lts.build.seconds] — wall-clock time of each LTS construction. *)
+
+val lts_csr_pack_seconds : Metrics.histogram
+(** [lts.csr_pack.seconds] — wall-clock time spent packing each LTS into
+    its CSR (compressed sparse row) arrays, included in
+    [lts.build.seconds] for builds from a specification. *)
 
 (** {1 Equivalence checking (bisim)} *)
 

@@ -1,43 +1,75 @@
-module Sset = Term.Sset
+module Lset = Term.Lset
 
 exception Sync_error of { action : string; message : string }
+
+type engine = {
+  defs : Term.defs;
+  memo : (int, (Label.t * Rate.t * Term.t) list) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type stats = { hits : int; misses : int }
+
+let make defs = { defs; memo = Hashtbl.create 1024; hits = 0; misses = 0 }
+
+let stats (e : engine) = { hits = e.hits; misses = e.misses }
 
 let passive_total trans =
   List.fold_left (fun acc (_, r, _) -> acc +. Rate.apparent_weight r) 0.0 trans
 
-let rec transitions defs t =
-  match (t : Term.t) with
+(* Synchronization actions are derived in alphabetical name order — the
+   order the string-set representation used to give — so transition lists,
+   and hence BFS state numbering downstream, do not depend on label
+   interning order. *)
+let sorted_sync_actions s =
+  Lset.elements s |> List.sort Label.compare_by_name
+
+let rec derive e (t : Term.t) =
+  match Hashtbl.find_opt e.memo t.uid with
+  | Some trans ->
+      e.hits <- e.hits + 1;
+      trans
+  | None ->
+      e.misses <- e.misses + 1;
+      let trans = derive_uncached e t in
+      Hashtbl.replace e.memo t.uid trans;
+      trans
+
+and derive_uncached e (t : Term.t) =
+  match t.node with
   | Stop -> []
   | Prefix (a, r, k) -> [ (a, r, k) ]
-  | Choice ts -> List.concat_map (transitions defs) ts
-  | Call name -> transitions defs (Term.lookup defs name)
+  | Choice ts -> List.concat_map (derive e) ts
+  | Call name -> derive e (Term.lookup e.defs name)
   | Hide (s, p) ->
-      let relabel a = if Sset.mem a s then Term.tau else a in
+      let relabel a = if Lset.mem a s then Label.tau else a in
       List.map
-        (fun (a, r, k) -> (relabel a, r, Term.hide s k))
-        (transitions defs p)
+        (fun (a, r, k) -> (relabel a, r, Term.hide_labels s k))
+        (derive e p)
   | Restrict (s, p) ->
-      transitions defs p
-      |> List.filter (fun (a, _, _) -> not (Sset.mem a s))
-      |> List.map (fun (a, r, k) -> (a, r, Term.restrict s k))
+      derive e p
+      |> List.filter (fun (a, _, _) -> not (Lset.mem a s))
+      |> List.map (fun (a, r, k) -> (a, r, Term.restrict_labels s k))
   | Rename (map, p) ->
       List.map
-        (fun (a, r, k) -> (Term.apply_rename map a, r, Term.rename map k))
-        (transitions defs p)
+        (fun (a, r, k) ->
+          (Term.apply_rename_label map a, r, Term.rename_labels map k))
+        (derive e p)
   | Par (p, s, q) ->
-      let tp = transitions defs p and tq = transitions defs q in
+      let tp = derive e p and tq = derive e q in
       let left =
         tp
-        |> List.filter (fun (a, _, _) -> not (Sset.mem a s))
-        |> List.map (fun (a, r, k) -> (a, r, Term.par k s q))
+        |> List.filter (fun (a, _, _) -> not (Lset.mem a s))
+        |> List.map (fun (a, r, k) -> (a, r, Term.par_labels k s q))
       in
       let right =
         tq
-        |> List.filter (fun (a, _, _) -> not (Sset.mem a s))
-        |> List.map (fun (a, r, k) -> (a, r, Term.par p s k))
+        |> List.filter (fun (a, _, _) -> not (Lset.mem a s))
+        |> List.map (fun (a, r, k) -> (a, r, Term.par_labels p s k))
       in
       let sync_on a =
-        let on_label = List.filter (fun (b, _, _) -> String.equal b a) in
+        let on_label = List.filter (fun (b, _, _) -> Label.equal b a) in
         let ps = on_label tp and qs = on_label tq in
         if ps = [] || qs = [] then []
         else begin
@@ -54,20 +86,23 @@ let rec transitions defs t =
                      let rate =
                        try Rate.synchronize r1 r2 ~passive_total:total
                        with Rate.Sync_error message ->
-                         raise (Sync_error { action = a; message })
+                         raise (Sync_error { action = Label.name a; message })
                      in
-                     (a, rate, Term.par k1 s k2))
+                     (a, rate, Term.par_labels k1 s k2))
                    qs)
         end
       in
-      let sync = List.concat_map sync_on (Sset.elements s) in
+      let sync = List.concat_map sync_on (sorted_sync_actions s) in
       left @ right @ sync
+
+let transitions defs t = derive (make defs) t
 
 let enabled_actions defs t =
   transitions defs t
   |> List.fold_left
        (fun acc (a, _, _) ->
-         if String.equal a Term.tau then acc else Sset.add a acc)
-       Sset.empty
+         if Label.equal a Label.tau then acc
+         else Term.Sset.add (Label.name a) acc)
+       Term.Sset.empty
 
 let is_deadlocked defs t = transitions defs t = []

@@ -1,15 +1,36 @@
 (** Structural operational semantics of the process algebra kernel.
 
     [transitions defs t] derives the multiset of outgoing transitions of
-    [t]: action name ([Term.tau] for invisible), rate, and successor term.
-    Multiple identical entries are meaningful (their exponential rates add
-    up in the Markovian interpretation). *)
+    [t]: interned action label ({!Label.tau} for invisible), rate, and
+    successor term. Multiple identical entries are meaningful (their
+    exponential rates add up in the Markovian interpretation).
+
+    An {!engine} memoizes the derivation per hash-consed term id: once the
+    transitions of a subterm have been derived, every [Par] context that
+    reaches the same subterm reuses them instead of recomputing the whole
+    derivation tree. The memo is write-once per term and lives as long as
+    the engine — create one engine per state-space exploration. *)
 
 exception Sync_error of { action : string; message : string }
 (** Raised when a synchronization on [action] is ill-rated (e.g. two active
     participants). *)
 
-val transitions : Term.defs -> Term.t -> (string * Rate.t * Term.t) list
+type engine
+
+val make : Term.defs -> engine
+(** A fresh engine (empty memo) for the given constant definitions. *)
+
+val derive : engine -> Term.t -> (Label.t * Rate.t * Term.t) list
+(** Memoized SOS derivation. *)
+
+type stats = { hits : int; misses : int }
+
+val stats : engine -> stats
+(** Memo hits (derivations answered from the table) and misses (derivations
+    actually computed) since the engine was created. *)
+
+val transitions : Term.defs -> Term.t -> (Label.t * Rate.t * Term.t) list
+(** One-shot derivation through an ephemeral engine. *)
 
 val enabled_actions : Term.defs -> Term.t -> Term.Sset.t
 (** Action names (tau excluded) enabled in [t]. *)

@@ -5,31 +5,42 @@
     and the topology becomes a tree of CSP-style parallel compositions whose
     synchronization sets are the attached interactions.
 
+    Terms are hash-consed: structurally equal terms are physically equal
+    and carry one unique id, so equality, hashing, and state-table lookups
+    during state-space exploration are O(1) instead of a structural walk.
+    Action names inside terms are interned {!Label.t} ids; the smart
+    constructors still accept plain strings and intern on the way in.
+
     The distinguished action {!tau} is the invisible action: it cannot be
     synchronized on, restricted, or introduced by renaming (only {!hide}
     produces it). *)
 
 module Sset : Set.S with type elt = string
 
-type t = private
+module Lset : Set.S with type elt = Label.t
+(** Interned-label sets (synchronization, hiding, restriction sets). *)
+
+type t = private { uid : int; node : node }
+(** Hash-consed: [equal a b] iff [a == b] iff [a.uid = b.uid]. *)
+
+and node = private
   | Stop
-  | Prefix of string * Rate.t * t
+  | Prefix of Label.t * Rate.t * t
   | Choice of t list
   | Call of string
-  | Par of t * Sset.t * t
-  | Hide of Sset.t * t
-  | Restrict of Sset.t * t
-  | Rename of (string * string) list * t
+  | Par of t * Lset.t * t
+  | Hide of Lset.t * t
+  | Restrict of Lset.t * t
+  | Rename of (Label.t * Label.t) list * t
 
 val tau : string
-(** The invisible action name. *)
+(** The invisible action name (interned as {!Label.tau}). *)
 
 (** {2 Smart constructors}
 
     [choice] flattens nested choices and drops [Stop] summands; [par],
     [hide], [restrict] and [rename] validate that [tau] is not manipulated.
-    [rename] additionally rejects non-injective maps that merge distinct
-    actions with distinct images colliding. *)
+    [rename] additionally rejects duplicate source actions. *)
 
 val stop : t
 val prefix : string -> Rate.t -> t -> t
@@ -43,11 +54,30 @@ val restrict : Sset.t -> t -> t
 val restrict_names : string list -> t -> t
 val rename : (string * string) list -> t -> t
 
+val prefix_label : Label.t -> Rate.t -> t -> t
+(** Like {!prefix} on an already-interned label. *)
+
+val par_labels : t -> Lset.t -> t -> t
+val hide_labels : Lset.t -> t -> t
+val restrict_labels : Lset.t -> t -> t
+val rename_labels : (Label.t * Label.t) list -> t -> t
+(** Internal-facing constructors over interned labels, used by the SOS
+    derivation to rebuild successor terms without round-tripping through
+    strings. They enforce the same tau discipline. *)
+
 val apply_rename : (string * string) list -> string -> string
 
+val apply_rename_label : (Label.t * Label.t) list -> Label.t -> Label.t
+
 val compare : t -> t -> int
+(** Total order by unique id — constant time; consistent within a process,
+    not across processes (ids depend on construction order). *)
+
 val equal : t -> t -> bool
 val hash : t -> int
+
+val hashcons_count : unit -> int
+(** Number of distinct live terms in the hash-consing table. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

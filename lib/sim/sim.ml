@@ -46,7 +46,7 @@ type estimand =
 
 type run_result = { values : float array; events : int; horizon : float }
 
-let label_name = function Lts.Tau -> Dpma_pa.Term.tau | Lts.Obs a -> a
+let label_name = Lts.label_name
 
 let resolve assignment (tr : Lts.transition) =
   let name = label_name tr.label in
@@ -74,6 +74,17 @@ type accumulator = {
 }
 
 let max_zero_steps = 10_000
+
+(* Cached per-state scheduling structure: either the state is absorbing, or
+   the maximal-priority immediate race, or the timed race grouped by action
+   label (see [run_segments]). *)
+type step_info =
+  | Deadlocked
+  | Immediate_race of { top : Lts.transition list; weights : float array }
+  | Timed_race of {
+      by_label : (string, (Lts.transition * Dist.t) list) Hashtbl.t;
+      enabled_labels : string list;
+    }
 
 (* Core engine: simulate from time 0 to the last boundary; measurement is
    split at each boundary and one value-vector per segment is returned
@@ -138,70 +149,106 @@ let run_segments ?(timing = fun _ -> None) ?(trace = fun ~time:_ ~action:_ ~stat
         estimands
     end
   in
+  (* Per-state step structure, computed on first visit and reused on every
+     later one: the unpacked transitions, their resolved timings, and the
+     immediate/timed scheduling tables are all pure functions of the
+     (state, timing assignment) pair. The construction replays exactly
+     what the per-step code used to do, so scheduling order — and hence
+     PRNG draw order — is unchanged. *)
+  let cache = Array.make lts.Lts.num_states None in
+  let step_info_of s =
+    match cache.(s) with
+    | Some info -> info
+    | None ->
+        let trans = Lts.transitions_of lts s in
+        let info =
+          match trans with
+          | [] -> Deadlocked
+          | _ -> (
+              let resolved =
+                List.map (fun tr -> (tr, resolve timing tr)) trans
+              in
+              let immediates =
+                List.filter_map
+                  (fun (tr, t) ->
+                    match t with
+                    | Immediate { prio; weight } -> Some (tr, prio, weight)
+                    | Timed _ -> None)
+                  resolved
+              in
+              match immediates with
+              | _ :: _ ->
+                  let max_prio =
+                    List.fold_left
+                      (fun m (_, p, _) -> max m p)
+                      min_int immediates
+                  in
+                  let top =
+                    List.filter (fun (_, p, _) -> p = max_prio) immediates
+                    |> List.map (fun (tr, _, _) -> tr)
+                  in
+                  let weights =
+                    Array.of_list
+                      (List.filter_map
+                         (fun (_, p, w) -> if p = max_prio then Some w else None)
+                         immediates)
+                  in
+                  Immediate_race { top; weights }
+              | [] ->
+                  let timed =
+                    List.filter_map
+                      (fun (tr, t) ->
+                        match t with
+                        | Timed d -> Some (tr, d)
+                        | Immediate _ -> None)
+                      resolved
+                  in
+                  let by_label :
+                      (string, (Lts.transition * Dist.t) list) Hashtbl.t =
+                    Hashtbl.create 8
+                  in
+                  List.iter
+                    (fun ((tr, _) as entry) ->
+                      let name = label_name tr.Lts.label in
+                      let cur =
+                        Option.value ~default:[]
+                          (Hashtbl.find_opt by_label name)
+                      in
+                      Hashtbl.replace by_label name (entry :: cur))
+                    timed;
+                  let enabled_labels =
+                    Hashtbl.fold (fun k _ acc -> k :: acc) by_label []
+                  in
+                  Timed_race { by_label; enabled_labels })
+        in
+        cache.(s) <- Some info;
+        info
+  in
   let zero_steps = ref 0 in
   let running = ref true in
   while !running && !now < horizon do
-    let trans = lts.Lts.trans.(!state) in
-    match trans with
-    | [] ->
+    match step_info_of !state with
+    | Deadlocked ->
         (* Deadlock: the final state persists until the horizon. *)
         integrate !state (horizon -. !now);
         now := horizon;
         running := false
-    | _ -> (
-        let resolved = List.map (fun tr -> (tr, resolve timing tr)) trans in
-        let immediates =
-          List.filter_map
-            (fun (tr, t) ->
-              match t with
-              | Immediate { prio; weight } -> Some (tr, prio, weight)
-              | Timed _ -> None)
-            resolved
-        in
-        match immediates with
-        | _ :: _ ->
-            incr zero_steps;
-            if !zero_steps > max_zero_steps then
-              raise
-                (Simulation_error
-                   "livelock: too many consecutive immediate transitions");
-            let max_prio =
-              List.fold_left (fun m (_, p, _) -> max m p) min_int immediates
-            in
-            let top = List.filter (fun (_, p, _) -> p = max_prio) immediates in
-            let weights = Array.of_list (List.map (fun (_, _, w) -> w) top) in
-            let chosen = List.nth top (Prng.choose_weighted g weights) in
-            let tr, _, _ = chosen in
-            let action = label_name tr.Lts.label in
-            count_firing action;
-            incr events;
-            state := tr.Lts.target;
-            trace ~time:!now ~action ~state:!state
-        | [] ->
+    | Immediate_race { top; weights } ->
+        incr zero_steps;
+        if !zero_steps > max_zero_steps then
+          raise
+            (Simulation_error
+               "livelock: too many consecutive immediate transitions");
+        let tr = List.nth top (Prng.choose_weighted g weights) in
+        let action = label_name tr.Lts.label in
+        count_firing action;
+        incr events;
+        state := tr.Lts.target;
+        trace ~time:!now ~action ~state:!state
+    | Timed_race { by_label; enabled_labels } ->
             zero_steps := 0;
-            (* Race among timed actions, one clock per action label. *)
-            let timed =
-              List.filter_map
-                (fun (tr, t) ->
-                  match t with Timed d -> Some (tr, d) | Immediate _ -> None)
-                resolved
-            in
-            let by_label : (string, (Lts.transition * Dist.t) list) Hashtbl.t =
-              Hashtbl.create 8
-            in
-            List.iter
-              (fun ((tr, _) as entry) ->
-                let name = label_name tr.Lts.label in
-                let cur =
-                  Option.value ~default:[] (Hashtbl.find_opt by_label name)
-                in
-                Hashtbl.replace by_label name (entry :: cur))
-              timed;
             (* Enabling memory: prune clocks of disabled labels, sample
                clocks for newly enabled ones. *)
-            let enabled_labels =
-              Hashtbl.fold (fun k _ acc -> k :: acc) by_label []
-            in
             Hashtbl.iter
               (fun k _ ->
                 if not (Hashtbl.mem by_label k) then Hashtbl.remove clocks k)
@@ -255,7 +302,7 @@ let run_segments ?(timing = fun _ -> None) ?(trace = fun ~time:_ ~action:_ ~stat
               incr events;
               state := tr.Lts.target;
               trace ~time:!now ~action:name ~state:!state
-            end)
+            end
   done;
   let values =
     Array.init num_segments (fun seg ->

@@ -375,9 +375,8 @@ let test_elaborate_pipeline_lts () =
   Alcotest.(check int) "four states" 4 lts.Lts.num_states;
   Alcotest.(check bool) "channel action present" true
     (Lts.labels lts
-    |> List.exists (function
-         | Lts.Obs "Prod.send#Cons.receive" -> true
-         | _ -> false))
+    |> List.exists (fun l ->
+           String.equal (Lts.label_name l) "Prod.send#Cons.receive"))
 
 let test_elaborate_unattached_reported () =
   let src =

@@ -164,12 +164,8 @@ let test_passive_rejected () =
 
 let test_functional_model_rejected () =
   let lts =
-    {
-      Lts.init = 0;
-      num_states = 1;
-      trans = [| [ { Lts.label = Lts.Obs "a"; rate = None; target = 0 } ] |];
-      state_name = string_of_int;
-    }
+    Lts.make ~init:0 ~state_name:string_of_int
+      [| [ { Lts.label = Lts.obs "a"; rate = None; target = 0 } ] |]
   in
   (try
      ignore (Ctmc.of_lts lts);

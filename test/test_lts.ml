@@ -20,9 +20,9 @@ let mk_lts n edges =
     (fun (s, label, t) ->
       trans.(s) <- { Lts.label; rate = None; target = t } :: trans.(s))
     edges;
-  { Lts.init = 0; num_states = n; trans; state_name = string_of_int }
+  Lts.make ~init:0 ~state_name:string_of_int trans
 
-let obs a = Lts.Obs a
+let obs a = Lts.obs a
 
 (* ------------------------------------------------------------------ *)
 (* Construction *)
@@ -82,7 +82,7 @@ let test_map_labels_hide_restrict () =
   let hidden = Lts.hide_all_but lts ~keep:(String.equal "keep") in
   Alcotest.(check int) "hide keeps transitions" 2 (Lts.num_transitions hidden);
   Alcotest.(check bool) "tau present" true
-    (List.exists (fun l -> l = Lts.Tau) (Lts.enabled hidden 0));
+    (List.exists (fun l -> l = Lts.tau) (Lts.enabled hidden 0));
   let restricted = Lts.restrict lts ~remove:(String.equal "drop") in
   Alcotest.(check int) "restrict removes" 1 (Lts.num_transitions restricted)
 
@@ -171,11 +171,11 @@ let test_saturate_shape () =
   Alcotest.(check bool) "weak a from init" true
     (List.exists
        (fun (tr : Lts.transition) -> tr.label = obs "a")
-       sat.Lts.trans.(sat.Lts.init));
+       (Lts.transitions_of sat sat.Lts.init));
   Alcotest.(check bool) "reflexive tau" true
     (List.exists
-       (fun (tr : Lts.transition) -> tr.label = Lts.Tau && tr.target = sat.Lts.init)
-       sat.Lts.trans.(sat.Lts.init))
+       (fun (tr : Lts.transition) -> tr.label = Lts.tau && tr.target = sat.Lts.init)
+       (Lts.transitions_of sat sat.Lts.init))
 
 (* ------------------------------------------------------------------ *)
 (* Markovian lumping *)
@@ -216,11 +216,12 @@ let test_quotient_by_representative_keeps_rates () =
   let block = Bisim.markovian_partition split in
   let lumped = Lts.quotient_by_representative split block in
   let total_a_rate =
-    lumped.Lts.trans.(lumped.Lts.init)
+    Lts.transitions_of lumped lumped.Lts.init
     |> List.fold_left
          (fun acc (tr : Lts.transition) ->
-           match (tr.label, tr.rate) with
-           | Lts.Obs "a", Some (Rate.Exp l) -> acc +. l
+           match tr.rate with
+           | Some (Rate.Exp l) when Lts.label_equal tr.label (obs "a") ->
+               acc +. l
            | _ -> acc)
          0.0
   in
@@ -234,7 +235,7 @@ let test_quotient_by_representative_keeps_rates () =
     (List.length
        (List.filter
           (fun (tr : Lts.transition) -> Lts.label_equal tr.label (obs "a"))
-          plain.Lts.trans.(plain.Lts.init)))
+          (Lts.transitions_of plain plain.Lts.init)))
 
 (* ------------------------------------------------------------------ *)
 (* HML *)
@@ -259,7 +260,7 @@ let has_substring s sub =
   m = 0 || go 0
 
 let test_hml_pp_twotowers_style () =
-  let f = Hml.diamond (obs "x") (Hml.neg (Hml.diamond Lts.Tau Hml.tt)) in
+  let f = Hml.diamond (obs "x") (Hml.neg (Hml.diamond Lts.tau Hml.tt)) in
   let s = Hml.to_string ~weak:true f in
   Alcotest.(check bool) "mentions EXISTS_WEAK_TRANS" true
     (has_substring s "EXISTS_WEAK_TRANS");
@@ -324,7 +325,7 @@ let gen_lts =
     int_range 1 8 >>= fun n ->
     list_size (int_range 0 16)
       (triple (int_range 0 (n - 1))
-         (oneofl [ Lts.Tau; obs "a"; obs "b" ])
+         (oneofl [ Lts.tau; obs "a"; obs "b" ])
          (int_range 0 (n - 1)))
     >>= fun edges -> return (mk_lts n edges))
 
@@ -336,7 +337,7 @@ let prop_partition_is_consistent =
     (fun lts ->
       let block = Bisim.strong_partition lts in
       let signature s =
-        lts.Lts.trans.(s)
+        Lts.transitions_of lts s
         |> List.map (fun (tr : Lts.transition) -> (tr.label, block.(tr.target)))
         |> List.sort_uniq compare
       in
@@ -501,7 +502,9 @@ let test_determinize_shape () =
   Alcotest.(check int) "three subset states" 3 d.Lts.num_states;
   (* Deterministic: at most one transition per label per state. *)
   for s = 0 to d.Lts.num_states - 1 do
-    let labels = List.map (fun (tr : Lts.transition) -> tr.label) d.Lts.trans.(s) in
+    let labels =
+      List.map (fun (tr : Lts.transition) -> tr.label) (Lts.transitions_of d s)
+    in
     Alcotest.(check int) "deterministic" (List.length labels)
       (List.length (List.sort_uniq compare labels))
   done
@@ -558,6 +561,19 @@ let test_pp_dot () =
      Alcotest.fail "expected invalid_arg"
    with Invalid_argument _ -> ())
 
-let dot_suite = [ Alcotest.test_case "dot export" `Quick test_pp_dot ]
+let test_pp_dot_escaping () =
+  (* Labels containing quotes AND backslashes must come out with the
+     backslash escaped first: x"y\z renders as x\"y\\z, never x\"y\\"z
+     or a dangling backslash that eats the closing quote. *)
+  let lts = mk_lts 2 [ (0, obs "x\"y\\z", 1) ] in
+  let s = Format.asprintf "%a" (fun ppf l -> Lts.pp_dot ppf l) lts in
+  Alcotest.(check bool) "escaped quote and backslash" true
+    (has_substring s "label=\"x\\\"y\\\\z\"")
+
+let dot_suite =
+  [
+    Alcotest.test_case "dot export" `Quick test_pp_dot;
+    Alcotest.test_case "dot escaping" `Quick test_pp_dot_escaping;
+  ]
 
 let suite = suite @ dot_suite

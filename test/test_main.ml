@@ -8,6 +8,7 @@ let () =
       ("pool", Test_pool.suite);
       ("dist", Test_dist.suite);
       ("pa", Test_pa.suite);
+      ("compiled-core", Test_compiled_core.suite);
       ("lts", Test_lts.suite);
       ("ctmc", Test_ctmc.suite);
       ("sim", Test_sim.suite);

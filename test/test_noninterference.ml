@@ -57,7 +57,7 @@ let test_observed_pair_shapes () =
   Alcotest.(check int) "hidden keeps both transitions" 2 (Lts.num_transitions hidden);
   Alcotest.(check int) "removed drops high" 1 (Lts.num_transitions removed);
   Alcotest.(check bool) "hidden has tau" true
-    (List.exists (fun l -> l = Lts.Tau) (Lts.enabled hidden 0))
+    (List.exists (fun l -> l = Lts.tau) (Lts.enabled hidden 0))
 
 (* ------------------------------------------------------------------ *)
 (* Paper results *)
@@ -159,7 +159,7 @@ let test_pp_verdict () =
   Alcotest.(check bool) "secure rendering" true (String.length s > 0);
   let s2 =
     Format.asprintf "%a" NI.pp_verdict
-      (NI.Insecure (Hml.diamond (Lts.Obs "x") Hml.tt))
+      (NI.Insecure (Hml.diamond (Lts.obs "x") Hml.tt))
   in
   let has sub str =
     let n = String.length str and m = String.length sub in

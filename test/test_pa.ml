@@ -3,6 +3,7 @@
 module Rate = Dpma_pa.Rate
 module Term = Dpma_pa.Term
 module Semantics = Dpma_pa.Semantics
+module Label = Dpma_pa.Label
 module Sset = Dpma_pa.Term.Sset
 
 let check_int = Alcotest.(check int)
@@ -53,7 +54,7 @@ let test_choice_flattening () =
   let p = Term.prefix "a" a_rate Term.stop in
   let q = Term.prefix "b" a_rate Term.stop in
   let nested = Term.choice [ Term.choice [ p; q ]; Term.stop ] in
-  match nested with
+  match nested.Term.node with
   | Term.Choice [ _; _ ] -> ()
   | _ -> Alcotest.failf "expected flattened 2-way choice, got %s" (Term.to_string nested)
 
@@ -115,7 +116,11 @@ let test_unguarded_recursion_detected () =
 (* ------------------------------------------------------------------ *)
 (* Semantics *)
 
-let trans defs t = Semantics.transitions defs t
+(* The semantics yields interned labels; tests compare action names, so
+   translate back to strings at the boundary. *)
+let trans defs t =
+  Semantics.transitions defs t
+  |> List.map (fun (l, r, k) -> (Label.name l, r, k))
 
 let test_prefix_and_choice_transitions () =
   let t =
@@ -183,8 +188,10 @@ let test_synchronization_rate () =
   let rate_to after =
     List.find_map
       (fun (_, r, k) ->
-        match (k : Term.t) with
-        | Term.Par (_, _, Term.Prefix (x, _, _)) when String.equal x after -> Some r
+        match (k : Term.t).Term.node with
+        | Term.Par (_, _, { Term.node = Term.Prefix (x, _, _); _ })
+          when String.equal (Label.name x) after ->
+            Some r
         | _ -> None)
       ts
     |> Option.get

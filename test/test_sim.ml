@@ -191,7 +191,7 @@ let test_clock_dropped_when_disabled () =
 let test_deadlock_graceful () =
   let lts = lts_of_defs [] (Term.prefix "a" (Rate.exp 1.0) Term.stop) in
   let estimands =
-    [ Sim.Time_average (fun s -> if lts.Lts.trans.(s) = [] then 1.0 else 0.0) ]
+    [ Sim.Time_average (fun s -> if Lts.out_degree lts s = 0 then 1.0 else 0.0) ]
   in
   let result = Sim.run ~lts ~duration:100.0 ~estimands (Prng.create 8) in
   Alcotest.(check bool) "dead fraction large" true (result.Sim.values.(0) > 0.8);
@@ -442,7 +442,7 @@ let test_sim_first_passage_deterministic () =
     | "b" -> Some (Sim.Timed (Dist.Deterministic 3.0))
     | _ -> None
   in
-  let target s = lts.Lts.trans.(s) = [] in
+  let target s = Lts.out_degree lts s = 0 in
   let summary, censored =
     Sim.first_passage ~timing ~lts ~target ~runs:5 ~seed:3 ()
   in
