@@ -27,6 +27,9 @@ let required =
     "lts.states";
     "lts.transitions";
     "bisim.refine.rounds";
+    "ni.product.states_pruned";
+    "ni.product.rounds";
+    "ni.product.secure_exits";
     "ctmc.states";
     "ctmc.solve.iterations";
     "ctmc.solve.residual";
@@ -63,9 +66,22 @@ let () =
                       fail "study_seconds.%s.%s should be positive, got %s"
                         study phase (Json.to_string j)
                   | None -> fail "study_seconds.%s misses %s" study phase)
-                [ "lts.build_seconds"; "bisim.refine_seconds" ]
+                [ "lts.build_seconds"; "bisim.refine_seconds";
+                  "ni.check_seconds" ]
           | _ -> fail "study_seconds misses study %s" study)
-        [ "rpc"; "streaming" ]
+        [ "rpc"; "streaming" ];
+      (* The streaming DPM-removed side strands unreachable states, so the
+         product refiner's reachability pruning must have fired there. *)
+      (match Json.member "streaming" studies with
+      | Some entry -> (
+          match Json.member "ni.states_pruned" entry with
+          | Some (Json.Num v) when v > 0.0 -> ()
+          | Some j ->
+              fail "study_seconds.streaming.ni.states_pruned should be > 0, \
+                    got %s"
+                (Json.to_string j)
+          | None -> fail "study_seconds.streaming misses ni.states_pruned")
+      | None -> assert false)
   | _ -> fail "missing \"study_seconds\" object");
   let metrics =
     match Json.member "metrics" doc with

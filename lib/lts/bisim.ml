@@ -82,9 +82,7 @@ let tau_closure (lts : Lts.t) =
   done;
   closure
 
-let saturate (lts : Lts.t) =
-  Dpma_obs.Trace.with_span "bisim.saturate"
-    ~attrs:[ ("states", Dpma_obs.Trace.Int lts.num_states) ] (fun () ->
+let saturate_impl (lts : Lts.t) =
   let n = lts.num_states in
   let closure = tau_closure lts in
   let trans = Array.make n [] in
@@ -110,7 +108,14 @@ let saturate (lts : Lts.t) =
         done)
       closure.(s)
   done;
-  Lts.make ~init:lts.init ~state_name:lts.state_name trans)
+  Lts.make ~init:lts.init ~state_name:lts.state_name trans
+
+let saturate ?(traced = true) lts =
+  if traced then
+    Dpma_obs.Trace.with_span "bisim.saturate"
+      ~attrs:[ ("states", Dpma_obs.Trace.Int lts.Lts.num_states) ] (fun () ->
+        saturate_impl lts)
+  else saturate_impl lts
 
 (* Signature-based partition refinement. [signature] maps a state to a
    canonical representation of its outgoing behaviour w.r.t. the current
@@ -377,3 +382,192 @@ let determinize ?(max_states = 500_000) (lts : Lts.t) =
 
 let trace_equivalent a b =
   strong_equivalent (determinize a) (determinize b)
+
+(* ------------------------------------------------------------------ *)
+(* On-the-fly product refinement for the noninterference check.        *)
+(* ------------------------------------------------------------------ *)
+
+(* Drop the states a side cannot reach from its initial state: the
+   equivalence class of the initial state only depends on the reachable
+   part, and [Lts.restrict] (used to build the "DPM removed" side)
+   leaves edge-orphaned states in place, so this prunes real work before
+   any quotient or saturation runs. Returns the (possibly physically
+   unchanged) LTS and the number of states dropped. *)
+let restrict_reachable (lts : Lts.t) =
+  let n = lts.num_states in
+  let reach = Lts.reachable_from lts lts.init in
+  let count = ref 0 in
+  Array.iter (fun r -> if r then incr count) reach;
+  if !count = n then (lts, 0)
+  else begin
+    let new_of_old = Array.make n (-1) in
+    let old_of_new = Array.make !count 0 in
+    let next = ref 0 in
+    for s = 0 to n - 1 do
+      if reach.(s) then begin
+        new_of_old.(s) <- !next;
+        old_of_new.(!next) <- s;
+        incr next
+      end
+    done;
+    let trans = Array.make !count [] in
+    for i = 0 to !count - 1 do
+      trans.(i) <-
+        List.map
+          (fun (tr : Lts.transition) ->
+            { tr with Lts.target = new_of_old.(tr.target) })
+          (Lts.transitions_of lts old_of_new.(i))
+    done;
+    let pruned =
+      Lts.make ~init:new_of_old.(lts.init)
+        ~state_name:(fun i -> lts.state_name old_of_new.(i))
+        trans
+    in
+    (pruned, n - !count)
+  end
+
+(* Signature refinement watched on one state pair: identical block
+   assignment discipline to [refine] (first-seen order within a round),
+   but the loop exits as soon as the watched states land in different
+   blocks — retaining the pair of signatures that split them — or as
+   soon as the partition is stable, whichever comes first. Returns
+   [(partition, rounds, split)]. *)
+let refine_watched (lts : Lts.t) ~signature ~watch:(wa, wb) =
+  Dpma_obs.Trace.with_span "bisim.refine"
+    ~attrs:[ ("states", Dpma_obs.Trace.Int lts.num_states) ] (fun () ->
+  let module I = Dpma_obs.Instruments in
+  Dpma_obs.Metrics.incr I.bisim_refines;
+  let n = lts.num_states in
+  let block = Array.make n 0 in
+  let num_blocks = ref 1 in
+  let rounds = ref 0 in
+  let split = ref None in
+  let continue_ = ref (n > 0) in
+  while !continue_ do
+    Dpma_obs.Metrics.incr I.bisim_rounds;
+    incr rounds;
+    let table = Sig_tbl.create (2 * !num_blocks) in
+    let next = ref 0 in
+    let new_block = Array.make n 0 in
+    for s = 0 to n - 1 do
+      let { ints; floats } = signature block s in
+      let key = { Sig_key.old_block = block.(s); ints; floats } in
+      match Sig_tbl.find_opt table key with
+      | Some id -> new_block.(s) <- id
+      | None ->
+          Sig_tbl.add table key !next;
+          new_block.(s) <- !next;
+          incr next
+    done;
+    Dpma_obs.Metrics.observe I.bisim_blocks_per_round (float_of_int !next);
+    if new_block.(wa) <> new_block.(wb) then begin
+      (* The signatures are recomputed against the pre-round partition,
+         exactly as the round that told the watched states apart saw
+         them. *)
+      let sa = signature block wa and sb = signature block wb in
+      split := Some (sa.ints, sb.ints);
+      num_blocks := !next;
+      Array.blit new_block 0 block 0 n;
+      continue_ := false
+    end
+    else if !next = !num_blocks then continue_ := false
+    else begin
+      num_blocks := !next;
+      Array.blit new_block 0 block 0 n
+    end
+  done;
+  Dpma_obs.Metrics.set I.bisim_blocks (float_of_int !num_blocks);
+  (block, !rounds, !split))
+
+type product_trail = {
+  left : Lts.t;
+  right : Lts.t;
+  split_round : int;
+  left_signature : int array;
+  right_signature : int array;
+}
+
+type product_result =
+  | Product_secure of { partition : int array; rounds : int }
+  | Product_insecure of product_trail
+
+let record_product_exit ~rounds ~pruned secure =
+  let module I = Dpma_obs.Instruments in
+  Dpma_obs.Metrics.add I.ni_product_rounds rounds;
+  Dpma_obs.Metrics.add I.ni_product_pruned pruned;
+  Dpma_obs.Metrics.incr
+    (if secure then I.ni_product_secure_exits else I.ni_product_insecure_exits)
+
+(* Strong quotient then tau-SCC collapse: both preserve weak
+   bisimilarity and shrink the quadratic saturation step. The same
+   pre-reduction [weak_partition] applies to a materialized union, here
+   performed per side so the unreduced union never exists. *)
+let weak_reduce lts =
+  let p1 = strong_partition lts in
+  let l1 = Lts.quotient lts p1 in
+  let p2 = tau_scc_partition l1 in
+  Lts.quotient l1 p2
+
+let weak_product_check (a : Lts.t) (b : Lts.t) =
+  Dpma_obs.Trace.with_span "bisim.product"
+    ~attrs:
+      [ ("states", Dpma_obs.Trace.Int (a.num_states + b.num_states)) ]
+    (fun () ->
+      let ra, pruned_a = restrict_reachable a in
+      let rb, pruned_b = restrict_reachable b in
+      let qa = weak_reduce ra and qb = weak_reduce rb in
+      let sa, sb =
+        Dpma_obs.Trace.with_span "bisim.saturate"
+          ~attrs:
+            [
+              ( "states",
+                Dpma_obs.Trace.Int (qa.Lts.num_states + qb.Lts.num_states) );
+            ]
+          (fun () -> (saturate_impl qa, saturate_impl qb))
+      in
+      let union, ia, ib = Lts.disjoint_union sa sb in
+      let partition, rounds, split =
+        refine_watched union ~signature:(strong_signature union)
+          ~watch:(ia, ib)
+      in
+      record_product_exit ~rounds ~pruned:(pruned_a + pruned_b)
+        (Option.is_none split);
+      match split with
+      | None -> Product_secure { partition; rounds }
+      | Some (left_signature, right_signature) ->
+          Product_insecure
+            { left = a; right = b; split_round = rounds; left_signature;
+              right_signature })
+
+let branching_product_secure (a : Lts.t) (b : Lts.t) =
+  Dpma_obs.Trace.with_span "bisim.product"
+    ~attrs:
+      [ ("states", Dpma_obs.Trace.Int (a.num_states + b.num_states)) ]
+    (fun () ->
+      let ra, pruned_a = restrict_reachable a in
+      let rb, pruned_b = restrict_reachable b in
+      let union, ia, ib = Lts.disjoint_union ra rb in
+      let _, rounds, split =
+        refine_watched union ~signature:(branching_signature union)
+          ~watch:(ia, ib)
+      in
+      record_product_exit ~rounds ~pruned:(pruned_a + pruned_b)
+        (Option.is_none split);
+      Option.is_none split)
+
+let trace_product_secure ?max_states (a : Lts.t) (b : Lts.t) =
+  Dpma_obs.Trace.with_span "bisim.product"
+    ~attrs:
+      [ ("states", Dpma_obs.Trace.Int (a.num_states + b.num_states)) ]
+    (fun () ->
+      let ra, pruned_a = restrict_reachable a in
+      let rb, pruned_b = restrict_reachable b in
+      let da = determinize ?max_states ra and db = determinize ?max_states rb in
+      let union, ia, ib = Lts.disjoint_union da db in
+      let _, rounds, split =
+        refine_watched union ~signature:(strong_signature union)
+          ~watch:(ia, ib)
+      in
+      record_product_exit ~rounds ~pruned:(pruned_a + pruned_b)
+        (Option.is_none split);
+      Option.is_none split)

@@ -7,11 +7,13 @@
     equivalence refines signatures with cumulative rates, giving ordinary
     lumpability on the underlying CTMC. *)
 
-val saturate : Lts.t -> Lts.t
+val saturate : ?traced:bool -> Lts.t -> Lts.t
 (** Weak-transition closure: in the result, an [Obs a] transition [s -> t]
     exists iff [s =tau*=> . -a-> . =tau*=> t] in the input, and a [Tau]
     transition [s -> t] iff [s =tau*=> t] (including [s = t]). Rates are
-    dropped. *)
+    dropped. [~traced:false] skips the ["bisim.saturate"] tracing span —
+    for callers (diagnostics) that account the closure under a span of
+    their own. *)
 
 val strong_partition : Lts.t -> int array
 (** Coarsest strong-bisimulation partition; entry [i] is the block of state
@@ -56,3 +58,57 @@ val trace_equivalent : Lts.t -> Lts.t -> bool
     bisimulation — on deterministic automata the two notions coincide.
     Strictly coarser than weak bisimilarity: deadlocks after a common
     trace are invisible. *)
+
+(** {1 On-the-fly product refinement}
+
+    The noninterference check relates the initial states of two LTSs; the
+    product entry points below decide exactly that question without ever
+    materializing the disjoint union of the unreduced sides. Each side is
+    first pruned to the part reachable from its initial state and
+    pre-reduced on its own (strong quotient, tau-SCC collapse — for the
+    weak check); only the reduced sides are saturated (one
+    ["bisim.saturate"] span per check) and stitched, and the watched
+    refinement over the stitched product stops as soon as the two initial
+    states split (early-exit INSECURE, splitting signatures retained) or
+    as soon as the partition over the pruned product is stable with the
+    initial states co-blocked (SECURE). Progress lands in the
+    [ni.product.*] instruments. *)
+
+type product_trail = {
+  left : Lts.t;  (** the original (unpruned, unreduced) left side *)
+  right : Lts.t;  (** the original right side *)
+  split_round : int;
+      (** 1-based watched-refinement round whose signatures told the two
+          initial states apart *)
+  left_signature : int array;
+      (** packed weak signature (see {!Lts}) of the left initial state's
+          class at the splitting round, over the reduced product's block
+          ids *)
+  right_signature : int array;  (** same, for the right initial state *)
+}
+(** Evidence of an initial-state split, sufficient for
+    [Diagnose.of_product_trail] to extract a distinguishing formula
+    without re-deciding the verdict. *)
+
+type product_result =
+  | Product_secure of { partition : int array; rounds : int }
+      (** The stable partition over the pruned, per-side-reduced,
+          saturated product (left-side classes first), and the number of
+          refinement rounds run. *)
+  | Product_insecure of product_trail
+
+val weak_product_check : Lts.t -> Lts.t -> product_result
+(** [weak_product_check a b] decides weak bisimilarity of the two initial
+    states — the same verdict as {!weak_equivalent}, with reachability
+    pruning, per-side pre-reduction, and watched early exit. *)
+
+val branching_product_secure : Lts.t -> Lts.t -> bool
+(** {!branching_equivalent} through the watched product refiner
+    (reachability pruning + early exit; no saturation is involved in the
+    branching signatures). *)
+
+val trace_product_secure : ?max_states:int -> Lts.t -> Lts.t -> bool
+(** {!trace_equivalent} through the watched product refiner: both sides
+    are pruned to their reachable parts before determinization, and the
+    strong refinement of the determinized product stops at the first
+    initial-state split. *)

@@ -19,7 +19,16 @@ let rec is_ancestor ancestor node =
   ancestor.id = node.id
   || match node.parent with None -> false | Some p -> is_ancestor ancestor p
 
-let distinguishing_formula (lts : Lts.t) s0 t0 =
+(* [early_stop] halts the refinement right after the split that first
+   separates [s0] and [t0]. The extracted formula is identical to the one
+   the fully stabilized tree yields: every (s, t) pair Cleaveland's
+   recursion visits is already in different leaves when the watched pair
+   splits (the recursion only descends to pairs separated at their LCA's
+   split time or earlier), so every LCA, splitter, and ancestor test it
+   consults was settled — and is immutable — before the stopping point;
+   later splits only deepen leaves without moving states across subtrees,
+   which changes no [lca] result and no [is_ancestor] answer. *)
+let formula_core ~early_stop (lts : Lts.t) s0 t0 =
   let n = lts.num_states in
   let next_id = ref 0 in
   let make_node parent depth =
@@ -110,7 +119,8 @@ let distinguishing_formula (lts : Lts.t) s0 t0 =
           | Some (s :: _) -> try_split_block leaf.(s))
         nodes
     in
-    if split_any then refine_until_stable ()
+    if split_any && not (early_stop && leaf.(s0).id <> leaf.(t0).id) then
+      refine_until_stable ()
   in
   refine_until_stable ();
   if leaf.(s0).id = leaf.(t0).id then None
@@ -167,7 +177,31 @@ let distinguishing_formula (lts : Lts.t) s0 t0 =
     Some (dist s0 t0)
   end
 
+let distinguishing_formula lts s0 t0 = formula_core ~early_stop:false lts s0 t0
+
+(* Formula extraction needs the *unreduced* saturated union: the splitting
+   tree's trajectory (and hence the exact formula) depends on every state,
+   including the ones the product refiner's verdict phase pruned or
+   quotiented away. That closure is diagnostic-grade work — it only runs
+   once insecurity is already established, on the small models a designer
+   is actively debugging — so it is accounted under its own
+   "diagnose.saturate" span rather than the check's single
+   "bisim.saturate" one. *)
+let of_product_trail (trail : Bisim.product_trail) =
+  let union, ia, ib = Lts.disjoint_union trail.Bisim.left trail.Bisim.right in
+  let saturated =
+    Dpma_obs.Trace.with_span "diagnose.saturate"
+      ~attrs:[ ("states", Dpma_obs.Trace.Int union.Lts.num_states) ]
+      (fun () -> Bisim.saturate ~traced:false union)
+  in
+  match formula_core ~early_stop:true saturated ia ib with
+  | Some f -> f
+  | None ->
+      (* The product refiner split the pair, and the tree refinement
+         computes the same (weak-bisimulation) partition. *)
+      assert false
+
 let weak_distinguishing_formula a b =
-  let union, ia, ib = Lts.disjoint_union a b in
-  let saturated = Bisim.saturate union in
-  distinguishing_formula saturated ia ib
+  match Bisim.weak_product_check a b with
+  | Bisim.Product_secure _ -> None
+  | Bisim.Product_insecure trail -> Some (of_product_trail trail)

@@ -13,8 +13,17 @@ val distinguishing_formula : Lts.t -> int -> int -> Hml.t option
     bisimilar on the given transition relation. Intended for moderate state
     spaces (diagnostics are generated for models under active debugging). *)
 
+val of_product_trail : Bisim.product_trail -> Hml.t
+(** Distinguishing formula from the splitter trail of an INSECURE
+    {!Bisim.weak_product_check}: builds and saturates the (unreduced)
+    disjoint union once — under a ["diagnose.saturate"] span, since the
+    verdict's single ["bisim.saturate"] already ran — and stops the
+    splitting-tree refinement at the first split separating the two
+    initial states. The formula is identical to the one a fully
+    stabilized tree extracts; the resulting modalities read as weak
+    transitions. *)
+
 val weak_distinguishing_formula : Lts.t -> Lts.t -> Hml.t option
 (** Distinguishing formula for the initial states of two systems w.r.t.
-    weak bisimulation: saturates their disjoint union and runs
-    {!distinguishing_formula}; the resulting modalities read as weak
-    transitions. *)
+    weak bisimulation: runs {!Bisim.weak_product_check} and, on a split,
+    {!of_product_trail}; [None] iff the systems are weakly equivalent. *)

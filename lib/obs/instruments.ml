@@ -86,6 +86,30 @@ let bisim_blocks =
   g ~unit_:"blocks" ~desc:"final block count of the last refinement"
     "bisim.blocks"
 
+(* Noninterference product refiner *)
+
+let ni_product_pruned =
+  c ~unit_:"states"
+    ~desc:
+      "states dropped by the product refiner's reachability pruning, summed \
+       over checks"
+    "ni.product.states_pruned"
+
+let ni_product_rounds =
+  c ~unit_:"rounds"
+    ~desc:"watched-refinement rounds, summed over product checks"
+    "ni.product.rounds"
+
+let ni_product_secure_exits =
+  c ~unit_:"checks"
+    ~desc:"product checks that ended with the initial states stably co-blocked"
+    "ni.product.secure_exits"
+
+let ni_product_insecure_exits =
+  c ~unit_:"checks"
+    ~desc:"product checks that exited early on an initial-state split"
+    "ni.product.insecure_exits"
+
 (* Markovian solution *)
 
 let ctmc_builds =

@@ -10,8 +10,9 @@
 
     Naming convention: [<layer>.<subject>[.<aspect>]], all lowercase,
     dot-separated — [adl.*] front end, [lts.*] state-space construction,
-    [bisim.*] partition refinement, [ctmc.*] Markovian solution, [sim.*]
-    discrete-event simulation, [pool.*] the domain pool. *)
+    [bisim.*] partition refinement, [ni.*] the noninterference product
+    refiner, [ctmc.*] Markovian solution, [sim.*] discrete-event
+    simulation, [pool.*] the domain pool. *)
 
 (** {1 Front end (adl)} *)
 
@@ -85,6 +86,27 @@ val bisim_blocks_per_round : Metrics.histogram
 
 val bisim_blocks : Metrics.gauge
 (** [bisim.blocks] — final block count of the last refinement fixpoint. *)
+
+(** {1 Noninterference product refiner (ni)} *)
+
+val ni_product_pruned : Metrics.counter
+(** [ni.product.states_pruned] — states the product refiner dropped by
+    reachability pruning before refining (states of either side that the
+    side's initial state cannot reach), summed over checks. *)
+
+val ni_product_rounds : Metrics.counter
+(** [ni.product.rounds] — watched-refinement rounds run by product
+    checks, summed over checks (early exits make this smaller than the
+    rounds a full fixpoint would take). *)
+
+val ni_product_secure_exits : Metrics.counter
+(** [ni.product.secure_exits] — product checks that ended SECURE: the
+    partition over the pruned product stabilized with the two initial
+    states still co-blocked. *)
+
+val ni_product_insecure_exits : Metrics.counter
+(** [ni.product.insecure_exits] — product checks that exited early
+    INSECURE: a refinement round told the two initial states apart. *)
 
 (** {1 Markovian solution (ctmc)} *)
 

@@ -35,6 +35,7 @@ type histogram = {
   h_sums : float Atomic.t array; (* per shard *)
   h_min : float Atomic.t;
   h_max : float Atomic.t;
+  h_dropped : counter; (* non-finite observations, rejected *)
 }
 
 let rec atomic_update cell f =
@@ -84,6 +85,13 @@ let gauge ?(unit_ = "") ?(desc = "") name =
           g)
 
 let histogram ?(unit_ = "") ?(desc = "") name =
+  (* The sibling counter is registered outside [locked]: the registry
+     mutex is not reentrant. Idempotent either way. *)
+  let dropped =
+    counter ~unit_:"observations"
+      ~desc:(Printf.sprintf "non-finite observations dropped by %s" name)
+      (name ^ ".dropped")
+  in
   locked (fun () ->
       match Hashtbl.find_opt by_name name with
       | Some { reg = H h; _ } -> h
@@ -97,6 +105,7 @@ let histogram ?(unit_ = "") ?(desc = "") name =
               h_sums = Array.init num_shards (fun _ -> Atomic.make 0.0);
               h_min = Atomic.make nan;
               h_max = Atomic.make nan;
+              h_dropped = dropped;
             }
           in
           Hashtbl.add by_name name { name; unit_; desc; reg = H h };
@@ -114,13 +123,19 @@ let set g v = Atomic.set g.g_cell v
 let value g = Atomic.get g.g_cell
 
 let observe h v =
-  let s = shard () in
-  ignore (Atomic.fetch_and_add h.h_counts.(s).(bucket_of v) 1);
-  atomic_update h.h_sums.(s) (fun cur -> cur +. v);
-  atomic_update h.h_min (fun cur ->
-      if Float.is_nan cur || v < cur then v else cur);
-  atomic_update h.h_max (fun cur ->
-      if Float.is_nan cur || v > cur then v else cur)
+  (* A single NaN or infinity would poison sum/min/max for the rest of
+     the process (and NaN silently lands in bucket 0); reject non-finite
+     observations and account for them in the [.dropped] sibling. *)
+  if not (Float.is_finite v) then incr h.h_dropped
+  else begin
+    let s = shard () in
+    ignore (Atomic.fetch_and_add h.h_counts.(s).(bucket_of v) 1);
+    atomic_update h.h_sums.(s) (fun cur -> cur +. v);
+    atomic_update h.h_min (fun cur ->
+        if Float.is_nan cur || v < cur then v else cur);
+    atomic_update h.h_max (fun cur ->
+        if Float.is_nan cur || v > cur then v else cur)
+  end
 
 type hist_stats = {
   hist_count : int;

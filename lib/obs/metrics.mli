@@ -36,7 +36,10 @@ val gauge : ?unit_:string -> ?desc:string -> string -> gauge
 (** Same registration contract as {!counter}, for gauges. *)
 
 val histogram : ?unit_:string -> ?desc:string -> string -> histogram
-(** Same registration contract as {!counter}, for histograms. *)
+(** Same registration contract as {!counter}, for histograms. Registering
+    a histogram [name] also registers a sibling counter [name ^
+    ".dropped"] that counts the non-finite observations {!observe}
+    rejects. *)
 
 val incr : counter -> unit
 (** Add one. *)
@@ -54,8 +57,11 @@ val value : gauge -> float
 (** Last recorded value; [nan] when never set. *)
 
 val observe : histogram -> float -> unit
-(** Record one observation. Values [<= 0] land in the lowest bucket but
-    still contribute exactly to count, sum, min, and max. *)
+(** Record one observation. Finite values [<= 0] land in the lowest
+    bucket but still contribute exactly to count, sum, min, and max.
+    Non-finite values (NaN, [infinity], [neg_infinity]) are dropped —
+    they would poison the running sum and extrema — and are counted in
+    the histogram's [.dropped] sibling counter instead. *)
 
 type hist_stats = {
   hist_count : int;  (** number of observations *)

@@ -395,6 +395,34 @@ let prop_weak_formula_sound =
           let sat = Bisim.saturate union in
           Hml.sat sat ia f && not (Hml.sat sat ib f))
 
+let prop_saturate_idempotent =
+  QCheck.Test.make ~count:200 ~name:"saturation is idempotent"
+    arb_lts
+    (fun lts ->
+      let sat = Bisim.saturate ~traced:false lts in
+      let sat2 = Bisim.saturate ~traced:false sat in
+      (* Re-saturating adds no transition: the weak closure is a fixed
+         point, not merely an equivalent system. *)
+      Lts.num_transitions sat2 = Lts.num_transitions sat
+      && Bisim.strong_equivalent sat2 sat)
+
+let prop_weak_equivalent_symmetric =
+  QCheck.Test.make ~count:200 ~name:"weak equivalence is symmetric"
+    (QCheck.pair arb_lts arb_lts)
+    (fun (a, b) -> Bisim.weak_equivalent a b = Bisim.weak_equivalent b a)
+
+let prop_product_check_agrees =
+  QCheck.Test.make ~count:200
+    ~name:"product refiner verdict agrees with weak_equivalent"
+    (QCheck.pair arb_lts arb_lts)
+    (fun (a, b) ->
+      let secure =
+        match Bisim.weak_product_check a b with
+        | Bisim.Product_secure _ -> true
+        | Bisim.Product_insecure _ -> false
+      in
+      secure = Bisim.weak_equivalent a b)
+
 let qtests =
   [
     prop_partition_is_consistent;
@@ -403,6 +431,9 @@ let qtests =
     prop_weak_coarser_than_strong;
     prop_distinguishing_formula_sound;
     prop_weak_formula_sound;
+    prop_saturate_idempotent;
+    prop_weak_equivalent_symmetric;
+    prop_product_check_agrees;
   ]
 
 let suite =

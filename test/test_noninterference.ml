@@ -237,4 +237,196 @@ let trace_ni_suite =
       test_trace_insecure_when_language_differs;
   ]
 
-let suite = suite @ trace_ni_suite
+(* ------------------------------------------------------------------ *)
+(* Single-pass product refiner: differential tests against the two-pass
+   pipeline, seeded-insecure mutants, and span/counter accounting *)
+
+module Diagnose = Dpma_lts.Diagnose
+module Trace = Dpma_obs.Trace
+module Metrics = Dpma_obs.Metrics
+module Instruments = Dpma_obs.Instruments
+
+(* The historical two-pass pipeline, reconstructed from the preserved
+   public API: verdict via [weak_equivalent] on the pre-reduced pair,
+   formula via a fully stabilized splitting tree over the saturated
+   union. The single-pass product refiner must be bit-identical. *)
+let reference_check hidden removed =
+  if Bisim.weak_equivalent hidden removed then None
+  else
+    let union, ia, ib = Lts.disjoint_union hidden removed in
+    let sat = Bisim.saturate ~traced:false union in
+    match Diagnose.distinguishing_formula sat ia ib with
+    | Some f -> Some f
+    | None -> Alcotest.fail "reference pipeline disagrees with itself"
+
+let differential spec ~high ~low =
+  let lts = Lts.of_spec spec in
+  let high a = List.mem a high and low a = List.mem a low in
+  let hidden, removed = NI.observed_pair lts ~high ~low in
+  match (NI.check_lts lts ~high ~low, reference_check hidden removed) with
+  | NI.Secure, None -> ()
+  | NI.Secure, Some f ->
+      Alcotest.failf "product refiner says SECURE, reference found %s"
+        (Hml.to_string f)
+  | NI.Insecure _, None ->
+      Alcotest.fail "product refiner says INSECURE, reference says SECURE"
+  | NI.Insecure f, Some f_ref ->
+      Alcotest.(check string) "bit-identical distinguishing formula"
+        (Hml.to_string ~weak:true f_ref)
+        (Hml.to_string ~weak:true f)
+
+let test_differential_simplified_rpc () =
+  differential (Lazy.force simplified_spec) ~high:Rpc.high_actions
+    ~low:Rpc.low_actions_simplified
+
+let test_differential_revised_rpc () =
+  let spec =
+    (Rpc.elaborate ~mode:Rpc.Markovian ~monitors:false Rpc.default_params)
+      .Elaborate.spec
+  in
+  differential spec ~high:Rpc.high_actions ~low:Rpc.low_actions
+
+let small_streaming_spec =
+  lazy
+    (Streaming.elaborate ~mode:Streaming.Markovian ~monitors:false
+       {
+         Streaming.default_params with
+         ap_buffer_size = 1;
+         client_buffer_size = 1;
+       })
+      .Elaborate.spec
+
+let test_differential_streaming () =
+  differential (Lazy.force small_streaming_spec) ~high:Streaming.high_actions
+    ~low:Streaming.low_actions
+
+(* Seeded-insecure mutants: declassify the high DPM synchronization into
+   the observable alphabet. The hidden side then shows the DPM action
+   while the restricted side cannot — the product refiner must take the
+   early INSECURE exit, and the trail-driven formula must match the
+   reference tree. *)
+let test_rpc_mutant_insecure () =
+  let spec =
+    (Rpc.elaborate ~mode:Rpc.Markovian ~monitors:false Rpc.default_params)
+      .Elaborate.spec
+  in
+  let low = Rpc.low_actions @ Rpc.high_actions in
+  let before = Metrics.count Instruments.ni_product_insecure_exits in
+  (match NI.check_spec spec ~high:Rpc.high_actions ~low with
+  | NI.Secure -> Alcotest.fail "declassified DPM action must be observable"
+  | NI.Insecure formula ->
+      Alcotest.(check bool) "non-trivial formula" true (Hml.size formula > 1));
+  Alcotest.(check bool) "insecure early exit taken" true
+    (Metrics.count Instruments.ni_product_insecure_exits > before);
+  differential spec ~high:Rpc.high_actions ~low
+
+let test_streaming_mutant_insecure () =
+  let spec = Lazy.force small_streaming_spec in
+  let low = Streaming.low_actions @ Streaming.high_actions in
+  let before = Metrics.count Instruments.ni_product_insecure_exits in
+  (match NI.check_spec spec ~high:Streaming.high_actions ~low with
+  | NI.Secure -> Alcotest.fail "declassified DPM actions must be observable"
+  | NI.Insecure formula ->
+      let union, ia, ib =
+        let lts = Lts.of_spec spec in
+        let hidden, removed =
+          NI.observed_pair lts
+            ~high:(fun a -> List.mem a Streaming.high_actions)
+            ~low:(fun a -> List.mem a low)
+        in
+        Lts.disjoint_union hidden removed
+      in
+      let sat = Bisim.saturate ~traced:false union in
+      Alcotest.(check bool) "formula holds with DPM observable" true
+        (Hml.sat sat ia formula);
+      Alcotest.(check bool) "formula fails with DPM removed" false
+        (Hml.sat sat ib formula));
+  Alcotest.(check bool) "insecure early exit taken" true
+    (Metrics.count Instruments.ni_product_insecure_exits > before)
+
+(* Satellite: exactly one saturation per check. The verdict's product
+   refiner owns the single "bisim.saturate" span; the INSECURE
+   diagnostic pass accounts its own saturation under "diagnose.saturate"
+   instead of a second "bisim.saturate". *)
+let count_spans name =
+  let rec go acc (s : Trace.span) =
+    let acc = if String.equal s.Trace.name name then acc + 1 else acc in
+    List.fold_left go acc s.Trace.children
+  in
+  List.fold_left go 0 (Trace.roots ())
+
+let with_tracing f =
+  Trace.reset ();
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.reset ())
+    f
+
+let test_single_saturation_secure_path () =
+  with_tracing (fun () ->
+      let defs =
+        [
+          ("P", Term.choice [ pre "low" (Term.call "P"); pre "high" (Term.call "Q") ]);
+          ("Q", pre "low" (Term.call "Q"));
+        ]
+      in
+      let spec = Term.spec ~defs ~init:(Term.call "P") in
+      (match NI.check_spec spec ~high:[ "high" ] ~low:[ "low" ] with
+      | NI.Secure -> ()
+      | NI.Insecure _ -> Alcotest.fail "toy system must be secure");
+      Alcotest.(check int) "one bisim.saturate span" 1 (count_spans "bisim.saturate");
+      Alcotest.(check int) "no diagnostic saturation" 0
+        (count_spans "diagnose.saturate"))
+
+let test_single_saturation_insecure_path () =
+  with_tracing (fun () ->
+      let defs =
+        [
+          ("P", Term.choice [ pre "low" (Term.call "P"); pre "high" (Term.call "Off") ]);
+          ("Off", pre "internal" (Term.call "Off"));
+        ]
+      in
+      let spec = Term.spec ~defs ~init:(Term.call "P") in
+      (match NI.check_spec spec ~high:[ "high" ] ~low:[ "low" ] with
+      | NI.Secure -> Alcotest.fail "toy system must be insecure"
+      | NI.Insecure _ -> ());
+      Alcotest.(check int) "one bisim.saturate span" 1 (count_spans "bisim.saturate");
+      Alcotest.(check int) "one diagnostic saturation" 1
+        (count_spans "diagnose.saturate"))
+
+let test_product_counters () =
+  let secure_before = Metrics.count Instruments.ni_product_secure_exits in
+  let pruned_before = Metrics.count Instruments.ni_product_pruned in
+  let spec = Lazy.force small_streaming_spec in
+  (match
+     NI.check_spec spec ~high:Streaming.high_actions ~low:Streaming.low_actions
+   with
+  | NI.Secure -> ()
+  | NI.Insecure _ -> Alcotest.fail "streaming must be secure");
+  Alcotest.(check bool) "secure early exit counted" true
+    (Metrics.count Instruments.ni_product_secure_exits > secure_before);
+  (* Restriction strands DPM-reachable states on the removed side, so the
+     reachability pruning must have fired. *)
+  Alcotest.(check bool) "unreachable states pruned" true
+    (Metrics.count Instruments.ni_product_pruned > pruned_before)
+
+let product_suite =
+  [
+    Alcotest.test_case "differential: simplified rpc" `Quick
+      test_differential_simplified_rpc;
+    Alcotest.test_case "differential: revised rpc" `Quick test_differential_revised_rpc;
+    Alcotest.test_case "differential: streaming" `Quick test_differential_streaming;
+    Alcotest.test_case "rpc mutant: early-exit insecure" `Quick
+      test_rpc_mutant_insecure;
+    Alcotest.test_case "streaming mutant: early-exit insecure" `Quick
+      test_streaming_mutant_insecure;
+    Alcotest.test_case "one saturation span (secure path)" `Quick
+      test_single_saturation_secure_path;
+    Alcotest.test_case "one saturation span (insecure path)" `Quick
+      test_single_saturation_insecure_path;
+    Alcotest.test_case "product refiner counters" `Quick test_product_counters;
+  ]
+
+let suite = suite @ trace_ni_suite @ product_suite

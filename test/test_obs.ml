@@ -66,6 +66,33 @@ let test_histogram_semantics () =
       Alcotest.(check bool) "bucket bounds are positive" true (le > 0.0))
     s.Metrics.buckets
 
+let test_histogram_drops_non_finite () =
+  let h = Metrics.histogram ~unit_:"s" "test.obs.nan_hist" in
+  Alcotest.(check bool) "dropped sibling auto-registered" true
+    (List.mem "test.obs.nan_hist.dropped" (Metrics.names ()));
+  List.iter (Metrics.observe h) [ Float.nan; Float.infinity; Float.neg_infinity ];
+  let stats () =
+    match (find_item "test.obs.nan_hist").Metrics.value with
+    | Metrics.Histogram_value s -> s
+    | _ -> Alcotest.fail "expected histogram"
+  in
+  let dropped () =
+    match (find_item "test.obs.nan_hist.dropped").Metrics.value with
+    | Metrics.Counter_value n -> n
+    | _ -> Alcotest.fail "expected counter"
+  in
+  let s = stats () in
+  Alcotest.(check int) "non-finite observations not counted" 0 s.Metrics.hist_count;
+  Alcotest.(check int) "all three drops counted" 3 (dropped ());
+  Alcotest.(check bool) "sum not poisoned" true (Float.is_finite s.Metrics.hist_sum);
+  (* Finite negatives are legitimate observations, not drops. *)
+  Metrics.observe h (-1.0);
+  let s = stats () in
+  Alcotest.(check int) "negative observation counted" 1 s.Metrics.hist_count;
+  Alcotest.(check (float 0.0)) "min records the negative" (-1.0) s.Metrics.hist_min;
+  Alcotest.(check (float 0.0)) "max records the negative" (-1.0) s.Metrics.hist_max;
+  Alcotest.(check int) "drop counter untouched by finite values" 3 (dropped ())
+
 (* --- shard merge under parallel workers --------------------------- *)
 
 let test_shard_merge_under_pool () =
@@ -246,6 +273,8 @@ let suite =
       test_registration_type_conflict;
     Alcotest.test_case "gauge semantics" `Quick test_gauge_semantics;
     Alcotest.test_case "histogram semantics" `Quick test_histogram_semantics;
+    Alcotest.test_case "histogram drops non-finite" `Quick
+      test_histogram_drops_non_finite;
     Alcotest.test_case "shard merge under pool" `Quick test_shard_merge_under_pool;
     Alcotest.test_case "snapshot sorted, reset" `Quick test_snapshot_sorted_and_reset;
     Alcotest.test_case "metrics JSON round trip" `Quick test_metrics_json_round_trip;
