@@ -26,6 +26,12 @@ let required =
     "sos.memo.misses";
     "lts.states";
     "lts.transitions";
+    "lts.par.rounds";
+    "lts.par.frontier";
+    "lts.par.derives_per_worker";
+    "lts.par.merge.seconds";
+    "lts.par.segments";
+    "lts.par.segment_bytes_peak";
     "bisim.refine.rounds";
     "ni.product.states_pruned";
     "ni.product.rounds";
@@ -47,6 +53,12 @@ let () =
   | Some (Json.Str "dpma.bench/1") -> ()
   | Some j -> fail "unexpected schema %s" (Json.to_string j)
   | None -> fail "missing \"schema\" field");
+  (* The job count the run was executed with (Pool.default_jobs) is part
+     of the report metadata: scaling claims are meaningless without it. *)
+  (match Json.member "jobs" doc with
+  | Some (Json.Num v) when v >= 1.0 -> ()
+  | Some j -> fail "\"jobs\" should be a positive number, got %s" (Json.to_string j)
+  | None -> fail "missing \"jobs\" field");
   (match Json.member "figures_wall_clock_s" doc with
   | Some (Json.Obj _) -> ()
   | _ -> fail "missing \"figures_wall_clock_s\" object");
@@ -66,10 +78,28 @@ let () =
                       fail "study_seconds.%s.%s should be positive, got %s"
                         study phase (Json.to_string j)
                   | None -> fail "study_seconds.%s misses %s" study phase)
-                [ "lts.build_seconds"; "bisim.refine_seconds";
-                  "ni.check_seconds" ]
+                [ "lts.build_seconds"; "lts.build_seconds.j1";
+                  "lts.build_seconds.j2"; "lts.build_seconds.j4";
+                  "bisim.refine_seconds"; "ni.check_seconds" ]
           | _ -> fail "study_seconds misses study %s" study)
         [ "rpc"; "streaming" ];
+      (* The N-station scaling model: built at 1/2/4 jobs through the
+         segment store, reporting its size and peak segment memory. *)
+      (match Json.member "streaming_scaled" studies with
+      | Some (Json.Obj _ as entry) ->
+          List.iter
+            (fun key ->
+              match Json.member key entry with
+              | Some (Json.Num v) when v > 0.0 -> ()
+              | Some j ->
+                  fail "study_seconds.streaming_scaled.%s should be positive, \
+                        got %s"
+                    key (Json.to_string j)
+              | None -> fail "study_seconds.streaming_scaled misses %s" key)
+            [ "lts.build_seconds"; "lts.build_seconds.j1";
+              "lts.build_seconds.j2"; "lts.build_seconds.j4"; "lts.states";
+              "lts.transitions"; "lts.segment_bytes_peak" ]
+      | _ -> fail "study_seconds misses study streaming_scaled");
       (* The streaming DPM-removed side strands unreachable states, so the
          product refiner's reachability pruning must have fired there. *)
       (match Json.member "streaming" studies with
@@ -110,5 +140,7 @@ let () =
       | Some (Json.Num v) when v > 0.0 -> ()
       | Some j -> fail "metric %s should be positive, got %s" n (Json.to_string j)
       | None -> fail "metric %s has no \"value\"" n)
-    [ "lts.states"; "ctmc.states"; "sim.events"; "sos.memo.hits"; "sos.memo.misses" ];
+    [ "lts.states"; "ctmc.states"; "sim.events"; "sos.memo.hits";
+      "sos.memo.misses"; "lts.par.rounds"; "lts.par.segments";
+      "lts.par.segment_bytes_peak" ];
   print_endline "bench json report ok"

@@ -108,6 +108,40 @@ let study_seconds : (string * (string * float) list) list ref = ref []
 let study_golden_counts =
   [ ("rpc", (546, 546)); ("streaming", (2565, 19133)) ]
 
+(* Each study's state space is rebuilt at 1, 2 and 4 jobs so the scaling
+   of the level-synchronous builder lands in the JSON report
+   (lts.build_seconds.jN). The builds are bit-identical by construction;
+   the sweep asserts the state counts agree as a cheap differential. *)
+let jobs_sweep = [ 1; 2; 4 ]
+
+let build_sweep ?max_states spec =
+  List.map
+    (fun j ->
+      let lts, st = Lts.build ?max_states ~jobs:j spec in
+      (j, lts, st))
+    jobs_sweep
+
+let sweep_entries sweep =
+  List.map
+    (fun (j, _, (st : Lts.build_stats)) ->
+      (Printf.sprintf "lts.build_seconds.j%d" j, st.Lts.build_seconds))
+    sweep
+
+let check_sweep_agrees name sweep =
+  match sweep with
+  | (_, (first : Lts.t), _) :: rest ->
+      List.iter
+        (fun (j, (lts : Lts.t), _) ->
+          if lts.Lts.num_states <> first.Lts.num_states then begin
+            Printf.eprintf
+              "[bench] JOBS MISMATCH %s: %d states at j1, %d at j%d\n%!" name
+              first.Lts.num_states lts.Lts.num_states j;
+            exit 1
+          end)
+        rest;
+      first
+  | [] -> assert false
+
 let study_timings () =
   let check what expected actual =
     if expected <> actual then begin
@@ -121,9 +155,11 @@ let study_timings () =
     let functional_states, full_states =
       List.assoc name study_golden_counts
     in
-    let t0 = Unix.gettimeofday () in
-    let lts = Lts.of_spec study.Dpma_core.Pipeline.spec in
-    let build_s = Unix.gettimeofday () -. t0 in
+    let sweep = build_sweep study.Dpma_core.Pipeline.spec in
+    let lts = check_sweep_agrees name sweep in
+    let build_s =
+      match sweep with (_, _, st) :: _ -> st.Lts.build_seconds | [] -> 0.0
+    in
     check (name ^ " full") full_states lts.Lts.num_states;
     let functional =
       Option.value ~default:study.Dpma_core.Pipeline.spec
@@ -153,19 +189,62 @@ let study_timings () =
       name build_s check_s pruned;
     study_seconds :=
       ( name,
-        [
-          ("lts.build_seconds", build_s);
-          (* the check *is* the refinement phase; the historical key is
-             kept alongside the explicit one *)
-          ("bisim.refine_seconds", check_s);
-          ("ni.check_seconds", check_s);
-          ("ni.states_pruned", float_of_int pruned);
-        ] )
+        (("lts.build_seconds", build_s) :: sweep_entries sweep)
+        @ [
+            (* the check *is* the refinement phase; the historical key is
+               kept alongside the explicit one *)
+            ("bisim.refine_seconds", check_s);
+            ("ni.check_seconds", check_s);
+            ("ni.states_pruned", float_of_int pruned);
+          ] )
       :: !study_seconds
   in
   one "rpc" (Rpc.study Rpc.default_params);
   one "streaming" (Streaming.study Streaming.default_params);
   study_seconds := List.rev !study_seconds
+
+(* The N-station scaling model (lib/models/streaming.ml, scaled_archi):
+   the state space where segment storage and the parallel builder earn
+   their keep. Tiny runs use a single station (530 states) so the JSON
+   contract check stays fast; smoke and full runs build the calibrated
+   default (2 stations, >500k states) at 1/2/4 jobs. *)
+let scaled_study () =
+  let sp, expected_states, max_states =
+    if tiny then
+      ( { Streaming.default_scaled_params with Streaming.stations = 1 },
+        530, 100_000 )
+    else (Streaming.default_scaled_params, 518_218, 600_000)
+  in
+  let spec = Streaming.scaled_spec sp in
+  let sweep = build_sweep ~max_states spec in
+  let lts = check_sweep_agrees "streaming_scaled" sweep in
+  if lts.Lts.num_states <> expected_states then begin
+    Printf.eprintf
+      "[bench] GOLDEN MISMATCH streaming_scaled: expected %d states, got %d\n%!"
+      expected_states lts.Lts.num_states;
+    exit 1
+  end;
+  let st = match sweep with (_, _, st) :: _ -> st | [] -> assert false in
+  Printf.eprintf
+    "[bench] %-16s %d states, %d transitions, %d segments, %.1f MiB peak, \
+     lts.build %.3f s\n\
+     %!"
+    "streaming_scaled" lts.Lts.num_states (Lts.num_transitions lts)
+    st.Lts.segments
+    (float_of_int st.Lts.segment_bytes_peak /. 1048576.0)
+    st.Lts.build_seconds;
+  study_seconds :=
+    !study_seconds
+    @ [
+        ( "streaming_scaled",
+          (("lts.build_seconds", st.Lts.build_seconds) :: sweep_entries sweep)
+          @ [
+              ("lts.states", float_of_int lts.Lts.num_states);
+              ("lts.transitions", float_of_int (Lts.num_transitions lts));
+              ("lts.segment_bytes_peak",
+               float_of_int st.Lts.segment_bytes_peak);
+            ] );
+      ]
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: figure regeneration                                         *)
@@ -457,6 +536,7 @@ let () =
   Printf.eprintf "[bench] jobs = %d\n%!" (Pool.default_jobs ());
   if tiny then figures_tiny () else figures ();
   if smoke then timed "study-timings" study_timings;
+  timed "scaled-study" scaled_study;
   let micro = if smoke then [] else run_micro () in
   if json_mode then begin
     let report = json_report ~jobs:(Pool.default_jobs ()) ~micro in

@@ -187,11 +187,25 @@ let cmd_parse =
 (* lts *)
 
 let cmd_lts =
-  let run file max_states verbose dot () =
+  let run file max_states verbose dot stats jobs () =
+    apply_jobs jobs;
     handle (fun () ->
         let el = load file in
-        let lts = Lts.of_spec ~max_states el.Elaborate.spec in
+        let lts, build = Lts.build ~max_states ?jobs el.Elaborate.spec in
         Format.printf "%a@." Lts.pp_stats lts;
+        if stats then begin
+          Format.printf "states           : %d@." lts.Lts.num_states;
+          Format.printf "transitions      : %d@." (Lts.num_transitions lts);
+          Format.printf "jobs             : %d@." build.Lts.jobs;
+          Format.printf "bfs rounds       : %d@." build.Lts.rounds;
+          Format.printf "peak frontier    : %d states@." build.Lts.peak_frontier;
+          Format.printf "merge time       : %.6f s@." build.Lts.merge_seconds;
+          Format.printf "segments         : %d@." build.Lts.segments;
+          Format.printf "peak segment mem : %d bytes (%.1f MiB)@."
+            build.Lts.segment_bytes_peak
+            (float_of_int build.Lts.segment_bytes_peak /. (1024.0 *. 1024.0));
+          Format.printf "build time       : %.6f s@." build.Lts.build_seconds
+        end;
         (match Lts.deadlock_states lts with
         | [] -> Format.printf "deadlock free@."
         | ds ->
@@ -220,9 +234,19 @@ let cmd_lts =
       & opt (some string) None
       & info [ "dot" ] ~docv:"FILE" ~doc:"Write a graphviz rendering to $(docv).")
   in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print builder statistics: state/transition counts, BFS \
+             rounds, peak frontier, and peak segment memory.")
+  in
   Cmd.v
     (Cmd.info "lts" ~doc:"Build the labelled transition system and report its size")
-    Term.(const run $ file_arg $ max_states_arg $ verbose $ dot $ obs_term)
+    Term.(
+      const run $ file_arg $ max_states_arg $ verbose $ dot $ stats $ jobs_arg
+      $ obs_term)
 
 (* minimize *)
 

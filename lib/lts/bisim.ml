@@ -331,9 +331,11 @@ let determinize ?(max_states = 500_000) (lts : Lts.t) =
     List.concat_map (fun s -> closure.(s)) set |> List.sort_uniq Int.compare
   in
   let table = Int_list_tbl.create 64 in
-  let rev_states = ref [] in
+  (* Ids are assigned sequentially, so a growable array of sets doubles as
+     both the state store and the BFS queue (a cursor over it) — no
+     polymorphic [Queue] in the hot loop. *)
+  let sets = ref (Array.make 64 []) in
   let count = ref 0 in
-  let queue = Queue.create () in
   let id_of set =
     match Int_list_tbl.find_opt table set with
     | Some id -> id
@@ -342,14 +344,21 @@ let determinize ?(max_states = 500_000) (lts : Lts.t) =
         let id = !count in
         incr count;
         Int_list_tbl.add table set id;
-        rev_states := set :: !rev_states;
-        Queue.add (id, set) queue;
+        if id = Array.length !sets then begin
+          let bigger = Array.make (2 * id) [] in
+          Array.blit !sets 0 bigger 0 id;
+          sets := bigger
+        end;
+        !sets.(id) <- set;
         id
   in
   let init = id_of (close [ lts.init ]) in
   let edges = ref [] in
-  while not (Queue.is_empty queue) do
-    let id, set = Queue.pop queue in
+  let head = ref 0 in
+  while !head < !count do
+    let id = !head in
+    let set = !sets.(id) in
+    incr head;
     (* Group the observable successors of the (already tau-closed) set. *)
     let by_label : int list Int_tbl.t = Int_tbl.create 8 in
     List.iter
@@ -373,8 +382,7 @@ let determinize ?(max_states = 500_000) (lts : Lts.t) =
   let n = !count in
   let trans = Array.make n [] in
   List.iter (fun (id, outgoing) -> trans.(id) <- outgoing) !edges;
-  let sets = Array.make n [] in
-  List.iteri (fun i set -> sets.(n - 1 - i) <- set) !rev_states;
+  let sets = !sets in
   Lts.make ~init
     ~state_name:(fun i ->
       "{" ^ String.concat "," (List.map string_of_int sets.(i)) ^ "}")

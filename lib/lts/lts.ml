@@ -1,6 +1,8 @@
 module Term = Dpma_pa.Term
 module Semantics = Dpma_pa.Semantics
 module Label = Dpma_pa.Label
+module Pool = Dpma_util.Pool
+module Int_tbl = Hashtbl.Make (Int)
 
 type label = Label.t
 
@@ -102,60 +104,283 @@ let transitions_of lts s =
 
 let out_degree lts s = lts.row.(s + 1) - lts.row.(s)
 
-let of_spec ?(max_states = 500_000) (spec : Term.spec) =
+(* --- Chunked segment storage ---------------------------------------- *)
+
+(* The builder accumulates edges, row offsets, and state terms in
+   fixed-size segments instead of contiguous grow-by-doubling arrays: no
+   O(n) copy spikes while exploring, and peak memory is (data + one
+   segment) instead of (data + a 2x copy) right at the growth points. The
+   outer directory array still doubles, but it holds one pointer per 64k
+   entries — negligible. Everything is compacted into the flat CSR arrays
+   exactly once, at the end of the build. *)
+
+let seg_bits = 16
+
+let seg_size = 1 lsl seg_bits
+
+let seg_mask = seg_size - 1
+
+type edge_seg = {
+  s_lab : int array;
+  s_tgt : int array;
+  s_kind : int array;
+  s_prio : int array;
+  s_val : float array;
+}
+
+let edge_seg () =
+  { s_lab = Array.make seg_size 0;
+    s_tgt = Array.make seg_size 0;
+    s_kind = Array.make seg_size 0;
+    s_prio = Array.make seg_size 0;
+    s_val = Array.make seg_size 0.0 }
+
+(* One OCaml word (8 bytes) per array slot. *)
+let edge_seg_bytes = 5 * 8 * seg_size
+
+let word_seg_bytes = 8 * seg_size
+
+type edge_store = {
+  mutable e_segs : edge_seg array;  (* directory; slots >= e_nsegs unused *)
+  mutable e_nsegs : int;
+  mutable e_total : int;
+}
+
+let edge_store () =
+  let s0 = edge_seg () in
+  { e_segs = Array.make 4 s0; e_nsegs = 1; e_total = 0 }
+
+let push_edge st lab tgt (rate : Dpma_pa.Rate.t) =
+  let i = st.e_total in
+  let si = i lsr seg_bits in
+  if si = st.e_nsegs then begin
+    if si = Array.length st.e_segs then begin
+      let bigger = Array.make (2 * si) st.e_segs.(0) in
+      Array.blit st.e_segs 0 bigger 0 si;
+      st.e_segs <- bigger
+    end;
+    st.e_segs.(si) <- edge_seg ();
+    st.e_nsegs <- si + 1
+  end;
+  let seg = st.e_segs.(si) and o = i land seg_mask in
+  seg.s_lab.(o) <- lab;
+  seg.s_tgt.(o) <- tgt;
+  (match rate with
+  | Dpma_pa.Rate.Exp lambda ->
+      seg.s_kind.(o) <- 1;
+      seg.s_val.(o) <- lambda
+  | Dpma_pa.Rate.Imm { prio; weight } ->
+      seg.s_kind.(o) <- 2;
+      seg.s_val.(o) <- weight;
+      seg.s_prio.(o) <- prio
+  | Dpma_pa.Rate.Passive { weight } ->
+      seg.s_kind.(o) <- 3;
+      seg.s_val.(o) <- weight);
+  st.e_total <- i + 1
+
+type int_store = {
+  mutable i_segs : int array array;
+  mutable i_nsegs : int;
+  mutable i_total : int;
+}
+
+let int_store () =
+  { i_segs = Array.make 4 [||]; i_nsegs = 0; i_total = 0 }
+
+let push_int st v =
+  let i = st.i_total in
+  let si = i lsr seg_bits in
+  if si = st.i_nsegs then begin
+    if si = Array.length st.i_segs then begin
+      let bigger = Array.make (2 * si) [||] in
+      Array.blit st.i_segs 0 bigger 0 si;
+      st.i_segs <- bigger
+    end;
+    st.i_segs.(si) <- Array.make seg_size 0;
+    st.i_nsegs <- si + 1
+  end;
+  st.i_segs.(si).(i land seg_mask) <- v;
+  st.i_total <- i + 1
+
+let get_int st i = st.i_segs.(i lsr seg_bits).(i land seg_mask)
+
+type term_store = {
+  mutable t_segs : Term.t array array;
+  mutable t_nsegs : int;
+  mutable t_total : int;
+}
+
+let term_store () =
+  { t_segs = Array.make 4 [||]; t_nsegs = 0; t_total = 0 }
+
+let push_term st term =
+  let i = st.t_total in
+  let si = i lsr seg_bits in
+  if si = st.t_nsegs then begin
+    if si = Array.length st.t_segs then begin
+      let bigger = Array.make (2 * si) [||] in
+      Array.blit st.t_segs 0 bigger 0 si;
+      st.t_segs <- bigger
+    end;
+    st.t_segs.(si) <- Array.make seg_size Term.stop;
+    st.t_nsegs <- si + 1
+  end;
+  st.t_segs.(si).(i land seg_mask) <- term;
+  st.t_total <- i + 1
+
+let get_term st i = st.t_segs.(i lsr seg_bits).(i land seg_mask)
+
+(* --- Level-synchronous builder -------------------------------------- *)
+
+type build_stats = {
+  jobs : int;
+  rounds : int;
+  peak_frontier : int;
+  merge_seconds : float;
+  segments : int;
+  segment_bytes_peak : int;
+  build_seconds : float;
+}
+
+(* Below this frontier size a parallel round costs more in domain traffic
+   than it saves; derive in the coordinating domain instead. Scheduling
+   only — results are identical either way. *)
+let par_round_threshold = 64
+
+let build ?(max_states = 500_000) ?jobs (spec : Term.spec) =
   Dpma_obs.Trace.with_span "lts.build" (fun () ->
   let t0 = Dpma_obs.Clock.now_s () in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
+  in
   let engine = Semantics.make spec.defs in
   (* Hash-consed terms: the state table is keyed by unique id. *)
-  let table : (int, int) Hashtbl.t = Hashtbl.create 1024 in
-  let states : Term.t list ref = ref [] in
+  let table : int Int_tbl.t = Int_tbl.create 1024 in
+  let terms = term_store () in
+  let edges = edge_store () in
+  let rows = int_store () in
   let count = ref 0 in
-  let queue = Queue.create () in
   let id_of (term : Term.t) =
-    match Hashtbl.find_opt table term.Term.uid with
+    match Int_tbl.find_opt table term.Term.uid with
     | Some id -> id
     | None ->
         if !count >= max_states then raise (Too_many_states max_states);
         let id = !count in
         incr count;
-        Hashtbl.add table term.Term.uid id;
-        states := term :: !states;
-        Queue.add (id, term) queue;
+        Int_tbl.add table term.Term.uid id;
+        push_term terms term;
         id
   in
   let init = id_of spec.init in
-  let edges = ref [] in
-  while not (Queue.is_empty queue) do
-    let id, term = Queue.pop queue in
-    let outgoing =
-      Semantics.derive engine term
-      |> List.map (fun (label, rate, k) ->
-             { label; rate = Some rate; target = id_of k })
-    in
-    edges := (id, outgoing) :: !edges
-  done;
-  let n = !count in
-  let trans = Array.make n [] in
-  List.iter (fun (id, outgoing) -> trans.(id) <- outgoing) !edges;
-  let terms = Array.make n Term.stop in
-  List.iteri (fun i term -> terms.(n - 1 - i) <- term) !states;
   let module I = Dpma_obs.Instruments in
   let module M = Dpma_obs.Metrics in
+  let rounds = ref 0 and peak_frontier = ref 0 and merge_s = ref 0.0 in
+  (* States are numbered in merge order, so the frontier of a round is
+     always a contiguous id range: the states appended by the previous
+     round. Workers derive successors of frontier slices into private
+     buffers (with private SOS memo shards); the coordinator then merges
+     the slices in frontier order, which pins state numbering and edge
+     order to the sequential ones for any job count. *)
+  let lo = ref 0 in
+  while !lo < !count do
+    let hi = !count in
+    incr rounds;
+    let fsize = hi - !lo in
+    if fsize > !peak_frontier then peak_frontier := fsize;
+    M.observe I.lts_par_frontier (float_of_int fsize);
+    let base = !lo in
+    let frontier = Array.init fsize (fun i -> get_term terms (base + i)) in
+    let record_and_merge sh =
+      let s = Semantics.shard_stats sh in
+      M.observe I.lts_par_derives_per_worker
+        (float_of_int (s.Semantics.hits + s.Semantics.misses));
+      Semantics.merge_shard sh
+    in
+    let derived =
+      if jobs = 1 || fsize < par_round_threshold then begin
+        let sh = Semantics.shard engine in
+        let out = Array.make fsize [] in
+        for i = 0 to fsize - 1 do
+          out.(i) <- Semantics.derive_in sh frontier.(i)
+        done;
+        record_and_merge sh;
+        out
+      end
+      else
+        Pool.map_chunks_ordered ~jobs
+          ~init:(fun () -> Semantics.shard engine)
+          ~f:Semantics.derive_in ~finish:record_and_merge frontier
+    in
+    let tm = Dpma_obs.Clock.now_s () in
+    for i = 0 to fsize - 1 do
+      push_int rows edges.e_total;
+      List.iter
+        (fun (label, rate, k) -> push_edge edges label (id_of k) rate)
+        derived.(i)
+    done;
+    merge_s := !merge_s +. (Dpma_obs.Clock.now_s () -. tm);
+    lo := hi
+  done;
+  let n = !count in
+  let nedges = edges.e_total in
+  (* Compact the segments into the flat CSR arrays, once. *)
+  let t_pack = Dpma_obs.Clock.now_s () in
+  let row = Array.make (n + 1) 0 in
+  for s = 0 to n - 1 do
+    row.(s) <- get_int rows s
+  done;
+  row.(n) <- nedges;
+  let lab = Array.make nedges 0 in
+  let tgt = Array.make nedges 0 in
+  let rate_kind = Array.make nedges 0 in
+  let rate_val = Array.make nedges 0.0 in
+  let rate_prio = Array.make nedges 0 in
+  for si = 0 to edges.e_nsegs - 1 do
+    let pos = si * seg_size in
+    let len = min seg_size (nedges - pos) in
+    if len > 0 then begin
+      let seg = edges.e_segs.(si) in
+      Array.blit seg.s_lab 0 lab pos len;
+      Array.blit seg.s_tgt 0 tgt pos len;
+      Array.blit seg.s_kind 0 rate_kind pos len;
+      Array.blit seg.s_prio 0 rate_prio pos len;
+      Array.blit seg.s_val 0 rate_val pos len
+    end
+  done;
+  M.observe I.lts_csr_pack_seconds (Dpma_obs.Clock.now_s () -. t_pack);
   M.incr I.lts_builds;
   M.add I.lts_states n;
-  M.add I.lts_transitions
-    (Array.fold_left (fun acc ts -> acc + List.length ts) 0 trans);
+  M.add I.lts_transitions nedges;
   let stats = Semantics.stats engine in
   M.add I.sos_memo_hits stats.Semantics.hits;
   M.add I.sos_memo_misses stats.Semantics.misses;
   M.set I.pa_terms (float_of_int (Term.hashcons_count ()));
   M.set I.pa_labels (float_of_int (Label.count ()));
+  M.add I.lts_par_rounds !rounds;
+  M.observe I.lts_par_merge_seconds !merge_s;
+  let segments = edges.e_nsegs + rows.i_nsegs + terms.t_nsegs in
+  (* Segments are only freed at the end of the build, so the peak is the
+     final allocation. *)
+  let segment_bytes_peak =
+    (edges.e_nsegs * edge_seg_bytes)
+    + ((rows.i_nsegs + terms.t_nsegs) * word_seg_bytes)
+  in
+  M.add I.lts_par_segments segments;
+  M.set I.lts_par_segment_bytes (float_of_int segment_bytes_peak);
   (* State names are rendered lazily: they are only needed in diagnostics. *)
   let lts =
-    make ~init ~state_name:(fun i -> Term.to_string terms.(i)) trans
+    { init; num_states = n;
+      state_name = (fun i -> Term.to_string (get_term terms i));
+      row; lab; tgt; rate_kind; rate_val; rate_prio }
   in
-  M.observe I.lts_build_seconds (Dpma_obs.Clock.now_s () -. t0);
-  lts)
+  let build_seconds = Dpma_obs.Clock.now_s () -. t0 in
+  M.observe I.lts_build_seconds build_seconds;
+  ( lts,
+    { jobs; rounds = !rounds; peak_frontier = !peak_frontier;
+      merge_seconds = !merge_s; segments; segment_bytes_peak;
+      build_seconds } ))
+
+let of_spec ?max_states ?jobs spec = fst (build ?max_states ?jobs spec)
 
 let num_transitions lts = lts.row.(lts.num_states)
 
@@ -197,17 +422,24 @@ let deadlock_states lts =
   !out
 
 let reachable_from lts start =
+  (* Monomorphic BFS: every state enters the queue at most once, so a flat
+     int array of capacity [num_states] with head/tail cursors replaces the
+     polymorphic [Queue]. *)
   let seen = Array.make lts.num_states false in
-  let queue = Queue.create () in
+  let queue = Array.make lts.num_states 0 in
+  let head = ref 0 and tail = ref 0 in
   seen.(start) <- true;
-  Queue.add start queue;
-  while not (Queue.is_empty queue) do
-    let s = Queue.pop queue in
+  queue.(!tail) <- start;
+  incr tail;
+  while !head < !tail do
+    let s = queue.(!head) in
+    incr head;
     for i = lts.row.(s) to lts.row.(s + 1) - 1 do
       let t = lts.tgt.(i) in
       if not seen.(t) then begin
         seen.(t) <- true;
-        Queue.add t queue
+        queue.(!tail) <- t;
+        incr tail
       end
     done
   done;

@@ -67,11 +67,35 @@ val transitions_of : t -> int -> transition list
 
 val out_degree : t -> int -> int
 
-val of_spec : ?max_states:int -> Dpma_pa.Term.spec -> t
+type build_stats = {
+  jobs : int;  (** worker count the build was asked to use *)
+  rounds : int;  (** BFS depth: level-synchronous frontier expansions *)
+  peak_frontier : int;  (** largest frontier expanded in one round *)
+  merge_seconds : float;
+      (** time spent merging worker slices in frontier order *)
+  segments : int;  (** fixed-size storage segments allocated *)
+  segment_bytes_peak : int;
+      (** peak bytes held in segment storage before CSR compaction *)
+  build_seconds : float;  (** wall-clock time of the whole build *)
+}
+
+val build :
+  ?max_states:int -> ?jobs:int -> Dpma_pa.Term.spec -> t * build_stats
 (** Enumerate the reachable states of a process-algebra specification by
-    breadth-first exploration over a memoized SOS engine. Raises
-    {!Too_many_states} beyond [max_states] (default 500_000). Transition
-    rates are preserved. *)
+    level-synchronous breadth-first exploration over a memoized SOS
+    engine: each round, the frontier (a contiguous id range, since states
+    are numbered in merge order) is dealt in chunks to [jobs] pool
+    domains, each deriving successors through a private
+    {!Dpma_pa.Semantics.shard}; the slices are then merged in frontier
+    order, so state numbering, edge order, and every CSR array are
+    bit-identical to the sequential build for any job count. [jobs]
+    defaults to {!Dpma_util.Pool.default_jobs}; edges, row offsets, and
+    state terms accumulate in fixed-size chunked segments compacted into
+    the flat CSR arrays once at the end. Raises {!Too_many_states} beyond
+    [max_states] (default 500_000). Transition rates are preserved. *)
+
+val of_spec : ?max_states:int -> ?jobs:int -> Dpma_pa.Term.spec -> t
+(** [build] without the statistics. *)
 
 val num_transitions : t -> int
 

@@ -51,26 +51,20 @@ let passive = Ast.Passive 1.0
 let imm ?(prio = 1) ?(weight = 1.0) () = Ast.Inf (prio, weight)
 let exp_mean m = Ast.Exp (1.0 /. m)
 
-let archi ?(mode = Markovian) ?(monitors = true) p =
-  if p.ap_buffer_size < 1 || p.client_buffer_size < 1 then
-    invalid_arg "Streaming.archi: buffer sizes must be at least 1";
-  let timed mean general =
-    match mode with Markovian -> exp_mean mean | General -> Ast.Gen general
-  in
-  let det mean = timed mean (Dist.Deterministic mean) in
+let timed_rate mode mean general =
+  match mode with Markovian -> exp_mean mean | General -> Ast.Gen general
+
+let det_rate mode mean = timed_rate mode mean (Dist.Deterministic mean)
+
+(* The station element types (everything but the video server) are shared
+   between the paper's single-client architecture ({!archi}) and the
+   parameterized N-station scaling model ({!scaled_archi}). *)
+let station_elem_types ~mode ~monitors p =
+  let timed = timed_rate mode in
+  let det = det_rate mode in
   let monitor name target =
     if monitors then [ pre name (Ast.Exp p.monitor_rate) (goto target) ]
     else []
-  in
-  let server =
-    {
-      Ast.et_name = "Video_Server_Type";
-      et_consts = [];
-      equations =
-        [ eq "Video_Server" (pre "send_frame" (det p.service_mean) (goto "Video_Server")) ];
-      inputs = [];
-      outputs = [ "send_frame" ];
-    }
   in
   (* Access point: a parameterized counter 0..size; sending the last
      frame announces the buffer-empty condition to the DPM. Written with
@@ -266,8 +260,28 @@ let archi ?(mode = Markovian) ?(monitors = true) p =
       outputs = [ "send_shutdown"; "send_wakeup" ];
     }
   in
-  let attach from_inst from_port to_inst to_port =
-    { Ast.from_inst; from_port; to_inst; to_port }
+  (ap, channel, nic, buffer, client, dpm)
+
+let attach from_inst from_port to_inst to_port =
+  { Ast.from_inst; from_port; to_inst; to_port }
+
+let archi ?(mode = Markovian) ?(monitors = true) p =
+  if p.ap_buffer_size < 1 || p.client_buffer_size < 1 then
+    invalid_arg "Streaming.archi: buffer sizes must be at least 1";
+  let ap, channel, nic, buffer, client, dpm =
+    station_elem_types ~mode ~monitors p
+  in
+  let server =
+    {
+      Ast.et_name = "Video_Server_Type";
+      et_consts = [];
+      equations =
+        [ eq "Video_Server"
+            (pre "send_frame" (det_rate mode p.service_mean)
+               (goto "Video_Server")) ];
+      inputs = [];
+      outputs = [ "send_frame" ];
+    }
   in
   {
     Ast.name = "STREAMING_DPM";
@@ -303,6 +317,121 @@ let archi ?(mode = Markovian) ?(monitors = true) p =
         attach "DPM" "send_wakeup" "NIC" "receive_wakeup";
       ];
   }
+
+(* --- Parameterized N-station scaling model --------------------------- *)
+
+type scaled_params = {
+  stations : int;
+  radio_channel : bool;
+  station : params;
+}
+
+(* Calibrated so the default configuration crosses the 500k-state mark
+   (see test_models for the pinned count) while one station stays small
+   enough for unit tests. The state count is roughly (station size)^N, so
+   the per-station radio channel — a x4 factor that does not touch the
+   DPM behavior the model stresses — is off by default. *)
+let default_scaled_params =
+  { stations = 2; radio_channel = false;
+    station = { default_params with ap_buffer_size = 2; client_buffer_size = 2 } }
+
+let scaled_archi ?(mode = Markovian) ?(monitors = false) sp =
+  if sp.stations < 1 then
+    invalid_arg "Streaming.scaled_archi: stations must be at least 1";
+  let p = sp.station in
+  if p.ap_buffer_size < 1 || p.client_buffer_size < 1 then
+    invalid_arg "Streaming.scaled_archi: buffer sizes must be at least 1";
+  let n = sp.stations in
+  let ap, channel, nic, buffer, client, dpm =
+    station_elem_types ~mode ~monitors p
+  in
+  let port i = Printf.sprintf "send_frame_%d" i in
+  (* UNI ports attach exactly once, so an N-station server needs one
+     output port per station: it serves them round-robin. *)
+  let server =
+    {
+      Ast.et_name = "Video_Server_Scaled_Type";
+      et_consts = [];
+      equations =
+        List.init n (fun k ->
+            let i = k + 1 in
+            let next = (i mod n) + 1 in
+            eq
+              (Printf.sprintf "Send_%d" i)
+              (pre (port i) (det_rate mode p.service_mean)
+                 (goto (Printf.sprintf "Send_%d" next))));
+      inputs = [];
+      outputs = List.init n (fun k -> port (k + 1));
+    }
+  in
+  let inst name ty args =
+    { Ast.inst_name = name; inst_type = ty; inst_args = args }
+  in
+  let sfx base i = base ^ string_of_int i in
+  let station_instances i =
+    [ inst (sfx "AP" i) "Access_Point_Type" [ Ast.Int p.ap_buffer_size ] ]
+    @ (if sp.radio_channel then [ inst (sfx "RSC" i) "Radio_Channel_Type" [] ]
+       else [])
+    @ [
+        inst (sfx "NIC" i) "Nic_Type" [];
+        inst (sfx "B" i) "Client_Buffer_Type" [ Ast.Int p.client_buffer_size ];
+        inst (sfx "C" i) "Client_Type" [];
+        inst (sfx "DPM" i) "Dpm_Type" [];
+      ]
+  in
+  let station_attachments i =
+    [ attach "S" (port i) (sfx "AP" i) "receive_frame" ]
+    @ (if sp.radio_channel then
+         [
+           attach (sfx "AP" i) "send_to_nic" (sfx "RSC" i) "get_packet";
+           attach (sfx "RSC" i) "deliver_packet" (sfx "NIC" i) "receive_frame";
+         ]
+       else
+         [ attach (sfx "AP" i) "send_to_nic" (sfx "NIC" i) "receive_frame" ])
+    @ [
+        attach (sfx "NIC" i) "forward_frame" (sfx "B" i) "put_frame";
+        attach (sfx "C" i) "take_frame" (sfx "B" i) "get_frame";
+        attach (sfx "C" i) "report_miss" (sfx "B" i) "miss_frame";
+        attach (sfx "AP" i) "notify_empty" (sfx "DPM" i) "receive_empty_notice";
+        attach (sfx "DPM" i) "send_shutdown" (sfx "NIC" i) "receive_shutdown";
+        attach (sfx "DPM" i) "send_wakeup" (sfx "NIC" i) "receive_wakeup";
+      ]
+  in
+  let stations = List.init n (fun k -> k + 1) in
+  {
+    Ast.name = "STREAMING_DPM_SCALED";
+    elem_types =
+      [ server; ap ]
+      @ (if sp.radio_channel then [ channel ] else [])
+      @ [ nic; buffer; client; dpm ];
+    instances =
+      inst "S" "Video_Server_Scaled_Type" []
+      :: List.concat_map station_instances stations;
+    attachments = List.concat_map station_attachments stations;
+  }
+
+let scaled_spec ?mode ?monitors sp =
+  (Elaborate.elaborate (scaled_archi ?mode ?monitors sp)).Elaborate.spec
+
+let scaled_high_actions sp =
+  List.concat
+    (List.init sp.stations (fun k ->
+         let i = k + 1 in
+         [
+           Printf.sprintf "DPM%d.send_shutdown#NIC%d.receive_shutdown" i i;
+           Printf.sprintf "DPM%d.send_wakeup#NIC%d.receive_wakeup" i i;
+         ]))
+
+let scaled_low_actions sp =
+  List.concat
+    (List.init sp.stations (fun k ->
+         let i = k + 1 in
+         [
+           Printf.sprintf "C%d.take_frame#B%d.get_frame" i i;
+           Printf.sprintf "C%d.report_miss#B%d.miss_frame" i i;
+           Printf.sprintf "C%d.render_frame" i;
+           Printf.sprintf "C%d.start_delay" i;
+         ]))
 
 (* Memoized exactly like [Rpc.elaborate]: figure sweeps (fig4, fig6, fig8
    and the DPM-less references) revisit the same configurations, and the

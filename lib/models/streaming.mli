@@ -34,6 +34,40 @@ type mode = Markovian | General
 
 val archi : ?mode:mode -> ?monitors:bool -> params -> Dpma_adl.Ast.archi
 
+type scaled_params = {
+  stations : int;  (** number of client stations served round-robin *)
+  radio_channel : bool;
+      (** give each station its own radio channel (a ~x4 state factor per
+          station that leaves the DPM behavior untouched) *)
+  station : params;  (** per-station parameters *)
+}
+
+val default_scaled_params : scaled_params
+(** The configuration of [examples/specs/streaming_scaled.aem],
+    calibrated to cross the 500k-state mark (the state count grows
+    exponentially with [stations] and roughly linearly in each buffer
+    capacity). *)
+
+val scaled_archi :
+  ?mode:mode -> ?monitors:bool -> scaled_params -> Dpma_adl.Ast.archi
+(** The N-station scaling model: one generated video server with a
+    round-robin output port per station ([send_frame_1] ..
+    [send_frame_N] — UNI ports attach exactly once), feeding [N]
+    replicas of the paper's station pipeline ([APi] → [RSCi] → [NICi] →
+    [Bi] ← [Ci], each with its own [DPMi]). [monitors] defaults to
+    [false]: the scaling model exists to stress state-space generation,
+    and monitor self-loops only add transitions. *)
+
+val scaled_spec :
+  ?mode:mode -> ?monitors:bool -> scaled_params -> Dpma_pa.Term.spec
+(** [scaled_archi] elaborated to a process-algebra specification. *)
+
+val scaled_high_actions : scaled_params -> string list
+(** Every station's DPM shutdown and wakeup channels. *)
+
+val scaled_low_actions : scaled_params -> string list
+(** Every station's client actions. *)
+
 val elaborate :
   ?mode:mode -> ?monitors:bool -> params -> Dpma_adl.Elaborate.elaborated
 (** Memoized per configuration, exactly like {!Rpc.elaborate}

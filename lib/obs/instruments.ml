@@ -68,6 +68,36 @@ let lts_csr_pack_seconds =
     ~desc:"wall-clock time spent packing each LTS into CSR arrays"
     "lts.csr_pack.seconds"
 
+(* Level-synchronous parallel builder *)
+
+let lts_par_rounds =
+  c ~unit_:"rounds" ~desc:"level-synchronous BFS rounds, summed over builds"
+    "lts.par.rounds"
+
+let lts_par_frontier =
+  h ~unit_:"states" ~desc:"frontier size at each BFS level" "lts.par.frontier"
+
+let lts_par_derives_per_worker =
+  h ~unit_:"derivations"
+    ~desc:"SOS derivations (memo hits + misses) by each worker of each \
+           parallel round"
+    "lts.par.derives_per_worker"
+
+let lts_par_merge_seconds =
+  h ~unit_:"seconds"
+    ~desc:"wall-clock time each build spent merging worker slices in \
+           frontier order"
+    "lts.par.merge.seconds"
+
+let lts_par_segments =
+  c ~unit_:"segments" ~desc:"storage segments allocated, summed over builds"
+    "lts.par.segments"
+
+let lts_par_segment_bytes =
+  g ~unit_:"bytes"
+    ~desc:"peak bytes held in chunked segments by the last build"
+    "lts.par.segment_bytes_peak"
+
 (* Equivalence checking *)
 
 let bisim_refines =

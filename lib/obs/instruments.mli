@@ -72,6 +72,32 @@ val lts_csr_pack_seconds : Metrics.histogram
     its CSR (compressed sparse row) arrays, included in
     [lts.build.seconds] for builds from a specification. *)
 
+val lts_par_rounds : Metrics.counter
+(** [lts.par.rounds] — level-synchronous BFS rounds (frontier expansions),
+    summed over builds; the BFS depth of a single build. *)
+
+val lts_par_frontier : Metrics.histogram
+(** [lts.par.frontier] — frontier size (states expanded) at each BFS
+    level. *)
+
+val lts_par_derives_per_worker : Metrics.histogram
+(** [lts.par.derives_per_worker] — SOS derivations (memo hits + misses)
+    performed by each worker of each parallel round (balance indicator for
+    the chunked frontier dealing; sequential rounds record one sample). *)
+
+val lts_par_merge_seconds : Metrics.histogram
+(** [lts.par.merge.seconds] — wall-clock time each build spent merging
+    worker-derived successor slices in frontier order (the sequential
+    portion that pins state numbering), summed per build. *)
+
+val lts_par_segments : Metrics.counter
+(** [lts.par.segments] — fixed-size storage segments (edge, row, and term
+    chunks) allocated by builds, summed over builds. *)
+
+val lts_par_segment_bytes : Metrics.gauge
+(** [lts.par.segment_bytes_peak] — peak bytes held in chunked segment
+    storage by the last build, before compaction into CSR. *)
+
 (** {1 Equivalence checking (bisim)} *)
 
 val bisim_refines : Metrics.counter

@@ -2,18 +2,102 @@ module Lset = Term.Lset
 
 exception Sync_error of { action : string; message : string }
 
+type trans = (Label.t * Rate.t * Term.t) list
+
+(* The recursive derivation core is parameterized over a cache so the same
+   code path serves the serialized engine (mutex-protected memo, atomic
+   hit/miss counters) and the per-worker shards of the parallel builder
+   (lock-free local table in front of a frozen parent memo). [c_find] is
+   responsible for hit/miss accounting so the recursion stays branch-free. *)
+type cache = {
+  c_defs : Term.defs;
+  c_find : int -> trans option;
+  c_store : int -> trans -> unit;
+}
+
 type engine = {
   defs : Term.defs;
-  memo : (int, (Label.t * Rate.t * Term.t) list) Hashtbl.t;
-  mutable hits : int;
-  mutable misses : int;
+  memo : (int, trans) Hashtbl.t;
+  memo_lock : Mutex.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  cache : cache;
+}
+
+type shard = {
+  sh_parent : engine;
+  sh_local : (int, trans) Hashtbl.t;
+  sh_hits : int ref;
+  sh_misses : int ref;
+  sh_cache : cache;
 }
 
 type stats = { hits : int; misses : int }
 
-let make defs = { defs; memo = Hashtbl.create 1024; hits = 0; misses = 0 }
+let make defs =
+  let memo = Hashtbl.create 1024 in
+  let memo_lock = Mutex.create () in
+  let hits = Atomic.make 0 and misses = Atomic.make 0 in
+  let c_find uid =
+    Mutex.lock memo_lock;
+    let r = Hashtbl.find_opt memo uid in
+    Mutex.unlock memo_lock;
+    (match r with
+    | Some _ -> Atomic.incr hits
+    | None -> Atomic.incr misses);
+    r
+  in
+  let c_store uid trans =
+    Mutex.lock memo_lock;
+    Hashtbl.replace memo uid trans;
+    Mutex.unlock memo_lock
+  in
+  { defs; memo; memo_lock; hits; misses;
+    cache = { c_defs = defs; c_find; c_store } }
 
-let stats (e : engine) = { hits = e.hits; misses = e.misses }
+let stats (e : engine) =
+  { hits = Atomic.get e.hits; misses = Atomic.get e.misses }
+
+let shard (e : engine) =
+  let local = Hashtbl.create 256 in
+  let hits = ref 0 and misses = ref 0 in
+  let c_find uid =
+    match Hashtbl.find_opt local uid with
+    | Some _ as r ->
+        incr hits;
+        r
+    | None -> (
+        (* The parent memo is read without the lock: while shards are live
+           no domain writes it — workers buffer results locally and the
+           coordinator merges them between rounds. *)
+        match Hashtbl.find_opt e.memo uid with
+        | Some trans ->
+            incr hits;
+            Hashtbl.replace local uid trans;
+            Some trans
+        | None ->
+            incr misses;
+            None)
+  in
+  let c_store uid trans = Hashtbl.replace local uid trans in
+  { sh_parent = e; sh_local = local; sh_hits = hits; sh_misses = misses;
+    sh_cache = { c_defs = e.defs; c_find; c_store } }
+
+let shard_stats (sh : shard) = { hits = !(sh.sh_hits); misses = !(sh.sh_misses) }
+
+let merge_shard (sh : shard) =
+  let e = sh.sh_parent in
+  Mutex.lock e.memo_lock;
+  Hashtbl.iter
+    (fun uid trans ->
+      if not (Hashtbl.mem e.memo uid) then Hashtbl.replace e.memo uid trans)
+    sh.sh_local;
+  Mutex.unlock e.memo_lock;
+  ignore (Atomic.fetch_and_add e.hits !(sh.sh_hits));
+  ignore (Atomic.fetch_and_add e.misses !(sh.sh_misses));
+  sh.sh_hits := 0;
+  sh.sh_misses := 0;
+  Hashtbl.reset sh.sh_local
 
 let passive_total trans =
   List.fold_left (fun acc (_, r, _) -> acc +. Rate.apparent_weight r) 0.0 trans
@@ -25,39 +109,36 @@ let passive_total trans =
 let sorted_sync_actions s =
   Lset.elements s |> List.sort Label.compare_by_name
 
-let rec derive e (t : Term.t) =
-  match Hashtbl.find_opt e.memo t.uid with
-  | Some trans ->
-      e.hits <- e.hits + 1;
-      trans
+let rec derive_c c (t : Term.t) =
+  match c.c_find t.uid with
+  | Some trans -> trans
   | None ->
-      e.misses <- e.misses + 1;
-      let trans = derive_uncached e t in
-      Hashtbl.replace e.memo t.uid trans;
+      let trans = derive_uncached c t in
+      c.c_store t.uid trans;
       trans
 
-and derive_uncached e (t : Term.t) =
+and derive_uncached c (t : Term.t) =
   match t.node with
   | Stop -> []
   | Prefix (a, r, k) -> [ (a, r, k) ]
-  | Choice ts -> List.concat_map (derive e) ts
-  | Call name -> derive e (Term.lookup e.defs name)
+  | Choice ts -> List.concat_map (derive_c c) ts
+  | Call name -> derive_c c (Term.lookup c.c_defs name)
   | Hide (s, p) ->
       let relabel a = if Lset.mem a s then Label.tau else a in
       List.map
         (fun (a, r, k) -> (relabel a, r, Term.hide_labels s k))
-        (derive e p)
+        (derive_c c p)
   | Restrict (s, p) ->
-      derive e p
+      derive_c c p
       |> List.filter (fun (a, _, _) -> not (Lset.mem a s))
       |> List.map (fun (a, r, k) -> (a, r, Term.restrict_labels s k))
   | Rename (map, p) ->
       List.map
         (fun (a, r, k) ->
           (Term.apply_rename_label map a, r, Term.rename_labels map k))
-        (derive e p)
+        (derive_c c p)
   | Par (p, s, q) ->
-      let tp = derive e p and tq = derive e q in
+      let tp = derive_c c p and tq = derive_c c q in
       let left =
         tp
         |> List.filter (fun (a, _, _) -> not (Lset.mem a s))
@@ -94,6 +175,9 @@ and derive_uncached e (t : Term.t) =
       in
       let sync = List.concat_map sync_on (sorted_sync_actions s) in
       left @ right @ sync
+
+let derive (e : engine) t = derive_c e.cache t
+let derive_in (sh : shard) t = derive_c sh.sh_cache t
 
 let transitions defs t = derive (make defs) t
 

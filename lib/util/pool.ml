@@ -121,3 +121,100 @@ let parallel_map ?jobs f xs =
       end
 
 let parallel_iter ?jobs f xs = ignore (parallel_map ?jobs (fun x -> f x) xs)
+
+(* Like [parallel_map] but over arrays, with a per-worker state threaded
+   through every application ([init] once per worker, [finish] after all
+   domains have joined, in worker-index order so merges are deterministic).
+   The level-synchronous LTS builder uses this to give every worker a
+   private SOS memo shard and merge the shards between BFS rounds. *)
+let map_chunks_ordered ?jobs ?chunk ~init ~f ?(finish = fun _ -> ()) xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let jobs =
+      clamp_jobs (match jobs with Some j -> j | None -> default_jobs ())
+    in
+    let jobs = min jobs n in
+    if jobs = 1 || Domain.DLS.get inside_pool then begin
+      let w = init () in
+      let out = Array.make n (f w xs.(0)) in
+      for i = 1 to n - 1 do
+        out.(i) <- f w xs.(i)
+      done;
+      finish w;
+      out
+    end
+    else begin
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let failures : failure list Atomic.t = Atomic.make [] in
+      let chunk =
+        match chunk with
+        | Some c -> clamp_jobs c
+        | None -> clamp_jobs (n / (jobs * 4))
+      in
+      let busy_s = Atomic.make 0.0 in
+      let add_busy dt =
+        let rec go () =
+          let cur = Atomic.get busy_s in
+          if not (Atomic.compare_and_set busy_s cur (cur +. dt)) then go ()
+        in
+        go ()
+      in
+      let states = Array.make jobs None in
+      let worker slot () =
+        let was_inside = Domain.DLS.get inside_pool in
+        Domain.DLS.set inside_pool true;
+        let t0 = Obs.Clock.now_s () in
+        let processed = ref 0 in
+        (match init () with
+        | w ->
+            states.(slot) <- Some w;
+            let continue_ = ref true in
+            while !continue_ do
+              let lo = Atomic.fetch_and_add next chunk in
+              if lo >= n || Atomic.get failures <> [] then continue_ := false
+              else
+                for i = lo to min (lo + chunk) n - 1 do
+                  incr processed;
+                  match f w xs.(i) with
+                  | y -> results.(i) <- Some y
+                  | exception exn ->
+                      let backtrace = Printexc.get_raw_backtrace () in
+                      record_failure failures { index = i; exn; backtrace }
+                done
+            done
+        | exception exn ->
+            let backtrace = Printexc.get_raw_backtrace () in
+            record_failure failures { index = 0; exn; backtrace });
+        add_busy (Obs.Clock.now_s () -. t0);
+        Obs.Metrics.observe Obs.Instruments.pool_tasks_per_worker
+          (float_of_int !processed);
+        Domain.DLS.set inside_pool was_inside
+      in
+      let t_start = Obs.Clock.now_s () in
+      let spawned =
+        Array.init (jobs - 1) (fun i -> Domain.spawn (worker (i + 1)))
+      in
+      worker 0 ();
+      Array.iter Domain.join spawned;
+      let elapsed = Obs.Clock.now_s () -. t_start in
+      Obs.Metrics.incr Obs.Instruments.pool_parallel_maps;
+      Obs.Metrics.add Obs.Instruments.pool_tasks n;
+      Obs.Metrics.set Obs.Instruments.pool_jobs (float_of_int jobs);
+      if elapsed > 0.0 then
+        Obs.Metrics.set Obs.Instruments.pool_utilization
+          (Atomic.get busy_s /. (float_of_int jobs *. elapsed));
+      match Atomic.get failures with
+      | [] ->
+          Array.iter (function Some w -> finish w | None -> ()) states;
+          Array.map Option.get results
+      | first :: rest ->
+          let worst =
+            List.fold_left
+              (fun best c -> if c.index < best.index then c else best)
+              first rest
+          in
+          Printexc.raise_with_backtrace worst.exn worst.backtrace
+    end
+  end

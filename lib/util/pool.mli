@@ -39,3 +39,30 @@ val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 
 val parallel_iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit
 (** [parallel_map] for effects only. *)
+
+val map_chunks_ordered :
+  ?jobs:int ->
+  ?chunk:int ->
+  init:(unit -> 'w) ->
+  f:('w -> 'a -> 'b) ->
+  ?finish:('w -> unit) ->
+  'a array ->
+  'b array
+(** [map_chunks_ordered ~init ~f ~finish xs] maps [f] over [xs] with a
+    per-worker state: each worker calls [init] once when it starts, threads
+    the resulting state through every [f] application it claims, and after
+    {e all} domains have joined, [finish] is applied to every worker state
+    from the calling domain, in worker-index order — so stateful merges
+    (e.g. folding SOS memo shards back into a shared engine) happen
+    deterministically and without races. The result array preserves input
+    order regardless of scheduling, exactly like {!parallel_map}.
+
+    [?chunk] fixes the chunk size of the atomic work-dealing cursor
+    (default [max 1 (n / (jobs * 4))]); it affects scheduling only, never
+    results.
+
+    Sequential degradation mirrors {!parallel_map} ([jobs <= 1], length
+    [<= 1], or a call from inside another pool worker): one state, items in
+    index order, then [finish]. [init] is never called for an empty input.
+    On failure the lowest-index exception is re-raised and [finish] is not
+    called. *)

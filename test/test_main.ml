@@ -10,6 +10,7 @@ let () =
       ("pa", Test_pa.suite);
       ("compiled-core", Test_compiled_core.suite);
       ("lts", Test_lts.suite);
+      ("parallel-build", Test_parallel_build.suite);
       ("ctmc", Test_ctmc.suite);
       ("sim", Test_sim.suite);
       ("adl", Test_adl.suite);

@@ -196,6 +196,31 @@ let test_streaming_study_wiring () =
   Alcotest.(check int) "seven raw measures" 7
     (List.length study.Dpma_core.Pipeline.measures)
 
+(* The N-station scaling model (examples/specs/streaming_scaled.aem is
+   the pretty-printed default configuration): pin the single-station
+   state count, round-trip the generated ADL text through the parser,
+   and check the noninterference action lists scale with the station
+   count. *)
+let test_scaled_model () =
+  let sp = { Streaming.default_scaled_params with Streaming.stations = 1 } in
+  let lts = Lts.of_spec (Streaming.scaled_spec sp) in
+  Alcotest.(check int) "1-station scaled states" 530 lts.Lts.num_states;
+  let text =
+    Format.asprintf "%a" Dpma_adl.Ast.pp (Streaming.scaled_archi sp)
+  in
+  let el = Elaborate.elaborate (Dpma_adl.Parser.parse text) in
+  let lts' = Lts.of_spec el.Elaborate.spec in
+  Alcotest.(check int)
+    "pretty-printed text round-trips to the same state space"
+    lts.Lts.num_states lts'.Lts.num_states;
+  Alcotest.(check int) "high actions per station" 2
+    (List.length (Streaming.scaled_high_actions sp));
+  let sp4 = { sp with Streaming.stations = 4 } in
+  Alcotest.(check int) "high actions scale" 8
+    (List.length (Streaming.scaled_high_actions sp4));
+  Alcotest.(check int) "low actions scale" 16
+    (List.length (Streaming.scaled_low_actions sp4))
+
 let test_buffer_size_validation () =
   (try
      ignore (Streaming.archi { small_streaming with ap_buffer_size = 0 });
@@ -288,6 +313,7 @@ let suite =
     Alcotest.test_case "streaming general no loss (Fig. 6)" `Slow
       test_streaming_general_no_loss_small_awake;
     Alcotest.test_case "streaming study wiring" `Quick test_streaming_study_wiring;
+    Alcotest.test_case "scaled model" `Quick test_scaled_model;
     Alcotest.test_case "buffer size validation" `Quick test_buffer_size_validation;
     Alcotest.test_case "trivial policy transparent" `Quick
       test_trivial_policy_transparent;

@@ -52,6 +52,89 @@ let test_parallel_iter_visits_all () =
     (List.init 100 (fun i -> i + 1));
   Alcotest.(check int) "all elements visited once" 5050 (Atomic.get sum)
 
+(* map_chunks_ordered: the chunked, per-worker-state primitive under the
+   parallel LTS builder. *)
+
+let test_map_chunks_order () =
+  let xs = Array.init 200 (fun i -> i) in
+  let out =
+    Pool.map_chunks_ordered ~jobs:4 ~chunk:7
+      ~init:(fun () -> ref 0)
+      ~f:(fun w x ->
+        incr w;
+        x * x)
+      xs
+  in
+  Alcotest.(check (array int))
+    "squares in input order"
+    (Array.map (fun x -> x * x) xs)
+    out
+
+let test_map_chunks_jobs_equivalent () =
+  let xs = Array.init 131 (fun i -> (3 * i) - 5) in
+  let f () x = (7 * x) mod 13 in
+  Alcotest.(check (array int))
+    "jobs:1 = jobs:4"
+    (Pool.map_chunks_ordered ~jobs:1 ~init:(fun () -> ()) ~f xs)
+    (Pool.map_chunks_ordered ~jobs:4 ~chunk:5 ~init:(fun () -> ()) ~f xs)
+
+let test_map_chunks_init_finish () =
+  let inits = Atomic.make 0 and finishes = Atomic.make 0 in
+  let applied = Atomic.make 0 in
+  let out =
+    Pool.map_chunks_ordered ~jobs:4 ~chunk:3
+      ~init:(fun () ->
+        Atomic.incr inits;
+        ())
+      ~f:(fun () x ->
+        Atomic.incr applied;
+        x + 1)
+      ~finish:(fun () -> Atomic.incr finishes)
+      (Array.init 100 (fun i -> i))
+  in
+  Alcotest.(check int) "every element mapped once" 100 (Atomic.get applied);
+  Alcotest.(check int)
+    "one finish per init" (Atomic.get inits) (Atomic.get finishes);
+  Alcotest.(check bool) "at most jobs workers" true (Atomic.get inits <= 4);
+  Alcotest.(check int) "result length" 100 (Array.length out)
+
+let test_map_chunks_empty () =
+  let inits = ref 0 in
+  let out =
+    Pool.map_chunks_ordered ~jobs:4
+      ~init:(fun () -> incr inits)
+      ~f:(fun () x -> x)
+      [||]
+  in
+  Alcotest.(check int) "empty result" 0 (Array.length out);
+  Alcotest.(check int) "init not called on empty input" 0 !inits
+
+let test_map_chunks_exception () =
+  Alcotest.check_raises "worker exception re-raised" (Failure "chunk-boom")
+    (fun () ->
+      ignore
+        (Pool.map_chunks_ordered ~jobs:4
+           ~init:(fun () -> ())
+           ~f:(fun () x -> if x >= 50 then failwith "chunk-boom" else x)
+           (Array.init 64 (fun i -> i))))
+
+let test_map_chunks_nested () =
+  (* Calls from inside pool workers degrade to sequential, like
+     parallel_map; results are unchanged. *)
+  let rows =
+    Pool.parallel_map ~jobs:2
+      (fun i ->
+        Pool.map_chunks_ordered ~jobs:2
+          ~init:(fun () -> i * 10)
+          ~f:(fun base j -> base + j)
+          [| 1; 2; 3 |])
+      [ 1; 2 ]
+  in
+  Alcotest.(check (list (list int)))
+    "nested degraded results"
+    [ [ 11; 12; 13 ]; [ 21; 22; 23 ] ]
+    (List.map Array.to_list rows)
+
 let test_default_jobs () =
   Alcotest.(check bool) "default >= 1" true (Pool.default_jobs () >= 1);
   Pool.set_default_jobs 3;
@@ -102,6 +185,15 @@ let suite =
     Alcotest.test_case "parallel_map exception" `Quick test_parallel_map_exception;
     Alcotest.test_case "parallel_map nested" `Quick test_parallel_map_nested;
     Alcotest.test_case "parallel_iter visits all" `Quick test_parallel_iter_visits_all;
+    Alcotest.test_case "map_chunks_ordered order" `Quick test_map_chunks_order;
+    Alcotest.test_case "map_chunks_ordered jobs=1 equivalence" `Quick
+      test_map_chunks_jobs_equivalent;
+    Alcotest.test_case "map_chunks_ordered init/finish" `Quick
+      test_map_chunks_init_finish;
+    Alcotest.test_case "map_chunks_ordered empty" `Quick test_map_chunks_empty;
+    Alcotest.test_case "map_chunks_ordered exception" `Quick
+      test_map_chunks_exception;
+    Alcotest.test_case "map_chunks_ordered nested" `Quick test_map_chunks_nested;
     Alcotest.test_case "default_jobs" `Quick test_default_jobs;
     Alcotest.test_case "replicate jobs-independent" `Quick
       test_replicate_jobs_independent;
