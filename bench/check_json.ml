@@ -59,6 +59,12 @@ let () =
   | Some (Json.Num v) when v >= 1.0 -> ()
   | Some j -> fail "\"jobs\" should be a positive number, got %s" (Json.to_string j)
   | None -> fail "missing \"jobs\" field");
+  (* The perf-history note (before/after numbers for the monomorphic
+     hash-table switch) travels with every report. *)
+  (match Json.member "notes" doc with
+  | Some (Json.Str s) when String.length s > 0 -> ()
+  | Some j -> fail "\"notes\" should be a non-empty string, got %s" (Json.to_string j)
+  | None -> fail "missing \"notes\" field");
   (match Json.member "figures_wall_clock_s" doc with
   | Some (Json.Obj _) -> ()
   | _ -> fail "missing \"figures_wall_clock_s\" object");
@@ -80,7 +86,9 @@ let () =
                   | None -> fail "study_seconds.%s misses %s" study phase)
                 [ "lts.build_seconds"; "lts.build_seconds.j1";
                   "lts.build_seconds.j2"; "lts.build_seconds.j4";
-                  "bisim.refine_seconds"; "ni.check_seconds" ]
+                  "bisim.refine_seconds"; "bisim.refine_seconds.j1";
+                  "bisim.refine_seconds.j2"; "bisim.refine_seconds.j4";
+                  "ni.check_seconds" ]
           | _ -> fail "study_seconds misses study %s" study)
         [ "rpc"; "streaming" ];
       (* The N-station scaling model: built at 1/2/4 jobs through the
@@ -97,7 +105,11 @@ let () =
                     key (Json.to_string j)
               | None -> fail "study_seconds.streaming_scaled misses %s" key)
             [ "lts.build_seconds"; "lts.build_seconds.j1";
-              "lts.build_seconds.j2"; "lts.build_seconds.j4"; "lts.states";
+              "lts.build_seconds.j2"; "lts.build_seconds.j4";
+              (* the refinement sweep runs in tiny mode (smoke skips it on
+                 the full-size model to stay inside the timeout) *)
+              "bisim.refine_seconds.j1"; "bisim.refine_seconds.j2";
+              "bisim.refine_seconds.j4"; "lts.states";
               "lts.transitions"; "lts.segment_bytes_peak" ]
       | _ -> fail "study_seconds misses study streaming_scaled");
       (* The streaming DPM-removed side strands unreachable states, so the

@@ -102,9 +102,10 @@ let jobs_arg =
     & opt (some int) None
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
-          "Worker domains for parallel sweeps and simulation replications \
-           (default: $(b,DPMA_JOBS) or the machine's core count). Results \
-           are identical for any value.")
+          "Worker domains for parallel work: LTS construction, bisimulation \
+           refinement, sweeps, and simulation replications (default: \
+           $(b,DPMA_JOBS) or the machine's core count). Results are \
+           identical for any value.")
 
 let apply_jobs jobs = Option.iter Pool.set_default_jobs jobs
 
@@ -251,7 +252,8 @@ let cmd_lts =
 (* minimize *)
 
 let cmd_minimize =
-  let run file max_states weak () =
+  let run file max_states weak jobs () =
+    apply_jobs jobs;
     handle (fun () ->
         let el = load file in
         let lts = Lts.of_spec ~max_states el.Elaborate.spec in
@@ -267,12 +269,13 @@ let cmd_minimize =
   in
   Cmd.v
     (Cmd.info "minimize" ~doc:"Minimize the state space up to (weak) bisimulation")
-    Term.(const run $ file_arg $ max_states_arg $ weak $ obs_term)
+    Term.(const run $ file_arg $ max_states_arg $ weak $ jobs_arg $ obs_term)
 
 (* noninterference *)
 
 let cmd_noninterference =
-  let run file max_states high low branching () =
+  let run file max_states high low branching jobs () =
+    apply_jobs jobs;
     handle (fun () ->
         if high = [] then begin
           Printf.eprintf "--high must list at least one DPM command action\n";
@@ -326,7 +329,9 @@ let cmd_noninterference =
   Cmd.v
     (Cmd.info "noninterference"
        ~doc:"Check that the high actions are transparent to the low observer")
-    Term.(const run $ file_arg $ max_states_arg $ high $ low $ branching $ obs_term)
+    Term.(
+      const run $ file_arg $ max_states_arg $ high $ low $ branching $ jobs_arg
+      $ obs_term)
 
 (* solve *)
 

@@ -13,12 +13,12 @@ let observed_pair lts ~high ~low =
   in
   (with_dpm_hidden, without_dpm)
 
-let check_lts lts ~high ~low =
+let check_lts ?jobs lts ~high ~low =
   let hidden, removed = observed_pair lts ~high ~low in
   (* Single pass: the product refiner decides the verdict (one saturation,
      one watched refinement), and an INSECURE split hands its trail
      straight to the diagnostics — the union is never analyzed twice. *)
-  match Bisim.weak_product_check hidden removed with
+  match Bisim.weak_product_check ?jobs hidden removed with
   | Bisim.Product_secure _ -> Secure
   | Bisim.Product_insecure trail -> Insecure (Diagnose.of_product_trail trail)
 
@@ -29,9 +29,9 @@ let mem_of actions =
   let set = String_set.of_list actions in
   fun a -> String_set.mem a set
 
-let check_spec ?max_states spec ~high ~low =
-  let lts = Lts.of_spec ?max_states spec in
-  check_lts lts ~high:(mem_of high) ~low:(mem_of low)
+let check_spec ?max_states ?jobs spec ~high ~low =
+  let lts = Lts.of_spec ?max_states ?jobs spec in
+  check_lts ?jobs lts ~high:(mem_of high) ~low:(mem_of low)
 
 let pp_verdict ppf = function
   | Secure ->
@@ -43,18 +43,18 @@ let pp_verdict ppf = function
          formula:@,%a@]"
         (Hml.pp ~weak:true) formula
 
-let branching_secure lts ~high ~low =
+let branching_secure ?jobs lts ~high ~low =
   let hidden, removed = observed_pair lts ~high ~low in
-  Bisim.branching_product_secure hidden removed
+  Bisim.branching_product_secure ?jobs hidden removed
 
-let branching_secure_spec ?max_states spec ~high ~low =
-  let lts = Lts.of_spec ?max_states spec in
-  branching_secure lts ~high:(mem_of high) ~low:(mem_of low)
+let branching_secure_spec ?max_states ?jobs spec ~high ~low =
+  let lts = Lts.of_spec ?max_states ?jobs spec in
+  branching_secure ?jobs lts ~high:(mem_of high) ~low:(mem_of low)
 
-let trace_secure lts ~high ~low =
+let trace_secure ?jobs lts ~high ~low =
   let hidden, removed = observed_pair lts ~high ~low in
-  Bisim.trace_product_secure hidden removed
+  Bisim.trace_product_secure ?jobs hidden removed
 
-let trace_secure_spec ?max_states spec ~high ~low =
-  let lts = Lts.of_spec ?max_states spec in
-  trace_secure lts ~high:(mem_of high) ~low:(mem_of low)
+let trace_secure_spec ?max_states ?jobs spec ~high ~low =
+  let lts = Lts.of_spec ?max_states ?jobs spec in
+  trace_secure ?jobs lts ~high:(mem_of high) ~low:(mem_of low)

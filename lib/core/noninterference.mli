@@ -17,16 +17,25 @@ type verdict =
           DPM-less system, over weak modalities *)
 
 val check_lts :
-  Dpma_lts.Lts.t -> high:(string -> bool) -> low:(string -> bool) -> verdict
+  ?jobs:int ->
+  Dpma_lts.Lts.t ->
+  high:(string -> bool) ->
+  low:(string -> bool) ->
+  verdict
+(** [jobs] is handed to the product refiner's parallel signature pass
+    (default {!Dpma_util.Pool.default_jobs}); verdicts and formulas are
+    identical for any job count. *)
 
 val check_spec :
   ?max_states:int ->
+  ?jobs:int ->
   Dpma_pa.Term.spec ->
   high:string list ->
   low:string list ->
   verdict
-(** Builds the LTS first; high/low given as exact action names (the fused
-    channel names for attached interactions). *)
+(** Builds the LTS first ([jobs] parallelizes the build and the check);
+    high/low given as exact action names (the fused channel names for
+    attached interactions). *)
 
 val observed_pair :
   Dpma_lts.Lts.t ->
@@ -39,7 +48,11 @@ val observed_pair :
 val pp_verdict : Format.formatter -> verdict -> unit
 
 val branching_secure :
-  Dpma_lts.Lts.t -> high:(string -> bool) -> low:(string -> bool) -> bool
+  ?jobs:int ->
+  Dpma_lts.Lts.t ->
+  high:(string -> bool) ->
+  low:(string -> bool) ->
+  bool
 (** The same check under *branching* bisimilarity — strictly stronger than
     the paper's weak-bisimulation notion (it additionally preserves the
     branching structure of internal stuttering). [true] implies the weak
@@ -47,13 +60,18 @@ val branching_secure :
 
 val branching_secure_spec :
   ?max_states:int ->
+  ?jobs:int ->
   Dpma_pa.Term.spec ->
   high:string list ->
   low:string list ->
   bool
 
 val trace_secure :
-  Dpma_lts.Lts.t -> high:(string -> bool) -> low:(string -> bool) -> bool
+  ?jobs:int ->
+  Dpma_lts.Lts.t ->
+  high:(string -> bool) ->
+  low:(string -> bool) ->
+  bool
 (** The *trace-based* variant (SNNI in the Focardi–Gorrieri classification
     the paper builds on): the two systems need only have the same weak
     trace language. Strictly weaker than the bisimulation check: since
@@ -64,6 +82,7 @@ val trace_secure :
 
 val trace_secure_spec :
   ?max_states:int ->
+  ?jobs:int ->
   Dpma_pa.Term.spec ->
   high:string list ->
   low:string list ->

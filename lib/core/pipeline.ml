@@ -22,7 +22,7 @@ type report = {
   general_without_dpm : General.estimate list;
 }
 
-let assess ?(sim_params = General.default_sim_params) ?max_states study =
+let assess ?(sim_params = General.default_sim_params) ?max_states ?jobs study =
   let span = Dpma_obs.Trace.with_span in
   span "pipeline.assess"
     ~attrs:[ ("study", Dpma_obs.Trace.Str study.study_name) ] (fun () ->
@@ -32,17 +32,17 @@ let assess ?(sim_params = General.default_sim_params) ?max_states study =
   let verdict, trace_secure, branching_secure =
     span "pipeline.functional" (fun () ->
         let verdict =
-          Noninterference.check_spec ?max_states functional ~high:study.high
-            ~low:study.low
+          Noninterference.check_spec ?max_states ?jobs functional
+            ~high:study.high ~low:study.low
         in
-        let functional_lts = Lts.of_spec ?max_states functional in
+        let functional_lts = Lts.of_spec ?max_states ?jobs functional in
         let high a = List.exists (String.equal a) study.high
         and low a = List.exists (String.equal a) study.low in
         ( verdict,
-          Noninterference.trace_secure functional_lts ~high ~low,
-          Noninterference.branching_secure functional_lts ~high ~low ))
+          Noninterference.trace_secure ?jobs functional_lts ~high ~low,
+          Noninterference.branching_secure ?jobs functional_lts ~high ~low ))
   in
-  let lts = Lts.of_spec ?max_states study.spec in
+  let lts = Lts.of_spec ?max_states ?jobs study.spec in
   let lts_without = Markov.without_dpm lts ~high:study.high in
   let markovian_with_dpm, markovian_without_dpm =
     span "pipeline.markovian" (fun () ->

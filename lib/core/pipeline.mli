@@ -40,6 +40,13 @@ type report = {
 }
 
 val assess :
-  ?sim_params:General.sim_params -> ?max_states:int -> study -> report
+  ?sim_params:General.sim_params ->
+  ?max_states:int ->
+  ?jobs:int ->
+  study ->
+  report
+(** [jobs] parallelizes the LTS builds and every bisimulation-based check
+    of the functional phase (default {!Dpma_util.Pool.default_jobs});
+    reports are identical for any job count. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -1,4 +1,5 @@
 module Rate = Dpma_pa.Rate
+module Pool = Dpma_util.Pool
 
 (* Signatures are canonical encodings of a state's outgoing behaviour
    w.r.t. the current partition. They are packed into flat arrays — an
@@ -47,7 +48,10 @@ module Int_key = struct
 
   let equal : int -> int -> bool = Int.equal
 
-  let hash = Hashtbl.hash
+  (* Multiplicative (Fibonacci) mix: keys are packed (label, block) pairs
+     and state ids, dense enough that the generic [Hashtbl.hash] call is
+     pure overhead in the refinement hot loops. *)
+  let hash x = (x * 0x9E37_79B9) land max_int
 end
 
 module Int_tbl = Hashtbl.Make (Int_key)
@@ -119,40 +123,181 @@ let saturate ?(traced = true) lts =
 
 (* Signature-based partition refinement. [signature] maps a state to a
    canonical representation of its outgoing behaviour w.r.t. the current
-   blocks; refinement stops when the block count is stable. *)
-let refine (lts : Lts.t) ~signature =
-  Dpma_obs.Trace.with_span "bisim.refine"
-    ~attrs:[ ("states", Dpma_obs.Trace.Int lts.num_states) ] (fun () ->
+   blocks; refinement stops when the block count is stable.
+
+   Each round re-keys every state by (current block, signature) and
+   renumbers the classes densely in first-seen state order. With more
+   than one job the signature pass — read-only over the frozen CSR and
+   the pre-round partition — is dealt to the pool as contiguous state
+   ranges: each worker dedupes its chunk's signatures into a private
+   table, recording the chunk's distinct keys in local first-seen order,
+   and the coordinator then merges the chunks in state order, assigning
+   a global class id the first time it meets each key. A key's global
+   first occurrence lies in the earliest chunk containing it, at that
+   chunk's local first occurrence, so the merged numbering is exactly
+   the sequential first-seen-by-state-index numbering: partitions are
+   bit-identical for any job count and any chunk size. *)
+
+(* Below this state count a round's signature pass is too cheap to
+   amortize the pool's per-round spawn/join cost; on a machine that
+   cannot run two domains at once no state count is. Scheduling only —
+   the partition is identical either way. *)
+let refine_par_cutoff ~jobs:_ =
+  if Pool.hardware_parallelism () <= 1 then max_int else 1024
+
+(* The distinct signature keys of one chunk, in local first-seen order,
+   plus each chunk state's index into them. *)
+type chunk_classes = { cc_keys : Sig_key.t array; cc_locals : int array }
+
+type refine_worker = { rw_table : int Sig_tbl.t; mutable rw_classes : int }
+
+let empty_key = { Sig_key.old_block = 0; ints = [||]; floats = [||] }
+
+let chunk_classes ~signature ~block w (lo, len) =
+  Sig_tbl.reset w.rw_table;
+  let locals = Array.make len 0 in
+  let rev_keys = ref [] in
+  let next = ref 0 in
+  for i = 0 to len - 1 do
+    let s = lo + i in
+    let ({ ints; floats } : signature) = signature block s in
+    let key = { Sig_key.old_block = block.(s); ints; floats } in
+    match Sig_tbl.find_opt w.rw_table key with
+    | Some id -> locals.(i) <- id
+    | None ->
+        Sig_tbl.add w.rw_table key !next;
+        locals.(i) <- !next;
+        rev_keys := key :: !rev_keys;
+        incr next
+  done;
+  w.rw_classes <- w.rw_classes + !next;
+  let keys = Array.make !next empty_key in
+  List.iteri (fun j k -> keys.(!next - 1 - j) <- k) !rev_keys;
+  { cc_keys = keys; cc_locals = locals }
+
+(* The shared driver behind [refine] and [refine_watched]: runs rounds to
+   the fixpoint, or — when a watched pair is given — until the watched
+   states land in different blocks, retaining the pair of signatures that
+   split them. Returns [(partition, rounds, split)]. *)
+let refine_loop ?watch (lts : Lts.t) ~signature ~jobs ~par_cutoff =
   let module I = Dpma_obs.Instruments in
-  Dpma_obs.Metrics.incr I.bisim_refines;
+  let module M = Dpma_obs.Metrics in
+  M.incr I.bisim_refines;
   let n = lts.num_states in
+  let par = jobs > 1 && n >= par_cutoff in
+  if (not par) && jobs > 1 && n > 0 then M.incr I.bisim_par_seq_fallbacks;
+  let chunks =
+    if not par then [||]
+    else
+      let c = Pool.recommended_chunk ~n ~jobs in
+      Array.init ((n + c - 1) / c) (fun i ->
+          let lo = i * c in
+          (lo, min c (n - lo)))
+  in
   let block = Array.make n 0 in
   let num_blocks = ref 1 in
+  let rounds = ref 0 in
+  let split = ref None in
   let continue_ = ref (n > 0) in
   while !continue_ do
-    Dpma_obs.Metrics.incr I.bisim_rounds;
-    let table = Sig_tbl.create (2 * !num_blocks) in
-    let next = ref 0 in
+    M.incr I.bisim_rounds;
+    incr rounds;
     let new_block = Array.make n 0 in
-    for s = 0 to n - 1 do
-      let { ints; floats } = signature block s in
-      let key = { Sig_key.old_block = block.(s); ints; floats } in
-      match Sig_tbl.find_opt table key with
-      | Some id -> new_block.(s) <- id
-      | None ->
-          Sig_tbl.add table key !next;
-          new_block.(s) <- !next;
-          incr next
-    done;
-    Dpma_obs.Metrics.observe I.bisim_blocks_per_round (float_of_int !next);
-    if !next = !num_blocks then continue_ := false
+    let next =
+      if not par then begin
+        let table = Sig_tbl.create (2 * !num_blocks) in
+        let next = ref 0 in
+        for s = 0 to n - 1 do
+          let ({ ints; floats } : signature) = signature block s in
+          let key = { Sig_key.old_block = block.(s); ints; floats } in
+          match Sig_tbl.find_opt table key with
+          | Some id -> new_block.(s) <- id
+          | None ->
+              Sig_tbl.add table key !next;
+              new_block.(s) <- !next;
+              incr next
+        done;
+        !next
+      end
+      else begin
+        M.incr I.bisim_par_rounds;
+        let classes =
+          Pool.map_chunks_ordered ~jobs
+            ~init:(fun () ->
+              { rw_table = Sig_tbl.create 256; rw_classes = 0 })
+            ~f:(chunk_classes ~signature ~block)
+            ~finish:(fun w ->
+              M.observe I.bisim_par_blocks_per_worker
+                (float_of_int w.rw_classes))
+            chunks
+        in
+        let tm = Dpma_obs.Clock.now_s () in
+        let table = Sig_tbl.create (2 * !num_blocks) in
+        let next = ref 0 in
+        Array.iteri
+          (fun ci { cc_keys; cc_locals } ->
+            let global = Array.make (Array.length cc_keys) 0 in
+            Array.iteri
+              (fun j key ->
+                match Sig_tbl.find_opt table key with
+                | Some id -> global.(j) <- id
+                | None ->
+                    Sig_tbl.add table key !next;
+                    global.(j) <- !next;
+                    incr next)
+              cc_keys;
+            let lo, _ = chunks.(ci) in
+            Array.iteri
+              (fun i l -> new_block.(lo + i) <- global.(l))
+              cc_locals)
+          classes;
+        M.observe I.bisim_par_merge_seconds (Dpma_obs.Clock.now_s () -. tm);
+        !next
+      end
+    in
+    M.observe I.bisim_blocks_per_round (float_of_int next);
+    let stop_watched =
+      match watch with
+      | Some (wa, wb) when new_block.(wa) <> new_block.(wb) ->
+          (* The signatures are recomputed against the pre-round
+             partition, exactly as the round that told the watched states
+             apart saw them. *)
+          let sa = signature block wa and sb = signature block wb in
+          split := Some (sa.ints, sb.ints);
+          true
+      | _ -> false
+    in
+    if stop_watched then begin
+      num_blocks := next;
+      Array.blit new_block 0 block 0 n;
+      continue_ := false
+    end
+    else if next = !num_blocks then continue_ := false
     else begin
-      num_blocks := !next;
+      num_blocks := next;
       Array.blit new_block 0 block 0 n
     end
   done;
-  Dpma_obs.Metrics.set I.bisim_blocks (float_of_int !num_blocks);
-  block)
+  M.set I.bisim_blocks (float_of_int !num_blocks);
+  (block, !rounds, !split)
+
+let resolve_pool ?jobs ?par_cutoff () =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
+  in
+  let par_cutoff =
+    match par_cutoff with
+    | Some c -> max 0 c
+    | None -> refine_par_cutoff ~jobs
+  in
+  (jobs, par_cutoff)
+
+let refine ?jobs ?par_cutoff (lts : Lts.t) ~signature =
+  let jobs, par_cutoff = resolve_pool ?jobs ?par_cutoff () in
+  Dpma_obs.Trace.with_span "bisim.refine"
+    ~attrs:[ ("states", Dpma_obs.Trace.Int lts.num_states) ] (fun () ->
+      let block, _, _ = refine_loop lts ~signature ~jobs ~par_cutoff in
+      block)
 
 let sorted_dedup_array (l : int list) =
   Array.of_list (List.sort_uniq Int.compare l)
@@ -164,7 +309,8 @@ let strong_signature (lts : Lts.t) block s =
   in
   ints_signature (sorted_dedup_array (go (lts.row.(s + 1) - 1) []))
 
-let strong_partition lts = refine lts ~signature:(strong_signature lts)
+let strong_partition ?jobs ?par_cutoff lts =
+  refine ?jobs ?par_cutoff lts ~signature:(strong_signature lts)
 
 (* States on a common tau-cycle are weakly bisimilar (each can silently
    reach the other), so collapsing tau-SCCs before saturating is sound for
@@ -184,15 +330,18 @@ let tau_scc_partition (lts : Lts.t) =
 
 let compose outer inner = Array.map (fun b -> outer.(b)) inner
 
-let weak_partition lts =
+let weak_partition ?jobs ?par_cutoff lts =
   (* Pre-reduce: strongly bisimilar states are weakly bisimilar, and so are
      tau-SCC members; both quotients are cheap compared to saturation. *)
-  let p1 = strong_partition lts in
+  let p1 = strong_partition ?jobs ?par_cutoff lts in
   let l1 = Lts.quotient lts p1 in
   let p2 = tau_scc_partition l1 in
   let l2 = Lts.quotient l1 p2 in
   let saturated = saturate l2 in
-  let p3 = refine saturated ~signature:(strong_signature saturated) in
+  let p3 =
+    refine ?jobs ?par_cutoff saturated
+      ~signature:(strong_signature saturated)
+  in
   compose p3 (compose p2 p1)
 
 (* For lumping, transitions to the same block accumulate: exponential rates
@@ -246,7 +395,8 @@ let markovian_signature (lts : Lts.t) block s =
     entries;
   { ints; floats }
 
-let markovian_partition lts = refine lts ~signature:(markovian_signature lts)
+let markovian_partition ?jobs ?par_cutoff lts =
+  refine ?jobs ?par_cutoff lts ~signature:(markovian_signature lts)
 
 (* Branching bisimulation via Blom–Orzan signature refinement: a state's
    signature collects the (label, target block) pairs reachable after
@@ -290,30 +440,34 @@ let branching_signature (lts : Lts.t) block s =
          go (lts.row.(s' + 1) - 1) [])
   |> sorted_dedup_array |> ints_signature
 
-let branching_partition lts = refine lts ~signature:(branching_signature lts)
+let branching_partition ?jobs ?par_cutoff lts =
+  refine ?jobs ?par_cutoff lts ~signature:(branching_signature lts)
 
-let branching_equivalent a b =
+let branching_equivalent ?jobs ?par_cutoff a b =
   let union, ia, ib = Lts.disjoint_union a b in
-  let block = branching_partition union in
+  let block = branching_partition ?jobs ?par_cutoff union in
   block.(ia) = block.(ib)
 
 let same_class block s t = block.(s) = block.(t)
 
-let strong_equivalent a b =
+let strong_equivalent ?jobs ?par_cutoff a b =
   let union, ia, ib = Lts.disjoint_union a b in
-  let block = strong_partition union in
+  let block = strong_partition ?jobs ?par_cutoff union in
   same_class block ia ib
 
-let weak_equivalent a b =
+let weak_equivalent ?jobs ?par_cutoff a b =
   let union, ia, ib = Lts.disjoint_union a b in
-  let block = weak_partition union in
+  let block = weak_partition ?jobs ?par_cutoff union in
   same_class block ia ib
 
-let minimize_strong lts = Lts.quotient lts (strong_partition lts)
+let minimize_strong ?jobs ?par_cutoff lts =
+  Lts.quotient lts (strong_partition ?jobs ?par_cutoff lts)
 
-let minimize_weak lts =
+let minimize_weak ?jobs ?par_cutoff lts =
   let saturated = saturate lts in
-  Lts.quotient saturated (refine saturated ~signature:(strong_signature saturated))
+  Lts.quotient saturated
+    (refine ?jobs ?par_cutoff saturated
+       ~signature:(strong_signature saturated))
 
 module Int_list_key = struct
   type t = int list
@@ -388,8 +542,8 @@ let determinize ?(max_states = 500_000) (lts : Lts.t) =
       "{" ^ String.concat "," (List.map string_of_int sets.(i)) ^ "}")
     trans
 
-let trace_equivalent a b =
-  strong_equivalent (determinize a) (determinize b)
+let trace_equivalent ?jobs ?par_cutoff a b =
+  strong_equivalent ?jobs ?par_cutoff (determinize a) (determinize b)
 
 (* ------------------------------------------------------------------ *)
 (* On-the-fly product refinement for the noninterference check.        *)
@@ -435,57 +589,16 @@ let restrict_reachable (lts : Lts.t) =
   end
 
 (* Signature refinement watched on one state pair: identical block
-   assignment discipline to [refine] (first-seen order within a round),
-   but the loop exits as soon as the watched states land in different
-   blocks — retaining the pair of signatures that split them — or as
-   soon as the partition is stable, whichever comes first. Returns
-   [(partition, rounds, split)]. *)
-let refine_watched (lts : Lts.t) ~signature ~watch:(wa, wb) =
+   assignment discipline to [refine] (first-seen order within a round,
+   parallel signature pass included), but the loop exits as soon as the
+   watched states land in different blocks — retaining the pair of
+   signatures that split them — or as soon as the partition is stable,
+   whichever comes first. Returns [(partition, rounds, split)]. *)
+let refine_watched ?jobs ?par_cutoff (lts : Lts.t) ~signature ~watch =
+  let jobs, par_cutoff = resolve_pool ?jobs ?par_cutoff () in
   Dpma_obs.Trace.with_span "bisim.refine"
     ~attrs:[ ("states", Dpma_obs.Trace.Int lts.num_states) ] (fun () ->
-  let module I = Dpma_obs.Instruments in
-  Dpma_obs.Metrics.incr I.bisim_refines;
-  let n = lts.num_states in
-  let block = Array.make n 0 in
-  let num_blocks = ref 1 in
-  let rounds = ref 0 in
-  let split = ref None in
-  let continue_ = ref (n > 0) in
-  while !continue_ do
-    Dpma_obs.Metrics.incr I.bisim_rounds;
-    incr rounds;
-    let table = Sig_tbl.create (2 * !num_blocks) in
-    let next = ref 0 in
-    let new_block = Array.make n 0 in
-    for s = 0 to n - 1 do
-      let { ints; floats } = signature block s in
-      let key = { Sig_key.old_block = block.(s); ints; floats } in
-      match Sig_tbl.find_opt table key with
-      | Some id -> new_block.(s) <- id
-      | None ->
-          Sig_tbl.add table key !next;
-          new_block.(s) <- !next;
-          incr next
-    done;
-    Dpma_obs.Metrics.observe I.bisim_blocks_per_round (float_of_int !next);
-    if new_block.(wa) <> new_block.(wb) then begin
-      (* The signatures are recomputed against the pre-round partition,
-         exactly as the round that told the watched states apart saw
-         them. *)
-      let sa = signature block wa and sb = signature block wb in
-      split := Some (sa.ints, sb.ints);
-      num_blocks := !next;
-      Array.blit new_block 0 block 0 n;
-      continue_ := false
-    end
-    else if !next = !num_blocks then continue_ := false
-    else begin
-      num_blocks := !next;
-      Array.blit new_block 0 block 0 n
-    end
-  done;
-  Dpma_obs.Metrics.set I.bisim_blocks (float_of_int !num_blocks);
-  (block, !rounds, !split))
+      refine_loop ~watch lts ~signature ~jobs ~par_cutoff)
 
 type product_trail = {
   left : Lts.t;
@@ -510,20 +623,21 @@ let record_product_exit ~rounds ~pruned secure =
    bisimilarity and shrink the quadratic saturation step. The same
    pre-reduction [weak_partition] applies to a materialized union, here
    performed per side so the unreduced union never exists. *)
-let weak_reduce lts =
-  let p1 = strong_partition lts in
+let weak_reduce ?jobs ?par_cutoff lts =
+  let p1 = strong_partition ?jobs ?par_cutoff lts in
   let l1 = Lts.quotient lts p1 in
   let p2 = tau_scc_partition l1 in
   Lts.quotient l1 p2
 
-let weak_product_check (a : Lts.t) (b : Lts.t) =
+let weak_product_check ?jobs ?par_cutoff (a : Lts.t) (b : Lts.t) =
   Dpma_obs.Trace.with_span "bisim.product"
     ~attrs:
       [ ("states", Dpma_obs.Trace.Int (a.num_states + b.num_states)) ]
     (fun () ->
       let ra, pruned_a = restrict_reachable a in
       let rb, pruned_b = restrict_reachable b in
-      let qa = weak_reduce ra and qb = weak_reduce rb in
+      let qa = weak_reduce ?jobs ?par_cutoff ra
+      and qb = weak_reduce ?jobs ?par_cutoff rb in
       let sa, sb =
         Dpma_obs.Trace.with_span "bisim.saturate"
           ~attrs:
@@ -535,8 +649,8 @@ let weak_product_check (a : Lts.t) (b : Lts.t) =
       in
       let union, ia, ib = Lts.disjoint_union sa sb in
       let partition, rounds, split =
-        refine_watched union ~signature:(strong_signature union)
-          ~watch:(ia, ib)
+        refine_watched ?jobs ?par_cutoff union
+          ~signature:(strong_signature union) ~watch:(ia, ib)
       in
       record_product_exit ~rounds ~pruned:(pruned_a + pruned_b)
         (Option.is_none split);
@@ -547,7 +661,7 @@ let weak_product_check (a : Lts.t) (b : Lts.t) =
             { left = a; right = b; split_round = rounds; left_signature;
               right_signature })
 
-let branching_product_secure (a : Lts.t) (b : Lts.t) =
+let branching_product_secure ?jobs ?par_cutoff (a : Lts.t) (b : Lts.t) =
   Dpma_obs.Trace.with_span "bisim.product"
     ~attrs:
       [ ("states", Dpma_obs.Trace.Int (a.num_states + b.num_states)) ]
@@ -556,14 +670,15 @@ let branching_product_secure (a : Lts.t) (b : Lts.t) =
       let rb, pruned_b = restrict_reachable b in
       let union, ia, ib = Lts.disjoint_union ra rb in
       let _, rounds, split =
-        refine_watched union ~signature:(branching_signature union)
-          ~watch:(ia, ib)
+        refine_watched ?jobs ?par_cutoff union
+          ~signature:(branching_signature union) ~watch:(ia, ib)
       in
       record_product_exit ~rounds ~pruned:(pruned_a + pruned_b)
         (Option.is_none split);
       Option.is_none split)
 
-let trace_product_secure ?max_states (a : Lts.t) (b : Lts.t) =
+let trace_product_secure ?max_states ?jobs ?par_cutoff (a : Lts.t)
+    (b : Lts.t) =
   Dpma_obs.Trace.with_span "bisim.product"
     ~attrs:
       [ ("states", Dpma_obs.Trace.Int (a.num_states + b.num_states)) ]
@@ -573,8 +688,8 @@ let trace_product_secure ?max_states (a : Lts.t) (b : Lts.t) =
       let da = determinize ?max_states ra and db = determinize ?max_states rb in
       let union, ia, ib = Lts.disjoint_union da db in
       let _, rounds, split =
-        refine_watched union ~signature:(strong_signature union)
-          ~watch:(ia, ib)
+        refine_watched ?jobs ?par_cutoff union
+          ~signature:(strong_signature union) ~watch:(ia, ib)
       in
       record_product_exit ~rounds ~pruned:(pruned_a + pruned_b)
         (Option.is_none split);

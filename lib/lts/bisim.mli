@@ -5,7 +5,26 @@
     the saturated double-arrow LTS (Milner), where [Tau] plays the role of
     the reflexive-transitive weak internal move. Markovian (lumping)
     equivalence refines signatures with cumulative rates, giving ordinary
-    lumpability on the underlying CTMC. *)
+    lumpability on the underlying CTMC.
+
+    {2 Parallel refinement}
+
+    Every refinement-based entry point takes [?jobs] (default
+    {!Dpma_util.Pool.default_jobs}): with more than one job, each round's
+    signature pass — read-only over the frozen CSR and the pre-round
+    partition — is dealt to the domain pool as contiguous state ranges,
+    and the per-chunk signature classes are merged back in state order,
+    assigning global class ids in first-seen order. The merged numbering
+    is exactly the sequential first-seen-by-state-index numbering, so
+    partitions, quotients, verdicts, and distinguishing formulas are
+    bit-identical for any job count.
+
+    [?par_cutoff] is the state count below which a refinement runs
+    sequentially even when [jobs > 1] (the signature pass is then too
+    cheap to amortize the pool's per-round spawn cost). It defaults
+    adaptively — 1024, or never parallelizing when
+    {!Dpma_util.Pool.hardware_parallelism} is 1 — and affects scheduling
+    only, never results. *)
 
 val saturate : ?traced:bool -> Lts.t -> Lts.t
 (** Weak-transition closure: in the result, an [Obs a] transition [s -> t]
@@ -15,32 +34,33 @@ val saturate : ?traced:bool -> Lts.t -> Lts.t
     for callers (diagnostics) that account the closure under a span of
     their own. *)
 
-val strong_partition : Lts.t -> int array
+val strong_partition : ?jobs:int -> ?par_cutoff:int -> Lts.t -> int array
 (** Coarsest strong-bisimulation partition; entry [i] is the block of state
     [i], blocks numbered densely from 0. *)
 
-val weak_partition : Lts.t -> int array
+val weak_partition : ?jobs:int -> ?par_cutoff:int -> Lts.t -> int array
 (** Coarsest weak-bisimulation partition (saturates internally). *)
 
-val markovian_partition : Lts.t -> int array
+val markovian_partition : ?jobs:int -> ?par_cutoff:int -> Lts.t -> int array
 (** Coarsest ordinary-lumpability partition: signatures accumulate total
     exponential rate (and immediate weight, per priority) per label and
     target block. *)
 
-val branching_partition : Lts.t -> int array
+val branching_partition : ?jobs:int -> ?par_cutoff:int -> Lts.t -> int array
 (** Coarsest branching-bisimulation partition (Blom–Orzan signature
     refinement). Branching bisimilarity is strictly finer than weak
     bisimilarity and preserves the branching structure of internal
     stuttering; it is offered as a stricter alternative for the
     noninterference check. *)
 
-val branching_equivalent : Lts.t -> Lts.t -> bool
+val branching_equivalent :
+  ?jobs:int -> ?par_cutoff:int -> Lts.t -> Lts.t -> bool
 
-val strong_equivalent : Lts.t -> Lts.t -> bool
-val weak_equivalent : Lts.t -> Lts.t -> bool
+val strong_equivalent : ?jobs:int -> ?par_cutoff:int -> Lts.t -> Lts.t -> bool
+val weak_equivalent : ?jobs:int -> ?par_cutoff:int -> Lts.t -> Lts.t -> bool
 
-val minimize_strong : Lts.t -> Lts.t
-val minimize_weak : Lts.t -> Lts.t
+val minimize_strong : ?jobs:int -> ?par_cutoff:int -> Lts.t -> Lts.t
+val minimize_weak : ?jobs:int -> ?par_cutoff:int -> Lts.t -> Lts.t
 (** Quotient by the respective partition (weak minimization quotients the
     saturated LTS). *)
 
@@ -52,7 +72,7 @@ val determinize : ?max_states:int -> Lts.t -> Lts.t
     exactly the weak traces of the input. Exponential in the worst case;
     raises {!Lts.Too_many_states} beyond [max_states] (default 500_000). *)
 
-val trace_equivalent : Lts.t -> Lts.t -> bool
+val trace_equivalent : ?jobs:int -> ?par_cutoff:int -> Lts.t -> Lts.t -> bool
 (** Weak trace equivalence (equality of observable-trace languages, which
     are prefix-closed here): determinize both sides and compare by strong
     bisimulation — on deterministic automata the two notions coincide.
@@ -97,17 +117,24 @@ type product_result =
           refinement rounds run. *)
   | Product_insecure of product_trail
 
-val weak_product_check : Lts.t -> Lts.t -> product_result
+val weak_product_check :
+  ?jobs:int -> ?par_cutoff:int -> Lts.t -> Lts.t -> product_result
 (** [weak_product_check a b] decides weak bisimilarity of the two initial
     states — the same verdict as {!weak_equivalent}, with reachability
-    pruning, per-side pre-reduction, and watched early exit. *)
+    pruning, per-side pre-reduction, and watched early exit. The watched
+    refinement parallelizes like every other: the early-exit check runs
+    in the coordinator on the deterministically merged round result, so
+    the exit round, verdict, and splitting signatures are identical for
+    any job count. *)
 
-val branching_product_secure : Lts.t -> Lts.t -> bool
+val branching_product_secure :
+  ?jobs:int -> ?par_cutoff:int -> Lts.t -> Lts.t -> bool
 (** {!branching_equivalent} through the watched product refiner
     (reachability pruning + early exit; no saturation is involved in the
     branching signatures). *)
 
-val trace_product_secure : ?max_states:int -> Lts.t -> Lts.t -> bool
+val trace_product_secure :
+  ?max_states:int -> ?jobs:int -> ?par_cutoff:int -> Lts.t -> Lts.t -> bool
 (** {!trace_equivalent} through the watched product refiner: both sides
     are pruned to their reachable parts before determinization, and the
     strong refinement of the determinized product stops at the first

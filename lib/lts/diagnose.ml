@@ -5,6 +5,18 @@
    never move across subtrees, "state x belonged to block C when C was used
    as a splitter" is exactly "C is an ancestor of x's current leaf". *)
 
+(* Monomorphic int-keyed tables (same multiplicative mix as [Bisim] and
+   [Semantics]): the tree refinement and the formula memo sit on the
+   diagnostic path of every INSECURE verdict, and the polymorphic
+   [Hashtbl] would hash node ids and state pairs through the generic
+   structural hasher. *)
+module Int_tbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash x = (x * 0x9E37_79B9) land max_int
+end)
+
 type node = {
   id : int;
   mutable parent : node option;
@@ -39,12 +51,12 @@ let formula_core ~early_stop (lts : Lts.t) s0 t0 =
   let root = make_node None 0 in
   let leaf = Array.make n root in
   (* members.(node.id) is filled only for current leaves. *)
-  let members : (int, int list) Hashtbl.t = Hashtbl.create 64 in
-  Hashtbl.add members root.id (List.init n (fun i -> i));
+  let members : int list Int_tbl.t = Int_tbl.create 64 in
+  Int_tbl.add members root.id (List.init n (fun i -> i));
   let labels = Lts.labels lts in
   let clock = ref 0 in
   let try_split_block block_node =
-    let states = Hashtbl.find members block_node.id in
+    let states = Int_tbl.find members block_node.id in
     match states with
     | [] | [ _ ] -> false
     | _ ->
@@ -96,9 +108,9 @@ let formula_core ~early_stop (lts : Lts.t) s0 t0 =
                   block_node.split <- Some (label, splitter, child_yes, child_no);
                   block_node.split_time <- !clock;
                   incr clock;
-                  Hashtbl.remove members block_node.id;
-                  Hashtbl.add members child_yes.id (List.map fst yes);
-                  Hashtbl.add members child_no.id (List.map fst no);
+                  Int_tbl.remove members block_node.id;
+                  Int_tbl.add members child_yes.id (List.map fst yes);
+                  Int_tbl.add members child_no.id (List.map fst no);
                   List.iter (fun (s, _) -> leaf.(s) <- child_yes) yes;
                   List.iter (fun (s, _) -> leaf.(s) <- child_no) no;
                   true
@@ -109,12 +121,12 @@ let formula_core ~early_stop (lts : Lts.t) s0 t0 =
         List.exists attempt labels
   in
   let rec refine_until_stable () =
-    let nodes = Hashtbl.fold (fun id _ acc -> id :: acc) members [] in
+    let nodes = Int_tbl.fold (fun id _ acc -> id :: acc) members [] in
     let split_any =
       List.exists
         (fun id ->
           (* The node may have been split already in this sweep. *)
-          match Hashtbl.find_opt members id with
+          match Int_tbl.find_opt members id with
           | None | Some ([] | [ _ ]) -> false
           | Some (s :: _) -> try_split_block leaf.(s))
         nodes
@@ -133,13 +145,15 @@ let formula_core ~early_stop (lts : Lts.t) s0 t0 =
       else if b.depth > a.depth then lca a (Option.get b.parent)
       else lca (Option.get a.parent) (Option.get b.parent)
     in
-    let memo : (int * int, Hml.t) Hashtbl.t = Hashtbl.create 64 in
+    (* State pairs packed as [s * n + t]: both components are < n, so the
+       packing is injective and fits an OCaml int for any LTS we build. *)
+    let memo : Hml.t Int_tbl.t = Int_tbl.create 64 in
     let rec dist s t =
-      match Hashtbl.find_opt memo (s, t) with
+      match Int_tbl.find_opt memo ((s * n) + t) with
       | Some f -> f
       | None ->
           let f = dist_uncached s t in
-          Hashtbl.add memo (s, t) f;
+          Int_tbl.add memo ((s * n) + t) f;
           f
     and dist_uncached s t =
       let node = lca leaf.(s) leaf.(t) in

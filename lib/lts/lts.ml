@@ -243,15 +243,25 @@ type build_stats = {
 }
 
 (* Below this frontier size a parallel round costs more in domain traffic
-   than it saves; derive in the coordinating domain instead. Scheduling
-   only — results are identical either way. *)
-let par_round_threshold = 64
+   (spawn + join is a couple of milliseconds per round) than it saves;
+   derive in the coordinating domain instead. The cutoff scales with the
+   job count because the spawn cost does, while the per-worker slice of a
+   fixed frontier shrinks; on a machine that cannot run two domains at
+   once no frontier is worth dealing out. Scheduling only — results are
+   identical either way. *)
+let par_round_threshold ~jobs =
+  if Pool.hardware_parallelism () <= 1 then max_int else 256 * jobs
 
-let build ?(max_states = 500_000) ?jobs (spec : Term.spec) =
+let build ?(max_states = 500_000) ?jobs ?par_threshold (spec : Term.spec) =
   Dpma_obs.Trace.with_span "lts.build" (fun () ->
   let t0 = Dpma_obs.Clock.now_s () in
   let jobs =
     match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
+  in
+  let par_threshold =
+    match par_threshold with
+    | Some t -> max 0 t
+    | None -> par_round_threshold ~jobs
   in
   let engine = Semantics.make spec.defs in
   (* Hash-consed terms: the state table is keyed by unique id. *)
@@ -297,7 +307,7 @@ let build ?(max_states = 500_000) ?jobs (spec : Term.spec) =
       Semantics.merge_shard sh
     in
     let derived =
-      if jobs = 1 || fsize < par_round_threshold then begin
+      if jobs = 1 || fsize < par_threshold then begin
         let sh = Semantics.shard engine in
         let out = Array.make fsize [] in
         for i = 0 to fsize - 1 do
@@ -308,6 +318,7 @@ let build ?(max_states = 500_000) ?jobs (spec : Term.spec) =
       end
       else
         Pool.map_chunks_ordered ~jobs
+          ~chunk:(Pool.recommended_chunk ~n:fsize ~jobs)
           ~init:(fun () -> Semantics.shard engine)
           ~f:Semantics.derive_in ~finish:record_and_merge frontier
     in
@@ -380,7 +391,8 @@ let build ?(max_states = 500_000) ?jobs (spec : Term.spec) =
       merge_seconds = !merge_s; segments; segment_bytes_peak;
       build_seconds } ))
 
-let of_spec ?max_states ?jobs spec = fst (build ?max_states ?jobs spec)
+let of_spec ?max_states ?jobs ?par_threshold spec =
+  fst (build ?max_states ?jobs ?par_threshold spec)
 
 let num_transitions lts = lts.row.(lts.num_states)
 

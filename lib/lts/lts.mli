@@ -80,7 +80,11 @@ type build_stats = {
 }
 
 val build :
-  ?max_states:int -> ?jobs:int -> Dpma_pa.Term.spec -> t * build_stats
+  ?max_states:int ->
+  ?jobs:int ->
+  ?par_threshold:int ->
+  Dpma_pa.Term.spec ->
+  t * build_stats
 (** Enumerate the reachable states of a process-algebra specification by
     level-synchronous breadth-first exploration over a memoized SOS
     engine: each round, the frontier (a contiguous id range, since states
@@ -92,9 +96,16 @@ val build :
     defaults to {!Dpma_util.Pool.default_jobs}; edges, row offsets, and
     state terms accumulate in fixed-size chunked segments compacted into
     the flat CSR arrays once at the end. Raises {!Too_many_states} beyond
-    [max_states] (default 500_000). Transition rates are preserved. *)
+    [max_states] (default 500_000). Transition rates are preserved.
 
-val of_spec : ?max_states:int -> ?jobs:int -> Dpma_pa.Term.spec -> t
+    Rounds whose frontier is smaller than [par_threshold] derive in the
+    coordinating domain — below it the per-round domain traffic outweighs
+    the work being dealt. Defaults to [256 * jobs], or to never
+    parallelizing when {!Dpma_util.Pool.hardware_parallelism} is 1;
+    scheduling only, results are identical for any value. *)
+
+val of_spec :
+  ?max_states:int -> ?jobs:int -> ?par_threshold:int -> Dpma_pa.Term.spec -> t
 (** [build] without the statistics. *)
 
 val num_transitions : t -> int

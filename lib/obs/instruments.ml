@@ -116,6 +116,32 @@ let bisim_blocks =
   g ~unit_:"blocks" ~desc:"final block count of the last refinement"
     "bisim.blocks"
 
+let bisim_par_rounds =
+  c ~unit_:"rounds"
+    ~desc:"refinement rounds whose signature pass was dealt to the pool"
+    "bisim.par.rounds"
+
+let bisim_par_blocks_per_worker =
+  h ~unit_:"blocks"
+    ~desc:
+      "distinct signature classes produced by one worker in one parallel \
+       refinement round"
+    "bisim.par.blocks_per_worker"
+
+let bisim_par_merge_seconds =
+  h ~unit_:"seconds"
+    ~desc:
+      "time the coordinator spent merging per-chunk signature classes in \
+       state order, per parallel round"
+    "bisim.par.merge.seconds"
+
+let bisim_par_seq_fallbacks =
+  c ~unit_:"fixpoints"
+    ~desc:
+      "refinement fixpoints that ran sequentially despite jobs > 1 (state \
+       count under the parallel cutoff)"
+    "bisim.par.seq_fallbacks"
+
 (* Noninterference product refiner *)
 
 let ni_product_pruned =

@@ -113,6 +113,26 @@ val bisim_blocks_per_round : Metrics.histogram
 val bisim_blocks : Metrics.gauge
 (** [bisim.blocks] — final block count of the last refinement fixpoint. *)
 
+val bisim_par_rounds : Metrics.counter
+(** [bisim.par.rounds] — refinement rounds whose signature pass was dealt
+    to the domain pool (subset of [bisim.refine.rounds]). *)
+
+val bisim_par_blocks_per_worker : Metrics.histogram
+(** [bisim.par.blocks_per_worker] — distinct signature classes produced
+    by one worker in one parallel refinement round (summed over the
+    chunks the worker claimed); skew across workers indicates chunking
+    imbalance. *)
+
+val bisim_par_merge_seconds : Metrics.histogram
+(** [bisim.par.merge.seconds] — time the coordinator spent merging the
+    per-chunk signature classes in state order, per parallel round. *)
+
+val bisim_par_seq_fallbacks : Metrics.counter
+(** [bisim.par.seq_fallbacks] — refinement fixpoints that ran
+    sequentially although more than one job was requested, because the
+    state count was under the parallel cutoff (or the hardware cannot
+    run two domains at once). *)
+
 (** {1 Noninterference product refiner (ni)} *)
 
 val ni_product_pruned : Metrics.counter

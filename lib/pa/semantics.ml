@@ -1,5 +1,16 @@
 module Lset = Term.Lset
 
+(* The memo tables are keyed by term uid on every single derivation, so
+   they use a monomorphic table with a multiplicative (Fibonacci) mix of
+   the dense uids instead of the generic [Hashtbl.hash] runtime call. *)
+module Uid_tbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal : int -> int -> bool = Int.equal
+
+  let hash x = (x * 0x9E37_79B9) land max_int
+end)
+
 exception Sync_error of { action : string; message : string }
 
 type trans = (Label.t * Rate.t * Term.t) list
@@ -17,7 +28,7 @@ type cache = {
 
 type engine = {
   defs : Term.defs;
-  memo : (int, trans) Hashtbl.t;
+  memo : trans Uid_tbl.t;
   memo_lock : Mutex.t;
   hits : int Atomic.t;
   misses : int Atomic.t;
@@ -26,7 +37,13 @@ type engine = {
 
 type shard = {
   sh_parent : engine;
-  sh_local : (int, trans) Hashtbl.t;
+  sh_local : trans Uid_tbl.t;
+  (* Entries this shard actually computed (as opposed to copies of parent
+     memo hits cached in [sh_local] for lock-free re-reads): the only
+     entries [merge_shard] must offer the parent. Kept as a list so the
+     merge touches O(new derivations) instead of walking the whole local
+     table under the parent lock every round. *)
+  sh_fresh : (int * trans) list ref;
   sh_hits : int ref;
   sh_misses : int ref;
   sh_cache : cache;
@@ -35,12 +52,12 @@ type shard = {
 type stats = { hits : int; misses : int }
 
 let make defs =
-  let memo = Hashtbl.create 1024 in
+  let memo = Uid_tbl.create 1024 in
   let memo_lock = Mutex.create () in
   let hits = Atomic.make 0 and misses = Atomic.make 0 in
   let c_find uid =
     Mutex.lock memo_lock;
-    let r = Hashtbl.find_opt memo uid in
+    let r = Uid_tbl.find_opt memo uid in
     Mutex.unlock memo_lock;
     (match r with
     | Some _ -> Atomic.incr hits
@@ -49,7 +66,7 @@ let make defs =
   in
   let c_store uid trans =
     Mutex.lock memo_lock;
-    Hashtbl.replace memo uid trans;
+    Uid_tbl.replace memo uid trans;
     Mutex.unlock memo_lock
   in
   { defs; memo; memo_lock; hits; misses;
@@ -59,10 +76,11 @@ let stats (e : engine) =
   { hits = Atomic.get e.hits; misses = Atomic.get e.misses }
 
 let shard (e : engine) =
-  let local = Hashtbl.create 256 in
+  let local = Uid_tbl.create 256 in
+  let fresh = ref [] in
   let hits = ref 0 and misses = ref 0 in
   let c_find uid =
-    match Hashtbl.find_opt local uid with
+    match Uid_tbl.find_opt local uid with
     | Some _ as r ->
         incr hits;
         r
@@ -70,34 +88,38 @@ let shard (e : engine) =
         (* The parent memo is read without the lock: while shards are live
            no domain writes it — workers buffer results locally and the
            coordinator merges them between rounds. *)
-        match Hashtbl.find_opt e.memo uid with
+        match Uid_tbl.find_opt e.memo uid with
         | Some trans ->
             incr hits;
-            Hashtbl.replace local uid trans;
+            Uid_tbl.replace local uid trans;
             Some trans
         | None ->
             incr misses;
             None)
   in
-  let c_store uid trans = Hashtbl.replace local uid trans in
-  { sh_parent = e; sh_local = local; sh_hits = hits; sh_misses = misses;
-    sh_cache = { c_defs = e.defs; c_find; c_store } }
+  let c_store uid trans =
+    Uid_tbl.replace local uid trans;
+    fresh := (uid, trans) :: !fresh
+  in
+  { sh_parent = e; sh_local = local; sh_fresh = fresh; sh_hits = hits;
+    sh_misses = misses; sh_cache = { c_defs = e.defs; c_find; c_store } }
 
 let shard_stats (sh : shard) = { hits = !(sh.sh_hits); misses = !(sh.sh_misses) }
 
 let merge_shard (sh : shard) =
   let e = sh.sh_parent in
   Mutex.lock e.memo_lock;
-  Hashtbl.iter
-    (fun uid trans ->
-      if not (Hashtbl.mem e.memo uid) then Hashtbl.replace e.memo uid trans)
-    sh.sh_local;
+  List.iter
+    (fun (uid, trans) ->
+      if not (Uid_tbl.mem e.memo uid) then Uid_tbl.replace e.memo uid trans)
+    !(sh.sh_fresh);
   Mutex.unlock e.memo_lock;
   ignore (Atomic.fetch_and_add e.hits !(sh.sh_hits));
   ignore (Atomic.fetch_and_add e.misses !(sh.sh_misses));
   sh.sh_hits := 0;
   sh.sh_misses := 0;
-  Hashtbl.reset sh.sh_local
+  sh.sh_fresh := [];
+  Uid_tbl.reset sh.sh_local
 
 let passive_total trans =
   List.fold_left (fun acc (_, r, _) -> acc +. Rate.apparent_weight r) 0.0 trans

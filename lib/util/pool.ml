@@ -12,6 +12,26 @@ module Obs = Dpma_obs
 
 let clamp_jobs j = if j < 1 then 1 else j
 
+(* How many domains the machine can actually run at once. Callers with a
+   per-round fixed cost (the LTS builder, the refinement signature pass)
+   use this in their default fallback policy: when it is 1, dealing work
+   to the pool can only lose — the domains time-share one core and the
+   spawn/join traffic is pure overhead — so their defaults stay
+   sequential no matter what [-j] asks for. Explicit per-call overrides
+   bypass the policy (the differential tests do, to exercise the parallel
+   paths by oversubscription). *)
+let hardware_parallelism () = clamp_jobs (Domain.recommended_domain_count ())
+
+(* Shared chunk-granularity policy for level-synchronous consumers (the
+   LTS builder's frontier rounds, the refinement signature pass): aim for
+   ~8 chunks per worker so stragglers rebalance, but never chunks so
+   small that the atomic cursor and per-chunk bookkeeping dominate the
+   work being dealt. Scheduling only — results never depend on it. *)
+let recommended_chunk ~n ~jobs =
+  let jobs = clamp_jobs jobs in
+  let target = n / (jobs * 8) in
+  if target < 32 then min 32 (max 1 n) else min 4096 target
+
 let env_jobs () =
   match Sys.getenv_opt "DPMA_JOBS" with
   | None -> None

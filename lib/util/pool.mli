@@ -19,6 +19,21 @@ val set_default_jobs : int -> unit
 (** Override the default job count process-wide (clamped to [>= 1]);
     command-line [-j] flags call this. *)
 
+val hardware_parallelism : unit -> int
+(** How many domains the machine can run simultaneously
+    ([Domain.recommended_domain_count], clamped to [>= 1]). Consumers with
+    a per-round fixed parallelism cost consult this in their default
+    sequential-fallback policy: when it is 1, spawning workers can only
+    lose, so their defaults stay sequential even under [-j 4]. *)
+
+val recommended_chunk : n:int -> jobs:int -> int
+(** Chunk size for dealing [n] items to [jobs] workers through
+    {!map_chunks_ordered}: about eight chunks per worker (so a straggling
+    chunk rebalances), floored at 32 items (so the atomic cursor and
+    per-chunk bookkeeping never dominate tiny chunks) and capped at 4096
+    (so huge inputs still rebalance). Always in [\[1, max 32 n\]].
+    Scheduling only — results are identical for any chunk size. *)
+
 val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [parallel_map ~jobs f xs] is [List.map f xs] computed by [jobs] domains
     (the calling domain plus [jobs - 1] spawned ones). Work is dealt in

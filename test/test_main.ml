@@ -11,6 +11,7 @@ let () =
       ("compiled-core", Test_compiled_core.suite);
       ("lts", Test_lts.suite);
       ("parallel-build", Test_parallel_build.suite);
+      ("parallel-refine", Test_parallel_refine.suite);
       ("ctmc", Test_ctmc.suite);
       ("sim", Test_sim.suite);
       ("adl", Test_adl.suite);

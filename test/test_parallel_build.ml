@@ -25,8 +25,10 @@ let streaming_spec =
       .Elaborate.spec
 
 (* One station with its radio channel and widened buffers: 13551 states
-   with a peak BFS frontier of 274, comfortably above the builder's
-   sequential-round threshold, so the domain pool genuinely runs. *)
+   with a peak BFS frontier of 274. The differential builds force
+   [par_threshold:0] so every round is dealt to the pool even though the
+   adaptive default would (correctly, for speed) run frontiers this small
+   in the coordinating domain. *)
 let scaled_test_params =
   {
     Streaming.stations = 1;
@@ -53,11 +55,12 @@ let check_csr_identical name (a : Lts.t) (b : Lts.t) =
   arr "rate_prio" (a.Lts.rate_prio = b.Lts.rate_prio)
 
 (* Builds at 1, 2 and 4 jobs and checks every CSR field bit-identical;
-   returns the three LTSs for downstream verdict checks. *)
+   returns the three LTSs for downstream verdict checks. [par_threshold:0]
+   forces every round through the pool regardless of frontier size. *)
 let check_jobs_identical ?(max_states = 500_000) name spec =
   let l1, s1 = Lts.build ~max_states ~jobs:1 spec in
-  let l2, s2 = Lts.build ~max_states ~jobs:2 spec in
-  let l4, s4 = Lts.build ~max_states ~jobs:4 spec in
+  let l2, s2 = Lts.build ~max_states ~jobs:2 ~par_threshold:0 spec in
+  let l4, s4 = Lts.build ~max_states ~jobs:4 ~par_threshold:0 spec in
   check_csr_identical (name ^ " j1 vs j2") l1 l2;
   check_csr_identical (name ^ " j1 vs j4") l1 l4;
   Alcotest.(check int) (name ^ ": rounds j1=j2") s1.Lts.rounds s2.Lts.rounds;
