@@ -33,6 +33,12 @@ let required =
     "lts.par.segments";
     "lts.par.segment_bytes_peak";
     "bisim.refine.rounds";
+    "bisim.tau.components";
+    "bisim.tau.cache_hits";
+    "bisim.tau.cache_misses";
+    "bisim.tau.cache_remaps";
+    "bisim.tau.cache_invalidations";
+    "bisim.tau.closure_bytes_peak";
     "ni.product.states_pruned";
     "ni.product.rounds";
     "ni.product.secure_exits";
@@ -88,6 +94,11 @@ let () =
                   "lts.build_seconds.j2"; "lts.build_seconds.j4";
                   "bisim.refine_seconds"; "bisim.refine_seconds.j1";
                   "bisim.refine_seconds.j2"; "bisim.refine_seconds.j4";
+                  (* the lazy weak sweep (each leg differentially checked
+                     against the --saturate oracle by the bench itself) *)
+                  "bisim.weak_refine_seconds.j1";
+                  "bisim.weak_refine_seconds.j2";
+                  "bisim.weak_refine_seconds.j4";
                   "ni.check_seconds" ]
           | _ -> fail "study_seconds misses study %s" study)
         [ "rpc"; "streaming" ];
@@ -106,10 +117,15 @@ let () =
               | None -> fail "study_seconds.streaming_scaled misses %s" key)
             [ "lts.build_seconds"; "lts.build_seconds.j1";
               "lts.build_seconds.j2"; "lts.build_seconds.j4";
-              (* the refinement sweep runs in tiny mode (smoke skips it on
-                 the full-size model to stay inside the timeout) *)
+              (* the refinement sweeps run in tiny mode (smoke skips them
+                 on the full-size model to stay inside the timeout) *)
               "bisim.refine_seconds.j1"; "bisim.refine_seconds.j2";
-              "bisim.refine_seconds.j4"; "lts.states";
+              "bisim.refine_seconds.j4";
+              "bisim.weak_refine_seconds.j1"; "bisim.weak_refine_seconds.j2";
+              "bisim.weak_refine_seconds.j4";
+              (* peak interned tau-closure payload of the weak sweep: the
+                 lazy pass must report its memory footprint *)
+              "bisim.tau.closure_bytes_peak"; "lts.states";
               "lts.transitions"; "lts.segment_bytes_peak" ]
       | _ -> fail "study_seconds misses study streaming_scaled");
       (* The streaming DPM-removed side strands unreachable states, so the
@@ -154,5 +170,8 @@ let () =
       | None -> fail "metric %s has no \"value\"" n)
     [ "lts.states"; "ctmc.states"; "sim.events"; "sos.memo.hits";
       "sos.memo.misses"; "lts.par.rounds"; "lts.par.segments";
-      "lts.par.segment_bytes_peak" ];
+      "lts.par.segment_bytes_peak";
+      (* the lazy weak pass must actually have exercised its tau-closure
+         cache and reported a memory high-water mark *)
+      "bisim.tau.cache_hits"; "bisim.tau.closure_bytes_peak" ];
   print_endline "bench json report ok"

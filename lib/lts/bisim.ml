@@ -145,22 +145,47 @@ let saturate ?(traced = true) lts =
 let refine_par_cutoff ~jobs:_ =
   if Pool.hardware_parallelism () <= 1 then max_int else 1024
 
+(* A signature pass abstracts how the refinement loop obtains a state's
+   signature, so stateless signatures (strong, Markovian) and the lazily
+   cached weak/branching signatures share one driver. [sp_signature] is
+   the sequential path, also used by the coordinator (watched-pair
+   recomputation). [sp_worker], when present, creates a per-worker
+   signature function plus a completion hook run from the coordinating
+   domain after the worker's chunks are done (the lazy passes hand out
+   cache shards here and merge them back in the hook). [sp_advance],
+   when present, is called between rounds — with the pre- and post-round
+   partitions — so a caching pass can carry or invalidate its entries
+   before block ids change meaning. *)
+type sig_pass = {
+  sp_signature : int array -> int -> signature;
+  sp_worker : (unit -> (int array -> int -> signature) * (unit -> unit)) option;
+  sp_advance : (old_block:int array -> new_block:int array -> unit) option;
+}
+
+let plain_pass signature =
+  { sp_signature = signature; sp_worker = None; sp_advance = None }
+
 (* The distinct signature keys of one chunk, in local first-seen order,
    plus each chunk state's index into them. *)
 type chunk_classes = { cc_keys : Sig_key.t array; cc_locals : int array }
 
-type refine_worker = { rw_table : int Sig_tbl.t; mutable rw_classes : int }
+type refine_worker = {
+  rw_table : int Sig_tbl.t;
+  mutable rw_classes : int;
+  rw_signature : int array -> int -> signature;
+  rw_done : unit -> unit;
+}
 
 let empty_key = { Sig_key.old_block = 0; ints = [||]; floats = [||] }
 
-let chunk_classes ~signature ~block w (lo, len) =
+let chunk_classes ~block w (lo, len) =
   Sig_tbl.reset w.rw_table;
   let locals = Array.make len 0 in
   let rev_keys = ref [] in
   let next = ref 0 in
   for i = 0 to len - 1 do
     let s = lo + i in
-    let ({ ints; floats } : signature) = signature block s in
+    let ({ ints; floats } : signature) = w.rw_signature block s in
     let key = { Sig_key.old_block = block.(s); ints; floats } in
     match Sig_tbl.find_opt w.rw_table key with
     | Some id -> locals.(i) <- id
@@ -179,7 +204,7 @@ let chunk_classes ~signature ~block w (lo, len) =
    the fixpoint, or — when a watched pair is given — until the watched
    states land in different blocks, retaining the pair of signatures that
    split them. Returns [(partition, rounds, split)]. *)
-let refine_loop ?watch (lts : Lts.t) ~signature ~jobs ~par_cutoff =
+let refine_loop ?watch (lts : Lts.t) ~pass ~jobs ~par_cutoff =
   let module I = Dpma_obs.Instruments in
   let module M = Dpma_obs.Metrics in
   M.incr I.bisim_refines;
@@ -208,7 +233,7 @@ let refine_loop ?watch (lts : Lts.t) ~signature ~jobs ~par_cutoff =
         let table = Sig_tbl.create (2 * !num_blocks) in
         let next = ref 0 in
         for s = 0 to n - 1 do
-          let ({ ints; floats } : signature) = signature block s in
+          let ({ ints; floats } : signature) = pass.sp_signature block s in
           let key = { Sig_key.old_block = block.(s); ints; floats } in
           match Sig_tbl.find_opt table key with
           | Some id -> new_block.(s) <- id
@@ -224,9 +249,19 @@ let refine_loop ?watch (lts : Lts.t) ~signature ~jobs ~par_cutoff =
         let classes =
           Pool.map_chunks_ordered ~jobs
             ~init:(fun () ->
-              { rw_table = Sig_tbl.create 256; rw_classes = 0 })
-            ~f:(chunk_classes ~signature ~block)
+              let rw_signature, rw_done =
+                match pass.sp_worker with
+                | Some mk -> mk ()
+                | None -> (pass.sp_signature, fun () -> ())
+              in
+              { rw_table = Sig_tbl.create 256; rw_classes = 0; rw_signature;
+                rw_done })
+            ~f:(chunk_classes ~block)
             ~finish:(fun w ->
+              (* Runs in the coordinating domain in worker order: lazy
+                 passes merge their cache shards into the parent here,
+                 before the watched-pair recomputation below reads it. *)
+              w.rw_done ();
               M.observe I.bisim_par_blocks_per_worker
                 (float_of_int w.rw_classes))
             chunks
@@ -262,7 +297,8 @@ let refine_loop ?watch (lts : Lts.t) ~signature ~jobs ~par_cutoff =
           (* The signatures are recomputed against the pre-round
              partition, exactly as the round that told the watched states
              apart saw them. *)
-          let sa = signature block wa and sb = signature block wb in
+          let sa = pass.sp_signature block wa
+          and sb = pass.sp_signature block wb in
           split := Some (sa.ints, sb.ints);
           true
       | _ -> false
@@ -274,6 +310,11 @@ let refine_loop ?watch (lts : Lts.t) ~signature ~jobs ~par_cutoff =
     end
     else if next = !num_blocks then continue_ := false
     else begin
+      (* Another round is coming: let a caching pass carry its entries
+         across the renumbering before old block ids lose meaning. *)
+      (match pass.sp_advance with
+      | Some adv -> adv ~old_block:block ~new_block
+      | None -> ());
       num_blocks := next;
       Array.blit new_block 0 block 0 n
     end
@@ -292,12 +333,15 @@ let resolve_pool ?jobs ?par_cutoff () =
   in
   (jobs, par_cutoff)
 
-let refine ?jobs ?par_cutoff (lts : Lts.t) ~signature =
+let refine_pass ?jobs ?par_cutoff (lts : Lts.t) ~pass =
   let jobs, par_cutoff = resolve_pool ?jobs ?par_cutoff () in
   Dpma_obs.Trace.with_span "bisim.refine"
     ~attrs:[ ("states", Dpma_obs.Trace.Int lts.num_states) ] (fun () ->
-      let block, _, _ = refine_loop lts ~signature ~jobs ~par_cutoff in
+      let block, _, _ = refine_loop lts ~pass ~jobs ~par_cutoff in
       block)
+
+let refine ?jobs ?par_cutoff lts ~signature =
+  refine_pass ?jobs ?par_cutoff lts ~pass:(plain_pass signature)
 
 let sorted_dedup_array (l : int list) =
   Array.of_list (List.sort_uniq Int.compare l)
@@ -330,17 +374,57 @@ let tau_scc_partition (lts : Lts.t) =
 
 let compose outer inner = Array.map (fun b -> outer.(b)) inner
 
-let weak_partition ?jobs ?par_cutoff lts =
+(* The [?saturate] flags below shadow the [saturate] function inside
+   their bodies; keep the function reachable under another name. *)
+let saturate_lts = saturate
+
+(* Lazy weak signatures: [Tau.Weak]'s per-component closure caches
+   produce, for each state, exactly the strong signature it would carry
+   on the saturated LTS (see lib/lts/tau.ml and
+   docs/WEAK_EQUIVALENCE.md), so refinement through this pass is
+   round-for-round bit-identical to the [--saturate] oracle path while
+   never materializing the weak relation. Returns the pass and the cache
+   (for the final instrument flush). *)
+let weak_pass lts =
+  let cache = Tau.Weak.create lts in
+  let seq = Tau.Weak.signature_fn cache in
+  ( {
+      sp_signature = (fun block s -> ints_signature (seq block s));
+      sp_worker =
+        Some
+          (fun () ->
+            let sh = Tau.Weak.shard cache in
+            let f = Tau.Weak.shard_signature_fn sh in
+            ( (fun block s -> ints_signature (f block s)),
+              fun () -> Tau.Weak.merge_shard cache sh ));
+      sp_advance =
+        Some
+          (fun ~old_block ~new_block ->
+            Tau.Weak.advance cache ~old_block ~new_block);
+    },
+    cache )
+
+let weak_refine ?jobs ?par_cutoff lts =
+  let pass, cache = weak_pass lts in
+  let p = refine_pass ?jobs ?par_cutoff lts ~pass in
+  Tau.Weak.record cache;
+  p
+
+let weak_partition ?jobs ?par_cutoff ?(saturate = false) lts =
   (* Pre-reduce: strongly bisimilar states are weakly bisimilar, and so are
-     tau-SCC members; both quotients are cheap compared to saturation. *)
+     tau-SCC members; both quotients are cheap and shared by the lazy and
+     the oracle path, so the composed partitions are identical arrays. *)
   let p1 = strong_partition ?jobs ?par_cutoff lts in
   let l1 = Lts.quotient lts p1 in
   let p2 = tau_scc_partition l1 in
   let l2 = Lts.quotient l1 p2 in
-  let saturated = saturate l2 in
   let p3 =
-    refine ?jobs ?par_cutoff saturated
-      ~signature:(strong_signature saturated)
+    if saturate then begin
+      let saturated = saturate_lts l2 in
+      refine ?jobs ?par_cutoff saturated
+        ~signature:(strong_signature saturated)
+    end
+    else weak_refine ?jobs ?par_cutoff l2
   in
   compose p3 (compose p2 p1)
 
@@ -402,46 +486,34 @@ let markovian_partition ?jobs ?par_cutoff lts =
    signature collects the (label, target block) pairs reachable after
    internal stuttering *within its own current block*; inert tau steps
    (same-block) are excluded. The fixpoint of this refinement is the
-   coarsest branching bisimulation. *)
-let branching_signature (lts : Lts.t) block s =
-  let b = block.(s) in
-  (* Same-block tau closure of s. *)
-  let seen = Int_tbl.create 8 in
-  Int_tbl.add seen s ();
-  let stack = ref [ s ] in
-  let closure = ref [ s ] in
-  while !stack <> [] do
-    match !stack with
-    | [] -> ()
-    | x :: rest ->
-        stack := rest;
-        for i = lts.row.(x) to lts.row.(x + 1) - 1 do
-          let t = lts.tgt.(i) in
-          if lts.lab.(i) = Lts.tau && block.(t) = b && not (Int_tbl.mem seen t)
-          then begin
-            Int_tbl.add seen t ();
-            closure := t :: !closure;
-            stack := t :: !stack
-          end
-        done
-  done;
-  !closure
-  |> List.concat_map (fun s' ->
-         let rec go i acc =
-           if i < lts.row.(s') then acc
-           else
-             let t = lts.tgt.(i) in
-             let acc =
-               if lts.lab.(i) = Lts.tau && block.(t) = b then acc
-               else pack_pair lts.lab.(i) block.(t) :: acc
-             in
-             go (i - 1) acc
-         in
-         go (lts.row.(s' + 1) - 1) [])
-  |> sorted_dedup_array |> ints_signature
+   coarsest branching bisimulation. The signature computation lives in
+   [Tau.Branching], memoized per state and carried across rounds when
+   neither the state's own block nor any mentioned block splits. *)
+let branching_pass lts =
+  let cache = Tau.Branching.create lts in
+  ( {
+      sp_signature =
+        (fun block s ->
+          ints_signature (Tau.Branching.signature_fn cache block s));
+      sp_worker =
+        Some
+          (fun () ->
+            let sh = Tau.Branching.shard cache in
+            ( (fun block s ->
+                ints_signature (Tau.Branching.shard_signature_fn sh block s)),
+              fun () -> Tau.Branching.merge_shard cache sh ));
+      sp_advance =
+        Some
+          (fun ~old_block ~new_block ->
+            Tau.Branching.advance cache ~old_block ~new_block);
+    },
+    cache )
 
 let branching_partition ?jobs ?par_cutoff lts =
-  refine ?jobs ?par_cutoff lts ~signature:(branching_signature lts)
+  let pass, cache = branching_pass lts in
+  let p = refine_pass ?jobs ?par_cutoff lts ~pass in
+  Tau.Branching.record cache;
+  p
 
 let branching_equivalent ?jobs ?par_cutoff a b =
   let union, ia, ib = Lts.disjoint_union a b in
@@ -455,19 +527,48 @@ let strong_equivalent ?jobs ?par_cutoff a b =
   let block = strong_partition ?jobs ?par_cutoff union in
   same_class block ia ib
 
-let weak_equivalent ?jobs ?par_cutoff a b =
+let weak_equivalent ?jobs ?par_cutoff ?saturate a b =
   let union, ia, ib = Lts.disjoint_union a b in
-  let block = weak_partition ?jobs ?par_cutoff union in
+  let block = weak_partition ?jobs ?par_cutoff ?saturate union in
   same_class block ia ib
 
 let minimize_strong ?jobs ?par_cutoff lts =
   Lts.quotient lts (strong_partition ?jobs ?par_cutoff lts)
 
-let minimize_weak ?jobs ?par_cutoff lts =
-  let saturated = saturate lts in
-  Lts.quotient saturated
-    (refine ?jobs ?par_cutoff saturated
-       ~signature:(strong_signature saturated))
+(* First-seen dense renumbering in state order — the numbering [refine]
+   itself produces, so the lazy [minimize_weak] quotient carries the
+   same state ids as the oracle path's. *)
+let dense_renumber p =
+  let map = Int_tbl.create 64 in
+  let next = ref 0 in
+  Array.map
+    (fun b ->
+      match Int_tbl.find_opt map b with
+      | Some id -> id
+      | None ->
+          let id = !next in
+          Int_tbl.add map b id;
+          incr next;
+          id)
+    p
+
+let minimize_weak ?jobs ?par_cutoff ?(saturate = false) lts =
+  if saturate then
+    let saturated = saturate_lts lts in
+    Lts.quotient saturated
+      (refine ?jobs ?par_cutoff saturated
+         ~signature:(strong_signature saturated))
+  else
+    (* The partition comes from the lazy pass; the quotient — one state
+       per weak class — is then saturated so the result carries the same
+       materialized weak transitions the oracle path produces. For the
+       coarsest weak partition, quotient and saturation commute (as edge
+       sets): collapsing a class only merges states that silently reach
+       each other's tau-closures, so saturating at quotient size loses
+       nothing — and the quadratic step runs on the minimized LTS
+       instead of the input. *)
+    let p = dense_renumber (weak_partition ?jobs ?par_cutoff lts) in
+    saturate_lts (Lts.quotient lts p)
 
 module Int_list_key = struct
   type t = int list
@@ -594,11 +695,14 @@ let restrict_reachable (lts : Lts.t) =
    watched states land in different blocks — retaining the pair of
    signatures that split them — or as soon as the partition is stable,
    whichever comes first. Returns [(partition, rounds, split)]. *)
-let refine_watched ?jobs ?par_cutoff (lts : Lts.t) ~signature ~watch =
+let refine_watched_pass ?jobs ?par_cutoff (lts : Lts.t) ~pass ~watch =
   let jobs, par_cutoff = resolve_pool ?jobs ?par_cutoff () in
   Dpma_obs.Trace.with_span "bisim.refine"
     ~attrs:[ ("states", Dpma_obs.Trace.Int lts.num_states) ] (fun () ->
-      refine_loop ~watch lts ~signature ~jobs ~par_cutoff)
+      refine_loop ~watch lts ~pass ~jobs ~par_cutoff)
+
+let refine_watched ?jobs ?par_cutoff lts ~signature ~watch =
+  refine_watched_pass ?jobs ?par_cutoff lts ~pass:(plain_pass signature) ~watch
 
 type product_trail = {
   left : Lts.t;
@@ -629,7 +733,8 @@ let weak_reduce ?jobs ?par_cutoff lts =
   let p2 = tau_scc_partition l1 in
   Lts.quotient l1 p2
 
-let weak_product_check ?jobs ?par_cutoff (a : Lts.t) (b : Lts.t) =
+let weak_product_check ?jobs ?par_cutoff ?(saturate = false) (a : Lts.t)
+    (b : Lts.t) =
   Dpma_obs.Trace.with_span "bisim.product"
     ~attrs:
       [ ("states", Dpma_obs.Trace.Int (a.num_states + b.num_states)) ]
@@ -638,19 +743,35 @@ let weak_product_check ?jobs ?par_cutoff (a : Lts.t) (b : Lts.t) =
       let rb, pruned_b = restrict_reachable b in
       let qa = weak_reduce ?jobs ?par_cutoff ra
       and qb = weak_reduce ?jobs ?par_cutoff rb in
-      let sa, sb =
-        Dpma_obs.Trace.with_span "bisim.saturate"
-          ~attrs:
-            [
-              ( "states",
-                Dpma_obs.Trace.Int (qa.Lts.num_states + qb.Lts.num_states) );
-            ]
-          (fun () -> (saturate_impl qa, saturate_impl qb))
-      in
-      let union, ia, ib = Lts.disjoint_union sa sb in
+      (* Disjoint union commutes with saturation, so refining the
+         unsaturated union through the lazy weak pass sees the same
+         signatures — hence the same rounds, watched exit and trail — as
+         refining the saturated union with strong signatures. *)
       let partition, rounds, split =
-        refine_watched ?jobs ?par_cutoff union
-          ~signature:(strong_signature union) ~watch:(ia, ib)
+        if saturate then begin
+          let sa, sb =
+            Dpma_obs.Trace.with_span "bisim.saturate"
+              ~attrs:
+                [
+                  ( "states",
+                    Dpma_obs.Trace.Int (qa.Lts.num_states + qb.Lts.num_states)
+                  );
+                ]
+              (fun () -> (saturate_impl qa, saturate_impl qb))
+          in
+          let union, ia, ib = Lts.disjoint_union sa sb in
+          refine_watched ?jobs ?par_cutoff union
+            ~signature:(strong_signature union) ~watch:(ia, ib)
+        end
+        else begin
+          let union, ia, ib = Lts.disjoint_union qa qb in
+          let pass, cache = weak_pass union in
+          let r =
+            refine_watched_pass ?jobs ?par_cutoff union ~pass ~watch:(ia, ib)
+          in
+          Tau.Weak.record cache;
+          r
+        end
       in
       record_product_exit ~rounds ~pruned:(pruned_a + pruned_b)
         (Option.is_none split);
@@ -669,10 +790,11 @@ let branching_product_secure ?jobs ?par_cutoff (a : Lts.t) (b : Lts.t) =
       let ra, pruned_a = restrict_reachable a in
       let rb, pruned_b = restrict_reachable b in
       let union, ia, ib = Lts.disjoint_union ra rb in
+      let pass, cache = branching_pass union in
       let _, rounds, split =
-        refine_watched ?jobs ?par_cutoff union
-          ~signature:(branching_signature union) ~watch:(ia, ib)
+        refine_watched_pass ?jobs ?par_cutoff union ~pass ~watch:(ia, ib)
       in
+      Tau.Branching.record cache;
       record_product_exit ~rounds ~pruned:(pruned_a + pruned_b)
         (Option.is_none split);
       Option.is_none split)

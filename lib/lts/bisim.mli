@@ -1,11 +1,23 @@
 (** Bisimulation equivalences.
 
     Strong bisimulation is computed by signature-based partition refinement;
-    weak (observational) equivalence is reduced to strong bisimulation on
-    the saturated double-arrow LTS (Milner), where [Tau] plays the role of
-    the reflexive-transitive weak internal move. Markovian (lumping)
-    equivalence refines signatures with cumulative rates, giving ordinary
-    lumpability on the underlying CTMC.
+    Markovian (lumping) equivalence refines signatures with cumulative
+    rates, giving ordinary lumpability on the underlying CTMC.
+
+    Weak (observational) equivalence is Milner's reduction to strong
+    bisimulation over the double-arrow relation — but the double arrows
+    are never materialized. Weak signatures are computed on demand,
+    directly on the packed CSR, via lazy tau-closure over the tau-SCC
+    condensation DAG, memoized per component and carried across
+    refinement rounds until a block they depend on splits ({!Tau}).
+    The lazy signatures equal, pair for pair, the strong signatures of
+    the saturated LTS, so partitions, verdicts, rounds and distinguishing
+    formulas are bit-identical to the retired saturation pass — which
+    remains available behind [?saturate] for one release as a
+    differential oracle. Peak cache memory tracks live blocks, not the
+    saturated edge set; docs/WEAK_EQUIVALENCE.md documents the contract,
+    the invalidation rule and the memory model. Branching signatures go
+    through a per-state cache of the same design.
 
     {2 Parallel refinement}
 
@@ -17,7 +29,11 @@
     assigning global class ids in first-seen order. The merged numbering
     is exactly the sequential first-seen-by-state-index numbering, so
     partitions, quotients, verdicts, and distinguishing formulas are
-    bit-identical for any job count.
+    bit-identical for any job count. The lazy weak/branching passes keep
+    this property: workers compute closures into thread-confined cache
+    shards over the frozen parent cache, merged back deterministically
+    between rounds (shard entries for one component are content-equal by
+    construction).
 
     [?par_cutoff] is the state count below which a refinement runs
     sequentially even when [jobs > 1] (the signature pass is then too
@@ -32,14 +48,25 @@ val saturate : ?traced:bool -> Lts.t -> Lts.t
     transition [s -> t] iff [s =tau*=> t] (including [s = t]). Rates are
     dropped. [~traced:false] skips the ["bisim.saturate"] tracing span —
     for callers (diagnostics) that account the closure under a span of
-    their own. *)
+    their own.
+
+    Since the on-the-fly weak pass landed, the weak equivalence entry
+    points no longer call this on the input LTS; it remains the oracle
+    behind their [?saturate] flag, the final materialization step of
+    {!minimize_weak} (at quotient size), and the small-model closure used
+    by diagnostics. *)
 
 val strong_partition : ?jobs:int -> ?par_cutoff:int -> Lts.t -> int array
 (** Coarsest strong-bisimulation partition; entry [i] is the block of state
     [i], blocks numbered densely from 0. *)
 
-val weak_partition : ?jobs:int -> ?par_cutoff:int -> Lts.t -> int array
-(** Coarsest weak-bisimulation partition (saturates internally). *)
+val weak_partition :
+  ?jobs:int -> ?par_cutoff:int -> ?saturate:bool -> Lts.t -> int array
+(** Coarsest weak-bisimulation partition. Computed with lazy tau-closure
+    signatures on the packed CSR; [~saturate:true] (deprecated, kept for
+    one release as a differential oracle) materializes the saturated LTS
+    and refines it with strong signatures instead. Both paths return
+    bit-identical partitions. *)
 
 val markovian_partition : ?jobs:int -> ?par_cutoff:int -> Lts.t -> int array
 (** Coarsest ordinary-lumpability partition: signatures accumulate total
@@ -48,21 +75,33 @@ val markovian_partition : ?jobs:int -> ?par_cutoff:int -> Lts.t -> int array
 
 val branching_partition : ?jobs:int -> ?par_cutoff:int -> Lts.t -> int array
 (** Coarsest branching-bisimulation partition (Blom–Orzan signature
-    refinement). Branching bisimilarity is strictly finer than weak
-    bisimilarity and preserves the branching structure of internal
-    stuttering; it is offered as a stricter alternative for the
-    noninterference check. *)
+    refinement, per-state cached across rounds). Branching bisimilarity
+    is strictly finer than weak bisimilarity and preserves the branching
+    structure of internal stuttering; it is offered as a stricter
+    alternative for the noninterference check. *)
 
 val branching_equivalent :
   ?jobs:int -> ?par_cutoff:int -> Lts.t -> Lts.t -> bool
 
 val strong_equivalent : ?jobs:int -> ?par_cutoff:int -> Lts.t -> Lts.t -> bool
-val weak_equivalent : ?jobs:int -> ?par_cutoff:int -> Lts.t -> Lts.t -> bool
+
+val weak_equivalent :
+  ?jobs:int -> ?par_cutoff:int -> ?saturate:bool -> Lts.t -> Lts.t -> bool
+(** Weak bisimilarity of the two initial states, via {!weak_partition} of
+    the disjoint union ([?saturate] as there). *)
 
 val minimize_strong : ?jobs:int -> ?par_cutoff:int -> Lts.t -> Lts.t
-val minimize_weak : ?jobs:int -> ?par_cutoff:int -> Lts.t -> Lts.t
-(** Quotient by the respective partition (weak minimization quotients the
-    saturated LTS). *)
+
+val minimize_weak :
+  ?jobs:int -> ?par_cutoff:int -> ?saturate:bool -> Lts.t -> Lts.t
+(** Quotient by the coarsest weak partition, carrying the saturated
+    (double-arrow) transitions of the result — one weak-transition edge
+    set per class pair, as the saturation-era output did. The lazy
+    default partitions the input without saturating it and only
+    materializes double arrows on the quotient (one state per weak
+    class), so the quadratic step runs at minimized size;
+    [~saturate:true] (deprecated oracle) saturates the full input first.
+    Both paths produce the same states, numbering, and edge sets. *)
 
 val same_class : int array -> int -> int -> bool
 
@@ -86,13 +125,14 @@ val trace_equivalent : ?jobs:int -> ?par_cutoff:int -> Lts.t -> Lts.t -> bool
     materializing the disjoint union of the unreduced sides. Each side is
     first pruned to the part reachable from its initial state and
     pre-reduced on its own (strong quotient, tau-SCC collapse — for the
-    weak check); only the reduced sides are saturated (one
-    ["bisim.saturate"] span per check) and stitched, and the watched
-    refinement over the stitched product stops as soon as the two initial
-    states split (early-exit INSECURE, splitting signatures retained) or
-    as soon as the partition over the pruned product is stable with the
-    initial states co-blocked (SECURE). Progress lands in the
-    [ni.product.*] instruments. *)
+    weak check); the reduced sides are stitched unsaturated and refined
+    through the lazy weak pass (no ["bisim.saturate"] span; the oracle
+    [~saturate:true] path saturates the reduced sides once instead). The
+    watched refinement over the stitched product stops as soon as the two
+    initial states split (early-exit INSECURE, splitting signatures
+    retained) or as soon as the partition over the pruned product is
+    stable with the initial states co-blocked (SECURE). Progress lands in
+    the [ni.product.*] and [bisim.tau.*] instruments. *)
 
 type product_trail = {
   left : Lts.t;  (** the original (unpruned, unreduced) left side *)
@@ -112,20 +152,27 @@ type product_trail = {
 
 type product_result =
   | Product_secure of { partition : int array; rounds : int }
-      (** The stable partition over the pruned, per-side-reduced,
-          saturated product (left-side classes first), and the number of
-          refinement rounds run. *)
+      (** The stable partition over the pruned, per-side-reduced product
+          (left-side classes first), and the number of refinement rounds
+          run. *)
   | Product_insecure of product_trail
 
 val weak_product_check :
-  ?jobs:int -> ?par_cutoff:int -> Lts.t -> Lts.t -> product_result
+  ?jobs:int ->
+  ?par_cutoff:int ->
+  ?saturate:bool ->
+  Lts.t ->
+  Lts.t ->
+  product_result
 (** [weak_product_check a b] decides weak bisimilarity of the two initial
     states — the same verdict as {!weak_equivalent}, with reachability
-    pruning, per-side pre-reduction, and watched early exit. The watched
-    refinement parallelizes like every other: the early-exit check runs
-    in the coordinator on the deterministically merged round result, so
-    the exit round, verdict, and splitting signatures are identical for
-    any job count. *)
+    pruning, per-side pre-reduction, and watched early exit. Saturation
+    commutes with disjoint union, so the lazy default and the
+    [~saturate:true] oracle produce identical verdicts, rounds, and
+    trails. The watched refinement parallelizes like every other: the
+    early-exit check runs in the coordinator on the deterministically
+    merged round result, so the exit round, verdict, and splitting
+    signatures are identical for any job count. *)
 
 val branching_product_secure :
   ?jobs:int -> ?par_cutoff:int -> Lts.t -> Lts.t -> bool

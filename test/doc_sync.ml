@@ -10,10 +10,19 @@
    - a documented metric missing from the registry means the doc is
      stale (renamed or removed instrument).
 
-   Usage: doc_sync.exe OBSERVABILITY.md
+   Usage: doc_sync.exe OBSERVABILITY.md [WEAK_EQUIVALENCE.md]
    Exits 0 and prints a one-line summary on success, 1 with the
    offending names otherwise. Wired into `dune runtest` (and the
-   standalone @checkdocs alias) from test/dune. *)
+   standalone @checkdocs alias) from test/dune.
+
+   The optional second argument is the weak-equivalence contract doc
+   (docs/WEAK_EQUIVALENCE.md). Its checks differ from the primary doc's:
+   every metric it documents must exist in the registry (no stale rows),
+   every registered `bisim.tau.*` instrument must appear in it (the
+   tau-closure cache counters are that doc's contract), no duplicates,
+   and the literal `--saturate` flag name must occur somewhere in the
+   text — so neither the instrument rows nor the deprecated oracle flag
+   can drift from the implementation. *)
 
 let read_lines path =
   let ic = open_in path in
@@ -53,26 +62,32 @@ let metric_of_table_row line =
               then Some name
               else None)
 
+let duplicates names =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun n ->
+      let d = Hashtbl.mem seen n in
+      Hashtbl.replace seen n ();
+      d)
+    names
+
+let contains_sub line sub =
+  let n = String.length line and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub line i m = sub || go (i + 1)) in
+  go 0
+
 let () =
-  let doc =
+  let doc, weak_doc =
     match Sys.argv with
-    | [| _; path |] -> path
+    | [| _; path |] -> (path, None)
+    | [| _; path; weak |] -> (path, Some weak)
     | _ ->
-        prerr_endline "usage: doc_sync.exe OBSERVABILITY.md";
+        prerr_endline "usage: doc_sync.exe OBSERVABILITY.md [WEAK_EQUIVALENCE.md]";
         exit 2
   in
   Dpma_obs.Instruments.force ();
   let registered = Dpma_obs.Metrics.names () in
   let documented = List.filter_map metric_of_table_row (read_lines doc) in
-  let dup =
-    let seen = Hashtbl.create 64 in
-    List.filter
-      (fun n ->
-        let d = Hashtbl.mem seen n in
-        Hashtbl.replace seen n ();
-        d)
-      documented
-  in
   let missing_from_doc =
     List.filter (fun n -> not (List.mem n documented)) registered
   in
@@ -93,7 +108,34 @@ let () =
   report
     (Printf.sprintf "metrics documented in %s but not registered" doc)
     stale_in_doc;
-  report "metrics documented more than once" dup;
+  report "metrics documented more than once" (duplicates documented);
+  (match weak_doc with
+  | None -> ()
+  | Some wpath ->
+      let wlines = read_lines wpath in
+      let wdocumented = List.filter_map metric_of_table_row wlines in
+      report
+        (Printf.sprintf "metrics documented in %s but not registered" wpath)
+        (List.filter (fun n -> not (List.mem n registered)) wdocumented);
+      report
+        (Printf.sprintf "bisim.tau.* metrics missing from %s" wpath)
+        (List.filter
+           (fun n ->
+             String.starts_with ~prefix:"bisim.tau." n
+             && not (List.mem n wdocumented))
+           registered);
+      report
+        (Printf.sprintf "metrics documented more than once in %s" wpath)
+        (duplicates wdocumented);
+      if not (List.exists (fun l -> contains_sub l "--saturate") wlines)
+      then begin
+        fail := true;
+        Printf.eprintf
+          "doc_sync: %s never mentions the deprecated --saturate flag\n" wpath
+      end);
   if !fail then exit 1;
-  Printf.printf "doc_sync: %d metrics, registry and %s agree\n"
+  Printf.printf "doc_sync: %d metrics, registry and %s%s agree\n"
     (List.length registered) (Filename.basename doc)
+    (match weak_doc with
+    | None -> ""
+    | Some w -> " + " ^ Filename.basename w)

@@ -12,6 +12,7 @@ let () =
       ("lts", Test_lts.suite);
       ("parallel-build", Test_parallel_build.suite);
       ("parallel-refine", Test_parallel_refine.suite);
+      ("weak-lazy", Test_weak_lazy.suite);
       ("ctmc", Test_ctmc.suite);
       ("sim", Test_sim.suite);
       ("adl", Test_adl.suite);

@@ -344,10 +344,12 @@ let test_streaming_mutant_insecure () =
   Alcotest.(check bool) "insecure early exit taken" true
     (Metrics.count Instruments.ni_product_insecure_exits > before)
 
-(* Satellite: exactly one saturation per check. The verdict's product
-   refiner owns the single "bisim.saturate" span; the INSECURE
-   diagnostic pass accounts its own saturation under "diagnose.saturate"
-   instead of a second "bisim.saturate". *)
+(* Satellite: no saturation per check. The verdict's product refiner
+   runs the lazy weak pass (exactly one "bisim.tau.condense" span, zero
+   "bisim.saturate"); the deprecated ~saturate:true oracle path is the
+   only one that saturates, exactly once. The INSECURE diagnostic pass
+   accounts its own small-model saturation under "diagnose.saturate"
+   either way. *)
 let count_spans name =
   let rec go acc (s : Trace.span) =
     let acc = if String.equal s.Trace.name name then acc + 1 else acc in
@@ -365,35 +367,57 @@ let with_tracing f =
     f
 
 let test_single_saturation_secure_path () =
+  let defs =
+    [
+      ("P", Term.choice [ pre "low" (Term.call "P"); pre "high" (Term.call "Q") ]);
+      ("Q", pre "low" (Term.call "Q"));
+    ]
+  in
+  let spec = Term.spec ~defs ~init:(Term.call "P") in
   with_tracing (fun () ->
-      let defs =
-        [
-          ("P", Term.choice [ pre "low" (Term.call "P"); pre "high" (Term.call "Q") ]);
-          ("Q", pre "low" (Term.call "Q"));
-        ]
-      in
-      let spec = Term.spec ~defs ~init:(Term.call "P") in
       (match NI.check_spec spec ~high:[ "high" ] ~low:[ "low" ] with
       | NI.Secure -> ()
       | NI.Insecure _ -> Alcotest.fail "toy system must be secure");
-      Alcotest.(check int) "one bisim.saturate span" 1 (count_spans "bisim.saturate");
+      Alcotest.(check int) "no bisim.saturate span" 0
+        (count_spans "bisim.saturate");
+      Alcotest.(check int) "one tau condensation" 1
+        (count_spans "bisim.tau.condense");
       Alcotest.(check int) "no diagnostic saturation" 0
-        (count_spans "diagnose.saturate"))
+        (count_spans "diagnose.saturate"));
+  with_tracing (fun () ->
+      (match NI.check_spec ~saturate:true spec ~high:[ "high" ] ~low:[ "low" ] with
+      | NI.Secure -> ()
+      | NI.Insecure _ -> Alcotest.fail "toy system must be secure");
+      Alcotest.(check int) "oracle path: one bisim.saturate span" 1
+        (count_spans "bisim.saturate");
+      Alcotest.(check int) "oracle path: no tau condensation" 0
+        (count_spans "bisim.tau.condense"))
 
 let test_single_saturation_insecure_path () =
+  let defs =
+    [
+      ("P", Term.choice [ pre "low" (Term.call "P"); pre "high" (Term.call "Off") ]);
+      ("Off", pre "internal" (Term.call "Off"));
+    ]
+  in
+  let spec = Term.spec ~defs ~init:(Term.call "P") in
   with_tracing (fun () ->
-      let defs =
-        [
-          ("P", Term.choice [ pre "low" (Term.call "P"); pre "high" (Term.call "Off") ]);
-          ("Off", pre "internal" (Term.call "Off"));
-        ]
-      in
-      let spec = Term.spec ~defs ~init:(Term.call "P") in
       (match NI.check_spec spec ~high:[ "high" ] ~low:[ "low" ] with
       | NI.Secure -> Alcotest.fail "toy system must be insecure"
       | NI.Insecure _ -> ());
-      Alcotest.(check int) "one bisim.saturate span" 1 (count_spans "bisim.saturate");
+      Alcotest.(check int) "no bisim.saturate span" 0
+        (count_spans "bisim.saturate");
+      Alcotest.(check int) "one tau condensation" 1
+        (count_spans "bisim.tau.condense");
       Alcotest.(check int) "one diagnostic saturation" 1
+        (count_spans "diagnose.saturate"));
+  with_tracing (fun () ->
+      (match NI.check_spec ~saturate:true spec ~high:[ "high" ] ~low:[ "low" ] with
+      | NI.Secure -> Alcotest.fail "toy system must be insecure"
+      | NI.Insecure _ -> ());
+      Alcotest.(check int) "oracle path: one bisim.saturate span" 1
+        (count_spans "bisim.saturate");
+      Alcotest.(check int) "oracle path: one diagnostic saturation" 1
         (count_spans "diagnose.saturate"))
 
 let test_product_counters () =

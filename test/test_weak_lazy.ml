@@ -1,0 +1,289 @@
+(* Differential tests for the on-the-fly weak saturation (lib/lts/tau.ml
+   + the lazy passes in lib/lts/bisim.ml): the lazy tau-closure path must
+   be bit-identical to the retired materialized-saturation path — kept
+   for one release behind [~saturate:true] as the oracle — on partitions,
+   minimized LTSs, product verdicts, trails and distinguishing formulas;
+   identical for any job count; and the cross-round cache advance must
+   never change a signature compared to a cold cache. *)
+
+module Lts = Dpma_lts.Lts
+module Bisim = Dpma_lts.Bisim
+module Tau = Dpma_lts.Tau
+module Hml = Dpma_lts.Hml
+module Diagnose = Dpma_lts.Diagnose
+module NI = Dpma_core.Noninterference
+module Rpc = Dpma_models.Rpc
+module Streaming = Dpma_models.Streaming
+module Elaborate = Dpma_adl.Elaborate
+module Metrics = Dpma_obs.Metrics
+module Instruments = Dpma_obs.Instruments
+
+let rpc_lts =
+  lazy
+    (Lts.of_spec
+       (Rpc.elaborate ~mode:Rpc.Markovian ~monitors:true Rpc.default_params)
+         .Elaborate.spec)
+
+let simplified_rpc_lts =
+  lazy
+    (Lts.of_spec (Elaborate.elaborate (Rpc.simplified_archi ())).Elaborate.spec)
+
+(* Buffer-size-1 streaming: small enough that the oracle's quadratic
+   saturation stays affordable inside a differential test. *)
+let small_streaming_lts =
+  lazy
+    (Lts.of_spec
+       (Streaming.elaborate ~mode:Streaming.Markovian ~monitors:false
+          {
+            Streaming.default_params with
+            ap_buffer_size = 1;
+            client_buffer_size = 1;
+          })
+         .Elaborate.spec)
+
+(* The one-station scaled model (13551 states) of test_parallel_build. *)
+let scaled_lts =
+  lazy
+    (Lts.of_spec
+       (Streaming.scaled_spec
+          {
+            Streaming.stations = 1;
+            Streaming.radio_channel = true;
+            Streaming.station =
+              {
+                Streaming.default_params with
+                Streaming.ap_buffer_size = 8;
+                Streaming.client_buffer_size = 8;
+              };
+          }))
+
+let check_partition name p q =
+  Alcotest.(check bool) (name ^ ": partitions identical") true (p = q)
+
+(* ------------------------------------------------------------------ *)
+(* Partition and minimization differentials against the oracle          *)
+
+let test_partition_differentials () =
+  List.iter
+    (fun (name, lts) ->
+      let lts = Lazy.force lts in
+      check_partition (name ^ " lazy vs oracle")
+        (Bisim.weak_partition lts)
+        (Bisim.weak_partition ~saturate:true lts))
+    [
+      ("rpc", rpc_lts);
+      ("simplified rpc", simplified_rpc_lts);
+      ("streaming", small_streaming_lts);
+      ("scaled", scaled_lts);
+    ]
+
+let test_equivalent_agrees () =
+  let a = Lazy.force rpc_lts and b = Lazy.force small_streaming_lts in
+  List.iter
+    (fun (name, x, y) ->
+      Alcotest.(check bool) name
+        (Bisim.weak_equivalent ~saturate:true x y)
+        (Bisim.weak_equivalent x y))
+    [
+      ("rpc ~ rpc", a, a);
+      ("streaming ~ streaming", b, b);
+      ("rpc ~ streaming", a, b);
+    ]
+
+(* The lazy [minimize_weak] saturates at quotient size, so its edge
+   *order* may differ from the oracle's (which quotients a saturated
+   input); states, numbering and per-state edge sets must coincide. *)
+let edge_sets (lts : Lts.t) =
+  Array.init lts.Lts.num_states (fun s ->
+      let rec go i acc =
+        if i < lts.Lts.row.(s) then acc
+        else go (i - 1) ((lts.Lts.lab.(i), lts.Lts.tgt.(i)) :: acc)
+      in
+      List.sort_uniq compare (go (lts.Lts.row.(s + 1) - 1) []))
+
+let test_minimize_differentials () =
+  List.iter
+    (fun (name, lts) ->
+      let lts = Lazy.force lts in
+      let lazy_min = Bisim.minimize_weak lts in
+      let oracle = Bisim.minimize_weak ~saturate:true lts in
+      Alcotest.(check int) (name ^ ": num_states") oracle.Lts.num_states
+        lazy_min.Lts.num_states;
+      Alcotest.(check int) (name ^ ": init") oracle.Lts.init lazy_min.Lts.init;
+      Alcotest.(check bool) (name ^ ": per-state edge sets") true
+        (edge_sets oracle = edge_sets lazy_min))
+    [ ("rpc", rpc_lts); ("streaming", small_streaming_lts) ]
+
+(* ------------------------------------------------------------------ *)
+(* Product checks: verdicts, trails, formulas                           *)
+
+let test_product_insecure_differential () =
+  let high a = List.mem a Rpc.high_actions in
+  let low a = List.mem a Rpc.low_actions_simplified in
+  let hidden, removed =
+    NI.observed_pair (Lazy.force simplified_rpc_lts) ~high ~low
+  in
+  let trail saturate =
+    match Bisim.weak_product_check ~saturate hidden removed with
+    | Bisim.Product_secure _ -> Alcotest.fail "simplified rpc must be insecure"
+    | Bisim.Product_insecure trail -> trail
+  in
+  let lazy_t = trail false and oracle_t = trail true in
+  Alcotest.(check int) "split round" oracle_t.Bisim.split_round
+    lazy_t.Bisim.split_round;
+  Alcotest.(check bool) "left signature" true
+    (oracle_t.Bisim.left_signature = lazy_t.Bisim.left_signature);
+  Alcotest.(check bool) "right signature" true
+    (oracle_t.Bisim.right_signature = lazy_t.Bisim.right_signature);
+  Alcotest.(check string) "distinguishing formula"
+    (Hml.to_string ~weak:true (Diagnose.of_product_trail oracle_t))
+    (Hml.to_string ~weak:true (Diagnose.of_product_trail lazy_t))
+
+let test_product_secure_differential () =
+  let high a = List.mem a Streaming.high_actions in
+  let low a = List.mem a Streaming.low_actions in
+  let hidden, removed =
+    NI.observed_pair (Lazy.force small_streaming_lts) ~high ~low
+  in
+  let result saturate =
+    match Bisim.weak_product_check ~saturate hidden removed with
+    | Bisim.Product_secure { partition; rounds } -> (partition, rounds)
+    | Bisim.Product_insecure _ -> Alcotest.fail "streaming must be secure"
+  in
+  let lp, lr = result false and op, orr = result true in
+  Alcotest.(check int) "secure exit round" orr lr;
+  check_partition "secure product partition" op lp
+
+(* Declassified mutants (high actions made observable): the early
+   INSECURE exit must produce the same formula on both paths. *)
+let test_mutant_formula_differential () =
+  let spec =
+    (Rpc.elaborate ~mode:Rpc.Markovian ~monitors:false Rpc.default_params)
+      .Elaborate.spec
+  in
+  let high = Rpc.high_actions and low = Rpc.low_actions @ Rpc.high_actions in
+  let formula saturate =
+    match NI.check_spec ~saturate spec ~high ~low with
+    | NI.Secure -> Alcotest.fail "declassified DPM action must be observable"
+    | NI.Insecure f -> Hml.to_string ~weak:true f
+  in
+  Alcotest.(check string) "mutant formula" (formula true) (formula false)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel identity of the cached weak path                            *)
+
+let test_weak_jobs_identity () =
+  List.iter
+    (fun (name, lts) ->
+      let lts = Lazy.force lts in
+      let p1 = Bisim.weak_partition ~jobs:1 lts in
+      let p2 = Bisim.weak_partition ~jobs:2 ~par_cutoff:0 lts in
+      let p4 = Bisim.weak_partition ~jobs:4 ~par_cutoff:0 lts in
+      check_partition (name ^ " weak j1 vs j2") p1 p2;
+      check_partition (name ^ " weak j1 vs j4") p1 p4)
+    [ ("rpc", rpc_lts); ("streaming", small_streaming_lts);
+      ("scaled", scaled_lts) ]
+
+let test_branching_jobs_identity () =
+  let lts = Lazy.force small_streaming_lts in
+  check_partition "branching j1 vs j4"
+    (Bisim.branching_partition ~jobs:1 lts)
+    (Bisim.branching_partition ~jobs:4 ~par_cutoff:0 lts)
+
+(* ------------------------------------------------------------------ *)
+(* Cache-invalidation property: signatures after [advance] equal
+   signatures computed from scratch against the new partition            *)
+
+let check_advance name lts ~old_block ~new_block =
+  let warm = Tau.Weak.create lts in
+  let warm_sig = Tau.Weak.signature_fn warm in
+  for s = 0 to lts.Lts.num_states - 1 do
+    ignore (warm_sig old_block s)
+  done;
+  Tau.Weak.advance warm ~old_block ~new_block;
+  let cold = Tau.Weak.create lts in
+  let cold_sig = Tau.Weak.signature_fn cold in
+  for s = 0 to lts.Lts.num_states - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: weak signature of state %d" name s)
+      true
+      (warm_sig new_block s = cold_sig new_block s)
+  done;
+  let warm_b = Tau.Branching.create lts in
+  for s = 0 to lts.Lts.num_states - 1 do
+    ignore (Tau.Branching.signature_fn warm_b old_block s)
+  done;
+  Tau.Branching.advance warm_b ~old_block ~new_block;
+  let cold_b = Tau.Branching.create lts in
+  for s = 0 to lts.Lts.num_states - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: branching signature of state %d" name s)
+      true
+      (Tau.Branching.signature_fn warm_b new_block s
+      = Tau.Branching.signature_fn cold_b new_block s)
+  done
+
+let test_cache_invalidation () =
+  let lts = Lazy.force rpc_lts in
+  let n = lts.Lts.num_states in
+  let trivial = Array.make n 0 in
+  let strong = Bisim.strong_partition lts in
+  let weak = Bisim.weak_partition lts in
+  (* Splits everywhere: one block refined into the strong partition. *)
+  check_advance "split-all" lts ~old_block:trivial ~new_block:strong;
+  (* Pure renaming, no splits: a permutation of the block ids. *)
+  let blocks = 1 + Array.fold_left max 0 strong in
+  let permuted = Array.map (fun b -> (b + 7) mod blocks) strong in
+  check_advance "rename-all" lts ~old_block:strong ~new_block:permuted;
+  (* Mixed: the weak partition refined into the strong one splits some
+     blocks and renames the rest. *)
+  check_advance "mixed" lts ~old_block:weak ~new_block:strong
+
+(* The renaming primitive itself: unsplit blocks map injectively, split
+   blocks map to -1, and remap preserves content exactly. *)
+let test_renaming_primitive () =
+  let old_block = [| 0; 0; 1; 1; 2 |] in
+  let new_block = [| 1; 1; 2; 0; 3 |] in
+  let rename = Tau.renaming ~old_block ~new_block in
+  Alcotest.(check bool) "rename table" true (rename = [| 1; -1; 3 |]);
+  Alcotest.(check bool) "remap survives" true
+    (Tau.remap_pairs rename [| 0; 2 |] = Some [| 1; 3 |]);
+  Alcotest.(check bool) "remap invalidates" true
+    (Tau.remap_pairs rename [| 0; 1 |] = None)
+
+(* ------------------------------------------------------------------ *)
+(* Instruments: a multi-round lazy refinement reuses remapped entries   *)
+
+let test_cache_counters () =
+  let hits0 = Metrics.count Instruments.bisim_tau_cache_hits in
+  let misses0 = Metrics.count Instruments.bisim_tau_cache_misses in
+  ignore (Bisim.weak_partition (Lazy.force small_streaming_lts));
+  Alcotest.(check bool) "cache hits recorded" true
+    (Metrics.count Instruments.bisim_tau_cache_hits > hits0);
+  Alcotest.(check bool) "cache misses recorded" true
+    (Metrics.count Instruments.bisim_tau_cache_misses > misses0)
+
+let suite =
+  [
+    Alcotest.test_case "weak partitions lazy = oracle" `Quick
+      test_partition_differentials;
+    Alcotest.test_case "weak_equivalent lazy = oracle" `Quick
+      test_equivalent_agrees;
+    Alcotest.test_case "minimize_weak lazy = oracle" `Quick
+      test_minimize_differentials;
+    Alcotest.test_case "insecure product trail lazy = oracle" `Quick
+      test_product_insecure_differential;
+    Alcotest.test_case "secure product lazy = oracle" `Quick
+      test_product_secure_differential;
+    Alcotest.test_case "mutant formula lazy = oracle" `Quick
+      test_mutant_formula_differential;
+    Alcotest.test_case "lazy weak jobs-identical" `Quick
+      test_weak_jobs_identity;
+    Alcotest.test_case "cached branching jobs-identical" `Quick
+      test_branching_jobs_identity;
+    Alcotest.test_case "cache advance = cold recompute" `Quick
+      test_cache_invalidation;
+    Alcotest.test_case "renaming primitive" `Quick test_renaming_primitive;
+    Alcotest.test_case "tau cache counters recorded" `Quick
+      test_cache_counters;
+  ]
