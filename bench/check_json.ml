@@ -94,8 +94,8 @@ let () =
                   "lts.build_seconds.j2"; "lts.build_seconds.j4";
                   "bisim.refine_seconds"; "bisim.refine_seconds.j1";
                   "bisim.refine_seconds.j2"; "bisim.refine_seconds.j4";
-                  (* the lazy weak sweep (each leg differentially checked
-                     against the --saturate oracle by the bench itself) *)
+                  (* the lazy weak sweep (legs checked bit-identical
+                     across job counts by the bench itself) *)
                   "bisim.weak_refine_seconds.j1";
                   "bisim.weak_refine_seconds.j2";
                   "bisim.weak_refine_seconds.j4";
@@ -128,6 +128,29 @@ let () =
               "bisim.tau.closure_bytes_peak"; "lts.states";
               "lts.transitions"; "lts.segment_bytes_peak" ]
       | _ -> fail "study_seconds misses study streaming_scaled");
+      (* The featured-family sweep: one shared build plus four
+         per-configuration projections of the streaming awake-period
+         family, raced against four independent pipelines. The bench
+         itself aborts unless the featured leg wins, so a speedup key
+         <= 1 can never reach this check — here we only require the
+         keys to be present and positive. *)
+      (match Json.member "streaming_family" studies with
+      | Some (Json.Obj _ as entry) ->
+          List.iter
+            (fun key ->
+              match Json.member key entry with
+              | Some (Json.Num v) when v > 0.0 -> ()
+              | Some j ->
+                  fail "study_seconds.streaming_family.%s should be \
+                        positive, got %s"
+                    key (Json.to_string j)
+              | None -> fail "study_seconds.streaming_family misses %s" key)
+            [ "family.configs"; "family.states"; "family.sharing_ratio";
+              "family.build_seconds"; "family.project_seconds";
+              "family.project_seconds.c0"; "family.project_seconds.c1";
+              "family.project_seconds.c2"; "family.project_seconds.c3";
+              "baseline.build_seconds"; "family.speedup" ]
+      | _ -> fail "study_seconds misses study streaming_family");
       (* The streaming DPM-removed side strands unreachable states, so the
          product refiner's reachability pruning must have fired there. *)
       (match Json.member "streaming" studies with

@@ -11,6 +11,7 @@ module Ast = Dpma_adl.Ast
 module Parser = Dpma_adl.Parser
 module Elaborate = Dpma_adl.Elaborate
 module Lts = Dpma_lts.Lts
+module Flts = Dpma_lts.Flts
 module Bisim = Dpma_lts.Bisim
 module NI = Dpma_core.Noninterference
 module Markov = Dpma_core.Markov
@@ -251,26 +252,15 @@ let cmd_lts =
 
 (* minimize *)
 
-let saturate_arg =
-  Arg.(
-    value & flag
-    & info [ "saturate" ]
-        ~doc:
-          "DEPRECATED. Route the weak check through the materialized \
-           saturation pass instead of the default lazy tau-closure \
-           signatures. Results are bit-identical; the flag is kept for one \
-           release as a differential oracle and will then be removed.")
-
 let cmd_minimize =
-  let run file max_states weak saturate jobs () =
+  let run file max_states weak jobs () =
     apply_jobs jobs;
     handle (fun () ->
         let el = load file in
         let lts = Lts.of_spec ~max_states el.Elaborate.spec in
         Format.printf "original : %a@." Lts.pp_stats lts;
         let minimized =
-          if weak then Bisim.minimize_weak ~saturate lts
-          else Bisim.minimize_strong lts
+          if weak then Bisim.minimize_weak lts else Bisim.minimize_strong lts
         in
         Format.printf "minimized: %a (%s bisimulation)@." Lts.pp_stats minimized
           (if weak then "weak" else "strong"))
@@ -280,14 +270,12 @@ let cmd_minimize =
   in
   Cmd.v
     (Cmd.info "minimize" ~doc:"Minimize the state space up to (weak) bisimulation")
-    Term.(
-      const run $ file_arg $ max_states_arg $ weak $ saturate_arg $ jobs_arg
-      $ obs_term)
+    Term.(const run $ file_arg $ max_states_arg $ weak $ jobs_arg $ obs_term)
 
 (* noninterference *)
 
 let cmd_noninterference =
-  let run file max_states high low branching saturate jobs () =
+  let run file max_states high low branching jobs () =
     apply_jobs jobs;
     handle (fun () ->
         if high = [] then begin
@@ -307,9 +295,7 @@ let cmd_noninterference =
                with the low behavior@."
           else begin
             Format.printf "INSECURE under branching bisimulation";
-            (match
-               NI.check_spec ~max_states ~saturate el.Elaborate.spec ~high ~low
-             with
+            (match NI.check_spec ~max_states el.Elaborate.spec ~high ~low with
             | NI.Secure ->
                 Format.printf
                   " (but the paper's weak-bisimulation check passes: only the \
@@ -319,9 +305,7 @@ let cmd_noninterference =
           end
         end
         else begin
-          let verdict =
-            NI.check_spec ~max_states ~saturate el.Elaborate.spec ~high ~low
-          in
+          let verdict = NI.check_spec ~max_states el.Elaborate.spec ~high ~low in
           Format.printf "%a@." NI.pp_verdict verdict;
           match verdict with NI.Secure -> () | NI.Insecure _ -> exit 1
         end)
@@ -347,8 +331,8 @@ let cmd_noninterference =
     (Cmd.info "noninterference"
        ~doc:"Check that the high actions are transparent to the low observer")
     Term.(
-      const run $ file_arg $ max_states_arg $ high $ low $ branching
-      $ saturate_arg $ jobs_arg $ obs_term)
+      const run $ file_arg $ max_states_arg $ high $ low $ branching $ jobs_arg
+      $ obs_term)
 
 (* solve *)
 
@@ -634,6 +618,112 @@ let cmd_firstpassage =
        ~doc:"Mean time until a state enabling the given action is first reached")
     Term.(const run $ file_arg $ max_states_arg $ action $ obs_term)
 
+(* family *)
+
+let cmd_family =
+  let run file max_states sweep measures_file stats_flag jobs () =
+    apply_jobs jobs;
+    handle (fun () ->
+        let archi = Parser.parse (read_file file) in
+        let fam = Elaborate.elaborate_family ?sweep archi in
+        let specs =
+          Array.map (fun m -> m.Elaborate.spec) fam.Elaborate.members
+        in
+        let flts, stats = Flts.build_family ~max_states ?jobs specs in
+        Format.printf "family %s: %d member(s) over %s@." archi.Ast.name
+          (Array.length specs)
+          (String.concat ", "
+             (List.map
+                (fun (name, dom) ->
+                  Printf.sprintf "%s in {%s}" name
+                    (String.concat ", " (List.map string_of_int dom)))
+                fam.Elaborate.features));
+        Format.printf
+          "featured union: %d states, %d transitions, %d distinct guards@."
+          flts.Flts.num_states (Flts.num_transitions flts)
+          stats.Flts.guard_count;
+        if stats_flag then begin
+          Format.printf "jobs             : %d@." stats.Flts.jobs;
+          Format.printf "bfs rounds       : %d@." stats.Flts.rounds;
+          Format.printf "peak frontier    : %d states@." stats.Flts.peak_frontier;
+          Format.printf "merge time       : %.6f s@." stats.Flts.merge_seconds;
+          Format.printf "build time       : %.6f s@." stats.Flts.build_seconds
+        end;
+        let ltss = Flts.project_all ?jobs flts in
+        let summed =
+          Array.fold_left (fun acc l -> acc + l.Lts.num_states) 0 ltss
+        in
+        Format.printf
+          "sharing: %d union states stand for %d summed member states \
+           (%.2fx)@."
+          flts.Flts.num_states summed
+          (float_of_int summed /. float_of_int flts.Flts.num_states);
+        let binding_string c =
+          match fam.Elaborate.bindings.(c) with
+          | [] -> "-"
+          | b ->
+              String.concat ", "
+                (List.map (fun (name, v) -> Printf.sprintf "%s=%d" name v) b)
+        in
+        match measures_file with
+        | None ->
+            Format.printf "@.%-28s %-10s %s@." "binding" "states" "transitions";
+            Array.iteri
+              (fun c lts ->
+                Format.printf "%-28s %-10d %d@." (binding_string c)
+                  lts.Lts.num_states (Lts.num_transitions lts))
+              ltss
+        | Some mf ->
+            let measures = load_measures mf in
+            let analyses =
+              Pool.parallel_map ?jobs
+                (fun lts -> Markov.analyze_lts lts measures)
+                (Array.to_list ltss)
+            in
+            Format.printf "@.%-28s" "binding";
+            List.iter
+              (fun m -> Format.printf " %-14s" m.Measure.name)
+              measures;
+            Format.printf "@.";
+            List.iteri
+              (fun c (a : Markov.analysis) ->
+                Format.printf "%-28s" (binding_string c);
+                List.iter (fun (_, v) -> Format.printf " %-14.6g" v) a.Markov.values;
+                Format.printf "@.")
+              analyses)
+  in
+  let sweep =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sweep" ] ~docv:"FEATURE"
+          ~doc:
+            "Vary only $(docv); every other feature is pinned to the first \
+             value of its domain.")
+  in
+  let measures_opt =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "measures"; "m" ] ~docv:"FILE"
+          ~doc:
+            "Measure definitions; when given, each member's CTMC is solved \
+             and the per-configuration values are tabulated.")
+  in
+  let stats_flag =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Print featured-build statistics.")
+  in
+  Cmd.v
+    (Cmd.info "family"
+       ~doc:
+         "Analyze a whole feature family: one featured state-space build, \
+          one cheap projection per configuration")
+    Term.(
+      const run $ file_arg $ max_states_arg $ sweep $ measures_opt $ stats_flag
+      $ jobs_arg $ obs_term)
+
 (* sec3 / figures *)
 
 let cmd_sec3 =
@@ -752,5 +842,5 @@ let () =
           [
             cmd_parse; cmd_lts; cmd_minimize; cmd_noninterference; cmd_solve;
             cmd_simulate; cmd_validate; cmd_assess; cmd_transient; cmd_firstpassage;
-            cmd_trace; cmd_sec3; cmd_figures;
+            cmd_trace; cmd_family; cmd_sec3; cmd_figures;
           ]))

@@ -1,18 +1,4 @@
-type rate_expr =
-  | Passive of float
-  | Exp of float
-  | Inf of int * float
-  | Gen of Dpma_dist.Dist.t
-
 let fr = Dpma_util.Floatfmt.repr
-
-let pp_rate_expr ppf = function
-  | Passive w ->
-      if w = 1.0 then Format.pp_print_string ppf "_"
-      else Format.fprintf ppf "_(%s)" (fr w)
-  | Exp r -> Format.fprintf ppf "exp(%s)" (fr r)
-  | Inf (p, w) -> Format.fprintf ppf "inf(%d,%s)" p (fr w)
-  | Gen d -> Dpma_dist.Dist.pp ppf d
 
 type binop =
   | Add | Sub | Mul | Div | Mod
@@ -70,6 +56,22 @@ let rec pp_expr_level level ppf e =
 
 let pp_expr = pp_expr_level 0
 
+type rate_expr =
+  | Passive of float
+  | Exp of float
+  | Exp_mean of expr
+  | Inf of int * float
+  | Gen of Dpma_dist.Dist.t
+
+let pp_rate_expr ppf = function
+  | Passive w ->
+      if w = 1.0 then Format.pp_print_string ppf "_"
+      else Format.fprintf ppf "_(%s)" (fr w)
+  | Exp r -> Format.fprintf ppf "exp(%s)" (fr r)
+  | Exp_mean e -> Format.fprintf ppf "exp_mean(%a)" pp_expr e
+  | Inf (p, w) -> Format.fprintf ppf "inf(%d,%s)" p (fr w)
+  | Gen d -> Dpma_dist.Dist.pp ppf d
+
 type value = VInt of int | VBool of bool
 
 let pp_value ppf = function
@@ -116,8 +118,11 @@ type attachment = {
   to_port : string;
 }
 
+type feature = { f_name : string; f_domain : int list }
+
 type archi = {
   name : string;
+  features : feature list;
   elem_types : elem_type list;
   instances : instance list;
   attachments : attachment list;
@@ -180,7 +185,16 @@ let pp_elem_type ppf (et : elem_type) =
     pp_interactions et.inputs pp_interactions et.outputs
 
 let pp ppf (a : archi) =
-  Format.fprintf ppf "@[<v>ARCHI_TYPE %s(void)@,@,ARCHI_ELEM_TYPES@,@," a.name;
+  Format.fprintf ppf "@[<v>ARCHI_TYPE %s(void)@,@," a.name;
+  if a.features <> [] then begin
+    List.iter
+      (fun f ->
+        Format.fprintf ppf "feature %s in {%s}@," f.f_name
+          (String.concat ", " (List.map string_of_int f.f_domain)))
+      a.features;
+    Format.fprintf ppf "@,"
+  end;
+  Format.fprintf ppf "ARCHI_ELEM_TYPES@,@,";
   List.iter (fun et -> Format.fprintf ppf "%a@," pp_elem_type et) a.elem_types;
   Format.fprintf ppf "ARCHI_TOPOLOGY@,@,@[<v 2>ARCHI_ELEM_INSTANCES@,%a@]@,@,"
     (Format.pp_print_list

@@ -16,18 +16,6 @@
       argument expressions ([Buffer(h+1)]);
     - alternatives may be guarded: [cond(h < size) -> <put, _> . ...]. *)
 
-type rate_expr =
-  | Passive of float  (** [_] or [_(w)]: reactive, with weight *)
-  | Exp of float  (** [exp(r)]: exponential with rate [r] *)
-  | Inf of int * float  (** [inf(p,w)]: immediate with priority and weight *)
-  | Gen of Dpma_dist.Dist.t
-      (** [det(c)], [norm(m,sd)], [unif(a,b)], [erlang(k,m)],
-          [weibull(k,l)]: generally distributed duration. Elaboration keeps
-          the exponential with the same mean for the Markovian view and
-          records the distribution for the simulator. *)
-
-val pp_rate_expr : Format.formatter -> rate_expr -> unit
-
 (** {2 Data expressions} *)
 
 type binop =
@@ -42,6 +30,26 @@ type expr =
   | Neg of expr
   | Not of expr
   | Binop of binop * expr * expr
+
+(** {2 Rates} *)
+
+type rate_expr =
+  | Passive of float  (** [_] or [_(w)]: reactive, with weight *)
+  | Exp of float  (** [exp(r)]: exponential with rate [r] *)
+  | Exp_mean of expr
+      (** [exp_mean(e)]: exponential whose {e mean} is the value of the
+          integer expression [e] — the form that lets a delay depend on a
+          data parameter or a {!feature} (a DPM timeout, an awake
+          period). Evaluated at elaboration; the value must be
+          positive. *)
+  | Inf of int * float  (** [inf(p,w)]: immediate with priority and weight *)
+  | Gen of Dpma_dist.Dist.t
+      (** [det(c)], [norm(m,sd)], [unif(a,b)], [erlang(k,m)],
+          [weibull(k,l)]: generally distributed duration. Elaboration keeps
+          the exponential with the same mean for the Markovian view and
+          records the distribution for the simulator. *)
+
+val pp_rate_expr : Format.formatter -> rate_expr -> unit
 
 val pp_expr : Format.formatter -> expr -> unit
 
@@ -76,7 +84,9 @@ type elem_type = {
 type instance = {
   inst_name : string;
   inst_type : string;
-  inst_args : expr list;  (** closed expressions bound to [et_consts] *)
+  inst_args : expr list;
+      (** expressions bound to [et_consts]; closed except for feature
+          names, which elaboration substitutes per family member *)
 }
 
 type attachment = {
@@ -86,8 +96,18 @@ type attachment = {
   to_port : string;
 }
 
+type feature = { f_name : string; f_domain : int list }
+(** A feature parameter with a finite integer domain, declared right
+    after the [ARCHI_TYPE] header: [feature timeout in {1, 2, 5, 10}].
+    Feature names are visible in every behavior expression, guard, rate
+    ([exp_mean]) and instance argument of the description; a {e member}
+    of the family binds each feature to one domain value (see
+    [Elaborate.elaborate_family]). The domain must be non-empty and
+    duplicate-free. *)
+
 type archi = {
   name : string;
+  features : feature list;  (** the policy family's feature parameters *)
   elem_types : elem_type list;
   instances : instance list;
   attachments : attachment list;

@@ -143,6 +143,13 @@ let rec bterm_guards = function
   | Ast.Call _ -> []
   | Ast.Guard (e, t) -> e :: bterm_guards t
 
+let rec bterm_rate_exprs = function
+  | Ast.Stop -> []
+  | Ast.Prefix (_, r, k) -> r :: bterm_rate_exprs k
+  | Ast.Choice ts -> List.concat_map bterm_rate_exprs ts
+  | Ast.Call _ -> []
+  | Ast.Guard (_, t) -> bterm_rate_exprs t
+
 let elem_type_actions (et : Ast.elem_type) =
   List.concat_map (fun (eq : Ast.equation) -> bterm_actions eq.eq_body) et.equations
   |> List.sort_uniq String.compare
@@ -170,7 +177,7 @@ let lookup_equation (et : Ast.elem_type) name =
 (* ------------------------------------------------------------------ *)
 (* Static checks                                                        *)
 
-let check_elem_type (et : Ast.elem_type) =
+let check_elem_type ~feature_tenv (et : Ast.elem_type) =
   if et.equations = [] then fail "element type %s has no behavior equation" et.et_name;
   (match find_duplicate (List.map (fun (e : Ast.equation) -> e.eq_name) et.equations) with
   | Some d -> fail "element type %s: duplicate equation %s" et.et_name d
@@ -183,6 +190,17 @@ let check_elem_type (et : Ast.elem_type) =
   let const_tenv =
     List.map (fun (p : Ast.param) -> (p.Ast.p_name, p.Ast.p_type)) et.et_consts
   in
+  (* Features are globally visible, so local names may not shadow them —
+     shadowing would silently change which value a rate or guard sees. *)
+  let check_no_feature_clash what names =
+    List.iter
+      (fun n ->
+        if List.mem_assoc n feature_tenv then
+          fail "element type %s: %s %s shadows a feature" et.et_name what n)
+      names
+  in
+  check_no_feature_clash "const parameter"
+    (List.map (fun (p : Ast.param) -> p.Ast.p_name) et.et_consts);
   let actions = elem_type_actions et in
   if List.mem Term.tau actions then
     fail "element type %s uses the reserved action name tau" et.et_name;
@@ -205,15 +223,25 @@ let check_elem_type (et : Ast.elem_type) =
        with
       | Some d -> fail "%s: duplicate parameter %s" context d
       | None -> ());
+      check_no_feature_clash "data parameter"
+        (List.map (fun (p : Ast.param) -> p.Ast.p_name) e.Ast.eq_params);
       let tenv =
         const_tenv
         @ List.map (fun (p : Ast.param) -> (p.Ast.p_name, p.Ast.p_type))
             e.Ast.eq_params
+        @ feature_tenv
       in
       (* Guards must be boolean. *)
       List.iter
         (fun g -> expect_type ~context tenv g Ast.TBool "guard condition")
         (bterm_guards e.Ast.eq_body);
+      (* exp_mean arguments must be integers. *)
+      List.iter
+        (function
+          | Ast.Exp_mean e ->
+              expect_type ~context tenv e Ast.TInt "exp_mean argument"
+          | Ast.Passive _ | Ast.Exp _ | Ast.Inf _ | Ast.Gen _ -> ())
+        (bterm_rate_exprs e.Ast.eq_body);
       (* Calls must match an equation's arity and types. *)
       List.iter
         (fun (callee, args) ->
@@ -252,7 +280,25 @@ let rec expr_vars = function
   | Ast.Neg e | Ast.Not e -> expr_vars e
   | Ast.Binop (_, a, b) -> expr_vars a @ expr_vars b
 
+let feature_tenv (archi : Ast.archi) =
+  List.map (fun (f : Ast.feature) -> (f.Ast.f_name, Ast.TInt)) archi.features
+
 let check (archi : Ast.archi) =
+  (match
+     find_duplicate
+       (List.map (fun (f : Ast.feature) -> f.Ast.f_name) archi.features)
+   with
+  | Some d -> fail "duplicate feature %s" d
+  | None -> ());
+  List.iter
+    (fun (f : Ast.feature) ->
+      if f.Ast.f_domain = [] then
+        fail "feature %s has an empty domain" f.Ast.f_name;
+      if
+        List.length (List.sort_uniq Int.compare f.Ast.f_domain)
+        <> List.length f.Ast.f_domain
+      then fail "feature %s: duplicate value in domain" f.Ast.f_name)
+    archi.features;
   (match
      find_duplicate (List.map (fun (et : Ast.elem_type) -> et.et_name) archi.elem_types)
    with
@@ -263,7 +309,8 @@ let check (archi : Ast.archi) =
    with
   | Some d -> fail "duplicate instance %s" d
   | None -> ());
-  List.iter check_elem_type archi.elem_types;
+  let feature_tenv = feature_tenv archi in
+  List.iter (check_elem_type ~feature_tenv) archi.elem_types;
   List.iter
     (fun (i : Ast.instance) ->
       let et = lookup_type archi i.inst_type in
@@ -274,12 +321,18 @@ let check (archi : Ast.archi) =
           (List.length i.inst_args);
       List.iter2
         (fun arg (p : Ast.param) ->
-          (match expr_vars arg with
+          (* Closed, except that feature names are allowed: a family member
+             substitutes its binding before evaluation. *)
+          (match
+             List.filter
+               (fun x -> not (List.mem_assoc x feature_tenv))
+               (expr_vars arg)
+           with
           | [] -> ()
           | x :: _ ->
               fail "%s: const argument for %s must be closed (uses %s)" context
                 p.Ast.p_name x);
-          expect_type ~context [] arg p.Ast.p_type
+          expect_type ~context feature_tenv arg p.Ast.p_type
             (Printf.sprintf "const argument %s" p.Ast.p_name))
         i.inst_args et.et_consts)
     archi.instances;
@@ -334,9 +387,17 @@ let constant_name inst eq args =
            Ast.pp_value)
         args
 
-let rate_of_expr ~context = function
+let rate_of_expr ~context ~env = function
   | Ast.Passive w -> Rate.passive ~weight:w ()
   | Ast.Exp r -> Rate.exp r
+  | Ast.Exp_mean e -> (
+      match eval ~context env e with
+      | Ast.VInt n ->
+          if n <= 0 then
+            fail "%s: exp_mean argument evaluates to %d (must be positive)"
+              context n;
+          Rate.exp_mean (float_of_int n)
+      | Ast.VBool _ -> fail "%s: exp_mean argument is not an integer" context)
   | Ast.Inf (p, w) -> Rate.imm ~prio:p ~weight:w ()
   | Ast.Gen d ->
       let m = Dist.mean d in
@@ -347,9 +408,13 @@ let rate_of_expr ~context = function
 
 let max_expansions_default = 200_000
 
-let elaborate ?(max_expansions = max_expansions_default) (archi : Ast.archi) =
+(* One family member: [bindings] gives each feature its value. [check] has
+   already run. *)
+let elaborate_bound ~max_expansions ~bindings (archi : Ast.archi) =
   Dpma_obs.Trace.with_span "adl.elaborate" (fun () ->
-  check archi;
+  let feature_env =
+    List.map (fun (name, v) -> (name, Ast.VInt v)) bindings
+  in
   let timings : (string, Dist.t) Hashtbl.t = Hashtbl.create 16 in
   let record_timing name dist context =
     match Hashtbl.find_opt timings name with
@@ -372,8 +437,9 @@ let elaborate ?(max_expansions = max_expansions_default) (archi : Ast.archi) =
       List.map2
         (fun (p : Ast.param) arg ->
           ( p.Ast.p_name,
-            eval ~context:(Printf.sprintf "instance %s" inst) [] arg ))
+            eval ~context:(Printf.sprintf "instance %s" inst) feature_env arg ))
         et.et_consts i.inst_args
+      @ feature_env
     in
     let expanded : (string * Ast.value list, unit) Hashtbl.t = Hashtbl.create 64 in
     let queue = Queue.create () in
@@ -393,10 +459,10 @@ let elaborate ?(max_expansions = max_expansions_default) (archi : Ast.archi) =
       | Ast.Stop -> Term.stop
       | Ast.Prefix (a, rexpr, k) ->
           let name = final_name archi inst a in
-          let rate = rate_of_expr ~context rexpr in
+          let rate = rate_of_expr ~context ~env rexpr in
           (match rexpr with
           | Ast.Gen d -> record_timing name d context
-          | Ast.Passive _ | Ast.Exp _ | Ast.Inf _ -> ());
+          | Ast.Passive _ | Ast.Exp _ | Ast.Exp_mean _ | Ast.Inf _ -> ());
           Term.prefix name rate (translate_bterm ~context env k)
       | Ast.Choice ts -> Term.choice (List.map (translate_bterm ~context env) ts)
       | Ast.Guard (e, t) -> (
@@ -501,6 +567,74 @@ let elaborate ?(max_expansions = max_expansions_default) (archi : Ast.archi) =
     instance_actions;
     unattached_interactions;
   })
+
+let first_bindings (archi : Ast.archi) =
+  List.map
+    (fun (f : Ast.feature) -> (f.Ast.f_name, List.hd f.Ast.f_domain))
+    archi.features
+
+let elaborate ?(max_expansions = max_expansions_default) (archi : Ast.archi) =
+  check archi;
+  elaborate_bound ~max_expansions ~bindings:(first_bindings archi) archi
+
+type family = {
+  features : (string * int list) list;
+  bindings : (string * int) list array;
+  members : elaborated array;
+}
+
+let max_members = 4096
+
+let elaborate_family ?(max_expansions = max_expansions_default) ?sweep
+    (archi : Ast.archi) =
+  check archi;
+  if archi.features = [] then
+    fail "architecture %s declares no features" archi.name;
+  (match sweep with
+  | Some s
+    when not
+           (List.exists
+              (fun (f : Ast.feature) -> String.equal f.Ast.f_name s)
+              archi.features) ->
+      fail "architecture %s declares no feature %s" archi.name s
+  | Some _ | None -> ());
+  let domains =
+    List.map
+      (fun (f : Ast.feature) ->
+        match sweep with
+        | Some s when not (String.equal s f.Ast.f_name) ->
+            (f.Ast.f_name, [ List.hd f.Ast.f_domain ])
+        | Some _ | None -> (f.Ast.f_name, f.Ast.f_domain))
+      archi.features
+  in
+  (* Cartesian product in declaration order, last feature varying
+     fastest; each partial binding is built reversed and flipped at the
+     end. *)
+  let bindings =
+    List.fold_left
+      (fun acc (name, dom) ->
+        List.concat_map
+          (fun b -> List.map (fun v -> (name, v) :: b) dom)
+          acc)
+      [ [] ] domains
+    |> List.map List.rev
+  in
+  if List.length bindings > max_members then
+    fail "architecture %s: family has %d members (more than %d)" archi.name
+      (List.length bindings) max_members;
+  let bindings = Array.of_list bindings in
+  let members =
+    Array.map (fun b -> elaborate_bound ~max_expansions ~bindings:b archi)
+      bindings
+  in
+  {
+    features =
+      List.map
+        (fun (f : Ast.feature) -> (f.Ast.f_name, f.Ast.f_domain))
+        archi.features;
+    bindings;
+    members;
+  }
 
 let actions_of_instance elaborated inst =
   match List.assoc_opt inst elaborated.instance_actions with

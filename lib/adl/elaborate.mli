@@ -31,15 +31,41 @@ val check : Ast.archi -> unit
     input/output declarations; attachments on undeclared ports or with a
     port attached twice; the reserved action name [tau]; and data-parameter
     errors — arity or type mismatches in calls and instance arguments,
-    non-boolean guards, unbound parameters, non-closed const arguments,
-    data parameters on an initial behavior. *)
+    non-boolean guards, unbound parameters, non-closed const arguments
+    (feature names excepted), data parameters on an initial behavior,
+    non-integer [exp_mean] arguments, empty or duplicated feature domains,
+    and local parameters shadowing a feature. *)
 
 val elaborate : ?max_expansions:int -> Ast.archi -> elaborated
 (** Runs {!check} first. Behavior equations with data parameters are
     expanded into one process constant per reachable argument tuple
     (["B.Buffer(3)"]); guards are resolved during the expansion.
-    [max_expansions] (default 200_000) bounds the total number of expanded
-    constants, catching unbounded data recursion with a clear error. *)
+    Features, if any, are bound to the {e first} value of their domain —
+    the family's representative member. [max_expansions] (default
+    200_000) bounds the total number of expanded constants, catching
+    unbounded data recursion with a clear error. *)
+
+(** {2 Configuration families} *)
+
+type family = {
+  features : (string * int list) list;
+      (** the declared features, in declaration order *)
+  bindings : (string * int) list array;
+      (** per member: the value bound to each feature *)
+  members : elaborated array;  (** one elaboration per binding *)
+}
+
+val elaborate_family :
+  ?max_expansions:int -> ?sweep:string -> Ast.archi -> family
+(** One elaboration per point of the feature domain product, enumerated in
+    declaration order with the last feature varying fastest. With
+    [~sweep:name], only that feature varies and every other one is pinned
+    to the first value of its domain. Because process-constant names do not
+    mention feature values, the members' definitions coincide on every
+    behavior a feature does not reach — which is what lets
+    [Dpma_pa.Feature.make] derive shared behaviors once for the whole
+    family. Raises {!Check_error} if no feature is declared, [sweep] names
+    an unknown feature, or the family exceeds 4096 members. *)
 
 val actions_of_instance : elaborated -> string -> string list
 (** Final action names of one instance ([Check_error] if unknown). *)

@@ -217,6 +217,14 @@ let parse_rate st =
       expect st RPAREN;
       if r <= 0.0 then error_at t "exponential rate must be positive";
       Ast.Exp r
+  | IDENT "exp_mean" ->
+      (* Exponential delay whose mean is a data expression — the rate
+         form that can mention behavior parameters and features.
+         Positivity is checked at elaboration, when the value is known. *)
+      expect st LPAREN;
+      let e = parse_expr st in
+      expect st RPAREN;
+      Ast.Exp_mean e
   | IDENT "inf" ->
       if (peek st).token = LPAREN then begin
         ignore (next st);
@@ -431,12 +439,62 @@ let parse_attachments st =
     go []
   end
 
+(* feature NAME in {v1, v2, ...} — declared between the ARCHI_TYPE
+   header and ARCHI_ELEM_TYPES. [feature] and [in] are contextual
+   keywords like FROM/TO. *)
+let parse_features st =
+  let parse_int st =
+    let t = peek st in
+    let v =
+      match t.token with
+      | MINUS ->
+          ignore (next st);
+          -.expect_number st
+      | _ -> expect_number st
+    in
+    if not (Float.is_integer v) then
+      error_at t "feature domain values must be integers";
+    int_of_float v
+  in
+  let rec go acc =
+    if not (at_keyword st "feature") then List.rev acc
+    else begin
+      ignore (next st);
+      let t_name = peek st in
+      let f_name = expect_ident st in
+      if List.exists (fun (f : Ast.feature) -> f.f_name = f_name) acc then
+        error_at t_name (Printf.sprintf "duplicate feature %s" f_name);
+      expect_keyword st "in";
+      let t_dom = peek st in
+      expect st LBRACE;
+      let rec values acc =
+        let acc = parse_int st :: acc in
+        if (peek st).token = COMMA then begin
+          ignore (next st);
+          values acc
+        end
+        else List.rev acc
+      in
+      let f_domain = values [] in
+      expect st RBRACE;
+      if
+        List.length (List.sort_uniq Int.compare f_domain)
+        <> List.length f_domain
+      then
+        error_at t_dom
+          (Printf.sprintf "duplicate value in the domain of feature %s" f_name);
+      go ({ Ast.f_name; f_domain } :: acc)
+    end
+  in
+  go []
+
 let parse src =
   Dpma_obs.Trace.with_span "adl.parse" (fun () ->
   let st = { tokens = Array.of_list (Lexer.tokenize src); pos = 0 } in
   expect_keyword st "ARCHI_TYPE";
   let name = expect_ident st in
   parse_void_params st;
+  let features = parse_features st in
   expect_keyword st "ARCHI_ELEM_TYPES";
   let rec elem_types acc =
     if at_keyword st "ELEM_TYPE" then elem_types (parse_elem_type st :: acc)
@@ -459,7 +517,7 @@ let parse src =
   Dpma_obs.Metrics.add I.adl_elem_types (List.length elem_types);
   Dpma_obs.Metrics.add I.adl_instances (List.length instances);
   Dpma_obs.Metrics.add I.adl_attachments (List.length attachments);
-  { Ast.name; elem_types; instances; attachments })
+  { Ast.name; features; elem_types; instances; attachments })
 
 let parse_result src =
   match parse src with

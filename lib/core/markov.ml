@@ -30,6 +30,17 @@ let analyze_lts_lumped lts measures =
 let analyze ?max_states spec measures =
   analyze_lts (Lts.of_spec ?max_states spec) measures
 
+let family_ltss ?max_states ?jobs specs =
+  let fam, _stats = Dpma_lts.Flts.build_family ?max_states ?jobs specs in
+  Dpma_lts.Flts.project_all ?jobs fam
+
+let analyze_family ?max_states ?jobs specs measures =
+  let ltss = family_ltss ?max_states ?jobs specs in
+  Array.of_list
+    (Dpma_util.Pool.parallel_map ?jobs
+       (fun lts -> analyze_lts lts measures)
+       (Array.to_list ltss))
+
 let without_dpm lts ~high =
   Lts.restrict lts ~remove:(fun a -> List.exists (String.equal a) high)
 

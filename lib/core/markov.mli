@@ -22,6 +22,25 @@ val analyze :
 
 val analyze_lts : Dpma_lts.Lts.t -> Dpma_measures.Measure.t list -> analysis
 
+val family_ltss :
+  ?max_states:int -> ?jobs:int -> Dpma_pa.Term.spec array -> Dpma_lts.Lts.t array
+(** One featured build over the whole configuration family
+    ({!Dpma_lts.Flts.build_family}), then one cheap projection per
+    configuration — each returned LTS is bit-identical to
+    [Lts.of_spec] on the corresponding spec, at a fraction of the
+    derivation work when the specs share most behaviors. *)
+
+val analyze_family :
+  ?max_states:int ->
+  ?jobs:int ->
+  Dpma_pa.Term.spec array ->
+  Dpma_measures.Measure.t list ->
+  analysis array
+(** {!family_ltss} followed by one {!analyze_lts} per configuration, the
+    CTMC solves dealt to the domain pool. Results are positionally
+    aligned with the input specs and identical to analyzing each spec
+    independently. *)
+
 val analyze_lts_lumped :
   Dpma_lts.Lts.t -> Dpma_measures.Measure.t list -> analysis
 (** Quotient by ordinary lumpability (Markovian bisimilarity) before

@@ -13,14 +13,13 @@ let observed_pair lts ~high ~low =
   in
   (with_dpm_hidden, without_dpm)
 
-let check_lts ?jobs ?saturate lts ~high ~low =
+let check_lts ?jobs lts ~high ~low =
   let hidden, removed = observed_pair lts ~high ~low in
   (* Single pass: the product refiner decides the verdict (lazy weak
-     signatures, one watched refinement — [?saturate] selects the
-     deprecated materialized-saturation oracle), and an INSECURE split
-     hands its trail straight to the diagnostics — the union is never
+     signatures, one watched refinement), and an INSECURE split hands
+     its trail straight to the diagnostics — the union is never
      analyzed twice. *)
-  match Bisim.weak_product_check ?jobs ?saturate hidden removed with
+  match Bisim.weak_product_check ?jobs hidden removed with
   | Bisim.Product_secure _ -> Secure
   | Bisim.Product_insecure trail -> Insecure (Diagnose.of_product_trail trail)
 
@@ -31,9 +30,9 @@ let mem_of actions =
   let set = String_set.of_list actions in
   fun a -> String_set.mem a set
 
-let check_spec ?max_states ?jobs ?saturate spec ~high ~low =
+let check_spec ?max_states ?jobs spec ~high ~low =
   let lts = Lts.of_spec ?max_states ?jobs spec in
-  check_lts ?jobs ?saturate lts ~high:(mem_of high) ~low:(mem_of low)
+  check_lts ?jobs lts ~high:(mem_of high) ~low:(mem_of low)
 
 let pp_verdict ppf = function
   | Secure ->

@@ -18,30 +18,26 @@ type verdict =
 
 val check_lts :
   ?jobs:int ->
-  ?saturate:bool ->
   Dpma_lts.Lts.t ->
   high:(string -> bool) ->
   low:(string -> bool) ->
   verdict
 (** [jobs] is handed to the product refiner's parallel signature pass
     (default {!Dpma_util.Pool.default_jobs}); verdicts and formulas are
-    identical for any job count. [saturate] (default [false]) routes the
-    weak check through the deprecated materialized-saturation oracle
-    instead of the lazy tau-closure pass — the two produce bit-identical
-    verdicts and formulas (see docs/WEAK_EQUIVALENCE.md); the flag is
-    kept for one release for differential testing. *)
+    identical for any job count. The weak check runs on the lazy
+    tau-closure pass; the saturated LTS is never materialized (see
+    docs/WEAK_EQUIVALENCE.md). *)
 
 val check_spec :
   ?max_states:int ->
   ?jobs:int ->
-  ?saturate:bool ->
   Dpma_pa.Term.spec ->
   high:string list ->
   low:string list ->
   verdict
 (** Builds the LTS first ([jobs] parallelizes the build and the check);
     high/low given as exact action names (the fused channel names for
-    attached interactions). [saturate] as in {!check_lts}. *)
+    attached interactions). *)
 
 val observed_pair :
   Dpma_lts.Lts.t ->

@@ -56,71 +56,6 @@ end
 
 module Int_tbl = Hashtbl.Make (Int_key)
 
-let tau_closure (lts : Lts.t) =
-  (* For each state, the set of states reachable through tau transitions,
-     including itself, as a sorted int list. *)
-  let n = lts.num_states in
-  let closure = Array.make n [] in
-  let scratch = Array.make n false in
-  for s = 0 to n - 1 do
-    let seen = scratch in
-    let stack = ref [ s ] in
-    let acc = ref [] in
-    seen.(s) <- true;
-    while !stack <> [] do
-      match !stack with
-      | [] -> ()
-      | x :: rest ->
-          stack := rest;
-          acc := x :: !acc;
-          for i = lts.row.(x) to lts.row.(x + 1) - 1 do
-            let t = lts.tgt.(i) in
-            if lts.lab.(i) = Lts.tau && not seen.(t) then begin
-              seen.(t) <- true;
-              stack := t :: !stack
-            end
-          done
-    done;
-    List.iter (fun x -> scratch.(x) <- false) !acc;
-    closure.(s) <- List.sort Int.compare !acc
-  done;
-  closure
-
-let saturate_impl (lts : Lts.t) =
-  let n = lts.num_states in
-  let closure = tau_closure lts in
-  let trans = Array.make n [] in
-  let seen = Int_tbl.create 256 in
-  for s = 0 to n - 1 do
-    Int_tbl.reset seen;
-    let add label target =
-      let key = pack_pair label target in
-      if not (Int_tbl.mem seen key) then begin
-        Int_tbl.add seen key ();
-        trans.(s) <- { Lts.label; rate = None; target } :: trans.(s)
-      end
-    in
-    (* s =tau*=> s' gives weak internal moves to everything in closure. *)
-    List.iter (fun s' -> add Lts.tau s') closure.(s);
-    (* s =tau*=> s1 -a-> s2 =tau*=> t gives weak observable moves. *)
-    List.iter
-      (fun s1 ->
-        for i = lts.row.(s1) to lts.row.(s1 + 1) - 1 do
-          let l = lts.lab.(i) in
-          if l <> Lts.tau then
-            List.iter (fun t -> add l t) closure.(lts.tgt.(i))
-        done)
-      closure.(s)
-  done;
-  Lts.make ~init:lts.init ~state_name:lts.state_name trans
-
-let saturate ?(traced = true) lts =
-  if traced then
-    Dpma_obs.Trace.with_span "bisim.saturate"
-      ~attrs:[ ("states", Dpma_obs.Trace.Int lts.Lts.num_states) ] (fun () ->
-        saturate_impl lts)
-  else saturate_impl lts
-
 (* Signature-based partition refinement. [signature] maps a state to a
    canonical representation of its outgoing behaviour w.r.t. the current
    blocks; refinement stops when the block count is stable.
@@ -357,8 +292,8 @@ let strong_partition ?jobs ?par_cutoff lts =
   refine ?jobs ?par_cutoff lts ~signature:(strong_signature lts)
 
 (* States on a common tau-cycle are weakly bisimilar (each can silently
-   reach the other), so collapsing tau-SCCs before saturating is sound for
-   weak equivalence and shrinks the quadratic saturation step. *)
+   reach the other), so collapsing tau-SCCs before the lazy weak pass is
+   sound for weak equivalence and shrinks the LTS it condenses. *)
 let tau_scc_partition (lts : Lts.t) =
   let tau_succ s =
     let rec go i acc =
@@ -374,17 +309,13 @@ let tau_scc_partition (lts : Lts.t) =
 
 let compose outer inner = Array.map (fun b -> outer.(b)) inner
 
-(* The [?saturate] flags below shadow the [saturate] function inside
-   their bodies; keep the function reachable under another name. *)
-let saturate_lts = saturate
-
 (* Lazy weak signatures: [Tau.Weak]'s per-component closure caches
    produce, for each state, exactly the strong signature it would carry
    on the saturated LTS (see lib/lts/tau.ml and
    docs/WEAK_EQUIVALENCE.md), so refinement through this pass is
-   round-for-round bit-identical to the [--saturate] oracle path while
-   never materializing the weak relation. Returns the pass and the cache
-   (for the final instrument flush). *)
+   round-for-round bit-identical to strong refinement of the
+   materialized saturation while never building the weak relation.
+   Returns the pass and the cache (for the final instrument flush). *)
 let weak_pass lts =
   let cache = Tau.Weak.create lts in
   let seq = Tau.Weak.signature_fn cache in
@@ -410,22 +341,15 @@ let weak_refine ?jobs ?par_cutoff lts =
   Tau.Weak.record cache;
   p
 
-let weak_partition ?jobs ?par_cutoff ?(saturate = false) lts =
-  (* Pre-reduce: strongly bisimilar states are weakly bisimilar, and so are
-     tau-SCC members; both quotients are cheap and shared by the lazy and
-     the oracle path, so the composed partitions are identical arrays. *)
+let weak_partition ?jobs ?par_cutoff lts =
+  (* Pre-reduce: strongly bisimilar states are weakly bisimilar, and so
+     are tau-SCC members; both quotients are cheap and shrink the LTS the
+     lazy pass condenses. *)
   let p1 = strong_partition ?jobs ?par_cutoff lts in
   let l1 = Lts.quotient lts p1 in
   let p2 = tau_scc_partition l1 in
   let l2 = Lts.quotient l1 p2 in
-  let p3 =
-    if saturate then begin
-      let saturated = saturate_lts l2 in
-      refine ?jobs ?par_cutoff saturated
-        ~signature:(strong_signature saturated)
-    end
-    else weak_refine ?jobs ?par_cutoff l2
-  in
+  let p3 = weak_refine ?jobs ?par_cutoff l2 in
   compose p3 (compose p2 p1)
 
 (* For lumping, transitions to the same block accumulate: exponential rates
@@ -527,9 +451,9 @@ let strong_equivalent ?jobs ?par_cutoff a b =
   let block = strong_partition ?jobs ?par_cutoff union in
   same_class block ia ib
 
-let weak_equivalent ?jobs ?par_cutoff ?saturate a b =
+let weak_equivalent ?jobs ?par_cutoff a b =
   let union, ia, ib = Lts.disjoint_union a b in
-  let block = weak_partition ?jobs ?par_cutoff ?saturate union in
+  let block = weak_partition ?jobs ?par_cutoff union in
   same_class block ia ib
 
 let minimize_strong ?jobs ?par_cutoff lts =
@@ -552,23 +476,17 @@ let dense_renumber p =
           id)
     p
 
-let minimize_weak ?jobs ?par_cutoff ?(saturate = false) lts =
-  if saturate then
-    let saturated = saturate_lts lts in
-    Lts.quotient saturated
-      (refine ?jobs ?par_cutoff saturated
-         ~signature:(strong_signature saturated))
-  else
-    (* The partition comes from the lazy pass; the quotient — one state
-       per weak class — is then saturated so the result carries the same
-       materialized weak transitions the oracle path produces. For the
-       coarsest weak partition, quotient and saturation commute (as edge
-       sets): collapsing a class only merges states that silently reach
-       each other's tau-closures, so saturating at quotient size loses
-       nothing — and the quadratic step runs on the minimized LTS
-       instead of the input. *)
-    let p = dense_renumber (weak_partition ?jobs ?par_cutoff lts) in
-    saturate_lts (Lts.quotient lts p)
+let minimize_weak ?jobs ?par_cutoff lts =
+  (* The partition comes from the lazy pass; the quotient — one state
+     per weak class — is then saturated so the result carries the
+     materialized weak (double-arrow) transitions, as the output always
+     did. For the coarsest weak partition, quotient and saturation
+     commute (as edge sets): collapsing a class only merges states that
+     silently reach each other's tau-closures, so saturating at quotient
+     size loses nothing — and the quadratic step runs on the minimized
+     LTS instead of the input. *)
+  let p = dense_renumber (weak_partition ?jobs ?par_cutoff lts) in
+  Tau.saturate (Lts.quotient lts p)
 
 module Int_list_key = struct
   type t = int list
@@ -581,7 +499,7 @@ end
 module Int_list_tbl = Hashtbl.Make (Int_list_key)
 
 let determinize ?(max_states = 500_000) (lts : Lts.t) =
-  let closure = tau_closure lts in
+  let closure = Tau.tau_closure lts in
   let close set =
     List.concat_map (fun s -> closure.(s)) set |> List.sort_uniq Int.compare
   in
@@ -724,7 +642,7 @@ let record_product_exit ~rounds ~pruned secure =
     (if secure then I.ni_product_secure_exits else I.ni_product_insecure_exits)
 
 (* Strong quotient then tau-SCC collapse: both preserve weak
-   bisimilarity and shrink the quadratic saturation step. The same
+   bisimilarity and shrink the union the lazy pass refines. The same
    pre-reduction [weak_partition] applies to a materialized union, here
    performed per side so the unreduced union never exists. *)
 let weak_reduce ?jobs ?par_cutoff lts =
@@ -733,8 +651,7 @@ let weak_reduce ?jobs ?par_cutoff lts =
   let p2 = tau_scc_partition l1 in
   Lts.quotient l1 p2
 
-let weak_product_check ?jobs ?par_cutoff ?(saturate = false) (a : Lts.t)
-    (b : Lts.t) =
+let weak_product_check ?jobs ?par_cutoff (a : Lts.t) (b : Lts.t) =
   Dpma_obs.Trace.with_span "bisim.product"
     ~attrs:
       [ ("states", Dpma_obs.Trace.Int (a.num_states + b.num_states)) ]
@@ -746,32 +663,15 @@ let weak_product_check ?jobs ?par_cutoff ?(saturate = false) (a : Lts.t)
       (* Disjoint union commutes with saturation, so refining the
          unsaturated union through the lazy weak pass sees the same
          signatures — hence the same rounds, watched exit and trail — as
-         refining the saturated union with strong signatures. *)
+         strong refinement of a saturated union would. *)
       let partition, rounds, split =
-        if saturate then begin
-          let sa, sb =
-            Dpma_obs.Trace.with_span "bisim.saturate"
-              ~attrs:
-                [
-                  ( "states",
-                    Dpma_obs.Trace.Int (qa.Lts.num_states + qb.Lts.num_states)
-                  );
-                ]
-              (fun () -> (saturate_impl qa, saturate_impl qb))
-          in
-          let union, ia, ib = Lts.disjoint_union sa sb in
-          refine_watched ?jobs ?par_cutoff union
-            ~signature:(strong_signature union) ~watch:(ia, ib)
-        end
-        else begin
-          let union, ia, ib = Lts.disjoint_union qa qb in
-          let pass, cache = weak_pass union in
-          let r =
-            refine_watched_pass ?jobs ?par_cutoff union ~pass ~watch:(ia, ib)
-          in
-          Tau.Weak.record cache;
-          r
-        end
+        let union, ia, ib = Lts.disjoint_union qa qb in
+        let pass, cache = weak_pass union in
+        let r =
+          refine_watched_pass ?jobs ?par_cutoff union ~pass ~watch:(ia, ib)
+        in
+        Tau.Weak.record cache;
+        r
       in
       record_product_exit ~rounds ~pruned:(pruned_a + pruned_b)
         (Option.is_none split);

@@ -12,12 +12,13 @@
     refinement rounds until a block they depend on splits ({!Tau}).
     The lazy signatures equal, pair for pair, the strong signatures of
     the saturated LTS, so partitions, verdicts, rounds and distinguishing
-    formulas are bit-identical to the retired saturation pass — which
-    remains available behind [?saturate] for one release as a
-    differential oracle. Peak cache memory tracks live blocks, not the
-    saturated edge set; docs/WEAK_EQUIVALENCE.md documents the contract,
-    the invalidation rule and the memory model. Branching signatures go
-    through a per-state cache of the same design.
+    formulas are bit-identical to what strong refinement of the
+    materialized saturation would produce (the retired [--saturate]
+    oracle; {!Tau.saturate} still materializes the closure where actual
+    weak transitions are needed). Peak cache memory tracks live blocks,
+    not the saturated edge set; docs/WEAK_EQUIVALENCE.md documents the
+    contract, the invalidation rule and the memory model. Branching
+    signatures go through a per-state cache of the same design.
 
     {2 Parallel refinement}
 
@@ -42,31 +43,14 @@
     {!Dpma_util.Pool.hardware_parallelism} is 1 — and affects scheduling
     only, never results. *)
 
-val saturate : ?traced:bool -> Lts.t -> Lts.t
-(** Weak-transition closure: in the result, an [Obs a] transition [s -> t]
-    exists iff [s =tau*=> . -a-> . =tau*=> t] in the input, and a [Tau]
-    transition [s -> t] iff [s =tau*=> t] (including [s = t]). Rates are
-    dropped. [~traced:false] skips the ["bisim.saturate"] tracing span —
-    for callers (diagnostics) that account the closure under a span of
-    their own.
-
-    Since the on-the-fly weak pass landed, the weak equivalence entry
-    points no longer call this on the input LTS; it remains the oracle
-    behind their [?saturate] flag, the final materialization step of
-    {!minimize_weak} (at quotient size), and the small-model closure used
-    by diagnostics. *)
-
 val strong_partition : ?jobs:int -> ?par_cutoff:int -> Lts.t -> int array
 (** Coarsest strong-bisimulation partition; entry [i] is the block of state
     [i], blocks numbered densely from 0. *)
 
-val weak_partition :
-  ?jobs:int -> ?par_cutoff:int -> ?saturate:bool -> Lts.t -> int array
-(** Coarsest weak-bisimulation partition. Computed with lazy tau-closure
-    signatures on the packed CSR; [~saturate:true] (deprecated, kept for
-    one release as a differential oracle) materializes the saturated LTS
-    and refines it with strong signatures instead. Both paths return
-    bit-identical partitions. *)
+val weak_partition : ?jobs:int -> ?par_cutoff:int -> Lts.t -> int array
+(** Coarsest weak-bisimulation partition, computed with lazy tau-closure
+    signatures on the packed CSR — the saturated LTS is never
+    materialized. *)
 
 val markovian_partition : ?jobs:int -> ?par_cutoff:int -> Lts.t -> int array
 (** Coarsest ordinary-lumpability partition: signatures accumulate total
@@ -85,23 +69,19 @@ val branching_equivalent :
 
 val strong_equivalent : ?jobs:int -> ?par_cutoff:int -> Lts.t -> Lts.t -> bool
 
-val weak_equivalent :
-  ?jobs:int -> ?par_cutoff:int -> ?saturate:bool -> Lts.t -> Lts.t -> bool
+val weak_equivalent : ?jobs:int -> ?par_cutoff:int -> Lts.t -> Lts.t -> bool
 (** Weak bisimilarity of the two initial states, via {!weak_partition} of
-    the disjoint union ([?saturate] as there). *)
+    the disjoint union. *)
 
 val minimize_strong : ?jobs:int -> ?par_cutoff:int -> Lts.t -> Lts.t
 
-val minimize_weak :
-  ?jobs:int -> ?par_cutoff:int -> ?saturate:bool -> Lts.t -> Lts.t
+val minimize_weak : ?jobs:int -> ?par_cutoff:int -> Lts.t -> Lts.t
 (** Quotient by the coarsest weak partition, carrying the saturated
     (double-arrow) transitions of the result — one weak-transition edge
-    set per class pair, as the saturation-era output did. The lazy
-    default partitions the input without saturating it and only
-    materializes double arrows on the quotient (one state per weak
-    class), so the quadratic step runs at minimized size;
-    [~saturate:true] (deprecated oracle) saturates the full input first.
-    Both paths produce the same states, numbering, and edge sets. *)
+    set per class pair. The partition comes from the lazy pass (the
+    input is never saturated); double arrows are materialized by
+    {!Tau.saturate} on the quotient only (one state per weak class), so
+    the quadratic step runs at minimized size. *)
 
 val same_class : int array -> int -> int -> bool
 
@@ -126,8 +106,7 @@ val trace_equivalent : ?jobs:int -> ?par_cutoff:int -> Lts.t -> Lts.t -> bool
     first pruned to the part reachable from its initial state and
     pre-reduced on its own (strong quotient, tau-SCC collapse — for the
     weak check); the reduced sides are stitched unsaturated and refined
-    through the lazy weak pass (no ["bisim.saturate"] span; the oracle
-    [~saturate:true] path saturates the reduced sides once instead). The
+    through the lazy weak pass (no ["bisim.saturate"] span fires). The
     watched refinement over the stitched product stops as soon as the two
     initial states split (early-exit INSECURE, splitting signatures
     retained) or as soon as the partition over the pruned product is
@@ -158,21 +137,14 @@ type product_result =
   | Product_insecure of product_trail
 
 val weak_product_check :
-  ?jobs:int ->
-  ?par_cutoff:int ->
-  ?saturate:bool ->
-  Lts.t ->
-  Lts.t ->
-  product_result
+  ?jobs:int -> ?par_cutoff:int -> Lts.t -> Lts.t -> product_result
 (** [weak_product_check a b] decides weak bisimilarity of the two initial
     states — the same verdict as {!weak_equivalent}, with reachability
-    pruning, per-side pre-reduction, and watched early exit. Saturation
-    commutes with disjoint union, so the lazy default and the
-    [~saturate:true] oracle produce identical verdicts, rounds, and
-    trails. The watched refinement parallelizes like every other: the
-    early-exit check runs in the coordinator on the deterministically
-    merged round result, so the exit round, verdict, and splitting
-    signatures are identical for any job count. *)
+    pruning, per-side pre-reduction, and watched early exit. The watched
+    refinement parallelizes like every other: the early-exit check runs
+    in the coordinator on the deterministically merged round result, so
+    the exit round, verdict, and splitting signatures are identical for
+    any job count. *)
 
 val branching_product_secure :
   ?jobs:int -> ?par_cutoff:int -> Lts.t -> Lts.t -> bool

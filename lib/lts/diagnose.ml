@@ -206,7 +206,7 @@ let of_product_trail (trail : Bisim.product_trail) =
   let saturated =
     Dpma_obs.Trace.with_span "diagnose.saturate"
       ~attrs:[ ("states", Dpma_obs.Trace.Int union.Lts.num_states) ]
-      (fun () -> Bisim.saturate ~traced:false union)
+      (fun () -> Tau.saturate ~traced:false union)
   in
   match formula_core ~early_stop:true saturated ia ib with
   | Some f -> f

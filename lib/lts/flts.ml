@@ -1,0 +1,409 @@
+(* Featured LTS: one union state-space build for a family of
+   configurations, guards packed alongside the CSR, per-configuration
+   projection. See flts.mli for the bit-identity contract. *)
+
+module Term = Dpma_pa.Term
+module Rate = Dpma_pa.Rate
+module Feature = Dpma_pa.Feature
+module Pool = Dpma_util.Pool
+
+module Int_tbl = Hashtbl.Make (Int)
+
+(* --- Interned feature guards ----------------------------------------- *)
+
+module Guard = struct
+  module Key = struct
+    type t = int array
+
+    let equal a b =
+      a == b
+      || Array.length a = Array.length b
+         &&
+         let rec eq i = i < 0 || (a.(i) = b.(i) && eq (i - 1)) in
+         eq (Array.length a - 1)
+
+    (* FNV-1a over the elements; guards are tiny sorted arrays. *)
+    let hash a =
+      Array.fold_left (fun h x -> (h lxor x) * 0x01000193 land max_int) 0x811c9dc5 a
+  end
+
+  module Tbl = Hashtbl.Make (Key)
+
+  type table = {
+    nconfigs : int;
+    ids : int Tbl.t;
+    mutable rev : int array array;  (* id -> sorted configuration set *)
+    mutable count : int;
+  }
+
+  let all = 0
+
+  let add t cfgs =
+    let id = t.count in
+    if id = Array.length t.rev then begin
+      let bigger = Array.make (2 * id) [||] in
+      Array.blit t.rev 0 bigger 0 id;
+      t.rev <- bigger
+    end;
+    t.rev.(id) <- cfgs;
+    t.count <- id + 1;
+    Tbl.add t.ids cfgs id;
+    id
+
+  let create ~nconfigs =
+    if nconfigs < 1 then
+      invalid_arg "Flts.Guard.create: need at least one configuration";
+    let t = { nconfigs; ids = Tbl.create 64; rev = Array.make 8 [||]; count = 0 } in
+    ignore (add t (Array.init nconfigs Fun.id) : int);
+    t
+
+  let validate t cfgs =
+    let n = Array.length cfgs in
+    for i = 0 to n - 1 do
+      let c = cfgs.(i) in
+      if c < 0 || c >= t.nconfigs then
+        invalid_arg "Flts.Guard.intern: configuration index out of range";
+      if i > 0 && cfgs.(i - 1) >= c then
+        invalid_arg "Flts.Guard.intern: configurations must be sorted strictly"
+    done
+
+  let intern t cfgs =
+    match Tbl.find_opt t.ids cfgs with
+    | Some id -> id
+    | None ->
+        validate t cfgs;
+        add t (Array.copy cfgs)
+
+  let configs t g = Array.copy t.rev.(g)
+
+  let mem t g c =
+    g = all
+    ||
+    let a = t.rev.(g) in
+    (* Binary search; guard sets are sorted. *)
+    let rec go lo hi =
+      lo < hi
+      &&
+      let mid = (lo + hi) / 2 in
+      let v = a.(mid) in
+      if v = c then true else if v < c then go (mid + 1) hi else go lo mid
+    in
+    go 0 (Array.length a)
+
+  let inter t ga gb =
+    if ga = gb then ga
+    else if ga = all then gb
+    else if gb = all then ga
+    else begin
+      let a = t.rev.(ga) and b = t.rev.(gb) in
+      let la = Array.length a and lb = Array.length b in
+      let buf = Array.make (min la lb) 0 in
+      let n = ref 0 in
+      let i = ref 0 and j = ref 0 in
+      while !i < la && !j < lb do
+        let x = a.(!i) and y = b.(!j) in
+        if x = y then begin
+          buf.(!n) <- x;
+          incr n;
+          incr i;
+          incr j
+        end
+        else if x < y then incr i
+        else incr j
+      done;
+      intern t (Array.sub buf 0 !n)
+    end
+
+  let count t = t.count
+end
+
+(* --- The featured system --------------------------------------------- *)
+
+type t = {
+  nconfigs : int;
+  num_states : int;
+  init : int array;
+  row : int array;
+  lab : int array;
+  tgt : int array;
+  rate_kind : int array;
+  rate_val : float array;
+  rate_prio : int array;
+  guard : int array;
+  guards : Guard.table;
+  terms : Term.t array;
+}
+
+type family_stats = {
+  jobs : int;
+  rounds : int;
+  peak_frontier : int;
+  merge_seconds : float;
+  build_seconds : float;
+  guard_count : int;
+}
+
+let num_transitions t = Array.length t.lab
+
+(* Mirrors [Lts.par_round_threshold]: below this frontier size a parallel
+   round costs more in domain traffic than it saves. *)
+let par_round_threshold ~jobs =
+  if Pool.hardware_parallelism () <= 1 then max_int else 256 * jobs
+
+let build_family ?(max_states = 500_000) ?jobs ?par_threshold specs =
+  Dpma_obs.Trace.with_span "family.build" (fun () ->
+  let t0 = Dpma_obs.Clock.now_s () in
+  let nconfigs = Array.length specs in
+  if nconfigs = 0 then invalid_arg "Flts.build_family: empty family";
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
+  in
+  let par_threshold =
+    match par_threshold with
+    | Some th -> max 0 th
+    | None -> par_round_threshold ~jobs
+  in
+  let fe = Feature.make specs in
+  let guards = Guard.create ~nconfigs in
+  let table : int Int_tbl.t = Int_tbl.create 1024 in
+  let terms = ref (Array.make 1024 Term.stop) in
+  let count = ref 0 in
+  let id_of (term : Term.t) =
+    match Int_tbl.find_opt table term.Term.uid with
+    | Some id -> id
+    | None ->
+        if !count >= max_states then raise (Lts.Too_many_states max_states);
+        let id = !count in
+        incr count;
+        if id = Array.length !terms then begin
+          let bigger = Array.make (2 * id) Term.stop in
+          Array.blit !terms 0 bigger 0 id;
+          terms := bigger
+        end;
+        !terms.(id) <- term;
+        Int_tbl.add table term.Term.uid id;
+        id
+  in
+  (* Seed with every configuration's initial term; hash-consing
+     deduplicates structurally equal initials in configuration order. *)
+  let init = Array.map id_of (Feature.inits fe) in
+  (* Growable edge arrays (lab/tgt/rates/guard grow in lockstep). *)
+  let cap = ref 1024 in
+  let e_n = ref 0 in
+  let e_lab = ref (Array.make !cap 0) in
+  let e_tgt = ref (Array.make !cap 0) in
+  let e_kind = ref (Array.make !cap 0) in
+  let e_prio = ref (Array.make !cap 0) in
+  let e_val = ref (Array.make !cap 0.0) in
+  let e_guard = ref (Array.make !cap 0) in
+  let push_edge label target rate g =
+    if !e_n = !cap then begin
+      let nc = 2 * !cap in
+      let grow_i a =
+        let b = Array.make nc 0 in
+        Array.blit !a 0 b 0 !e_n;
+        a := b
+      in
+      grow_i e_lab;
+      grow_i e_tgt;
+      grow_i e_kind;
+      grow_i e_prio;
+      grow_i e_guard;
+      let b = Array.make nc 0.0 in
+      Array.blit !e_val 0 b 0 !e_n;
+      e_val := b;
+      cap := nc
+    end;
+    let i = !e_n in
+    !e_lab.(i) <- label;
+    !e_tgt.(i) <- target;
+    (match (rate : Rate.t) with
+    | Rate.Exp l ->
+        !e_kind.(i) <- 1;
+        !e_val.(i) <- l
+    | Rate.Imm { prio; weight } ->
+        !e_kind.(i) <- 2;
+        !e_val.(i) <- weight;
+        !e_prio.(i) <- prio
+    | Rate.Passive { weight } ->
+        !e_kind.(i) <- 3;
+        !e_val.(i) <- weight);
+    !e_guard.(i) <- g;
+    e_n := i + 1
+  in
+  (* Row offsets, one per state in id order (processing order is id order
+     because the BFS is level-synchronous and numbering is merge order). *)
+  let rows = ref (Array.make 1024 0) in
+  let rows_n = ref 0 in
+  let push_row v =
+    if !rows_n = Array.length !rows then begin
+      let bigger = Array.make (2 * !rows_n) 0 in
+      Array.blit !rows 0 bigger 0 !rows_n;
+      rows := bigger
+    end;
+    !rows.(!rows_n) <- v;
+    incr rows_n
+  in
+  let rounds = ref 0 and peak_frontier = ref 0 and merge_s = ref 0.0 in
+  let lo = ref 0 in
+  while !lo < !count do
+    let hi = !count in
+    incr rounds;
+    let fsize = hi - !lo in
+    if fsize > !peak_frontier then peak_frontier := fsize;
+    let base = !lo in
+    let frontier = Array.init fsize (fun i -> !terms.(base + i)) in
+    let derived =
+      if jobs = 1 || fsize < par_threshold then begin
+        let sh = Feature.shard fe in
+        let out = Array.make fsize [] in
+        for i = 0 to fsize - 1 do
+          out.(i) <- Feature.derive_in sh frontier.(i)
+        done;
+        Feature.merge_shard sh;
+        out
+      end
+      else
+        Pool.map_chunks_ordered ~jobs
+          ~chunk:(Pool.recommended_chunk ~n:fsize ~jobs)
+          ~init:(fun () -> Feature.shard fe)
+          ~f:Feature.derive_in ~finish:Feature.merge_shard frontier
+    in
+    (* Merge the slices in frontier order: numbering, edge order, and
+       guard interning order are pinned for any job count. *)
+    let tm = Dpma_obs.Clock.now_s () in
+    for i = 0 to fsize - 1 do
+      push_row !e_n;
+      List.iter
+        (fun (g : Feature.group) ->
+          let gid = Guard.intern guards g.Feature.configs in
+          List.iter
+            (fun (label, rate, k) -> push_edge label (id_of k) rate gid)
+            g.Feature.steps)
+        derived.(i)
+    done;
+    merge_s := !merge_s +. (Dpma_obs.Clock.now_s () -. tm);
+    lo := hi
+  done;
+  let n = !count in
+  let nedges = !e_n in
+  let row = Array.make (n + 1) 0 in
+  Array.blit !rows 0 row 0 n;
+  row.(n) <- nedges;
+  let fam =
+    {
+      nconfigs;
+      num_states = n;
+      init;
+      row;
+      lab = Array.sub !e_lab 0 nedges;
+      tgt = Array.sub !e_tgt 0 nedges;
+      rate_kind = Array.sub !e_kind 0 nedges;
+      rate_val = Array.sub !e_val 0 nedges;
+      rate_prio = Array.sub !e_prio 0 nedges;
+      guard = Array.sub !e_guard 0 nedges;
+      guards;
+      terms = Array.sub !terms 0 n;
+    }
+  in
+  let build_seconds = Dpma_obs.Clock.now_s () -. t0 in
+  let module I = Dpma_obs.Instruments in
+  let module M = Dpma_obs.Metrics in
+  M.incr I.family_builds;
+  M.set I.family_configs (float_of_int nconfigs);
+  M.set I.family_states (float_of_int n);
+  M.set I.family_edges (float_of_int nedges);
+  M.set I.family_guards (float_of_int (Guard.count guards));
+  M.observe I.family_build_seconds build_seconds;
+  let stats = Feature.sos_stats fe in
+  M.add I.sos_memo_hits stats.Dpma_pa.Semantics.hits;
+  M.add I.sos_memo_misses stats.Dpma_pa.Semantics.misses;
+  ( fam,
+    {
+      jobs;
+      rounds = !rounds;
+      peak_frontier = !peak_frontier;
+      merge_seconds = !merge_s;
+      build_seconds;
+      guard_count = Guard.count guards;
+    } ))
+
+let of_specs ?max_states ?jobs ?par_threshold specs =
+  fst (build_family ?max_states ?jobs ?par_threshold specs)
+
+(* --- Per-configuration projection ------------------------------------ *)
+
+let project t c =
+  if c < 0 || c >= t.nconfigs then
+    invalid_arg "Flts.project: configuration index out of range";
+  Dpma_obs.Trace.with_span "family.project" (fun () ->
+  let t0 = Dpma_obs.Clock.now_s () in
+  (* FIFO traversal from the configuration's initial state following only
+     the edges whose guard admits it: discovery order reproduces the
+     level-synchronous numbering of [Lts.build], and the guard-filtered
+     edge list of each state is that configuration's own derivation list
+     (see flts.mli), so the result is bit-identical to [Lts.of_spec]. *)
+  let map = Array.make t.num_states (-1) in
+  let order = ref (Array.make 1024 0) in
+  let n = ref 0 in
+  let id_of s =
+    if map.(s) >= 0 then map.(s)
+    else begin
+      let id = !n in
+      incr n;
+      if id = Array.length !order then begin
+        let bigger = Array.make (2 * id) 0 in
+        Array.blit !order 0 bigger 0 id;
+        order := bigger
+      end;
+      !order.(id) <- s;
+      map.(s) <- id;
+      id
+    end
+  in
+  ignore (id_of t.init.(c) : int);
+  let rev_lists = ref [] in
+  let i = ref 0 in
+  while !i < !n do
+    let s = !order.(!i) in
+    let acc = ref [] in
+    for e = t.row.(s) to t.row.(s + 1) - 1 do
+      if Guard.mem t.guards t.guard.(e) c then begin
+        let rate =
+          match t.rate_kind.(e) with
+          | 1 -> Some (Rate.Exp t.rate_val.(e))
+          | 2 -> Some (Rate.Imm { prio = t.rate_prio.(e); weight = t.rate_val.(e) })
+          | 3 -> Some (Rate.Passive { weight = t.rate_val.(e) })
+          | _ -> None
+        in
+        acc := { Lts.label = t.lab.(e); rate; target = id_of t.tgt.(e) } :: !acc
+      end
+    done;
+    rev_lists := List.rev !acc :: !rev_lists;
+    incr i
+  done;
+  let trans = Array.of_list (List.rev !rev_lists) in
+  let order = Array.sub !order 0 !n in
+  let terms = t.terms in
+  let lts =
+    Lts.make ~init:0
+      ~state_name:(fun i -> Term.to_string terms.(order.(i)))
+      trans
+  in
+  let module I = Dpma_obs.Instruments in
+  Dpma_obs.Metrics.observe I.family_project_seconds
+    (Dpma_obs.Clock.now_s () -. t0);
+  lts)
+
+let project_all ?jobs t =
+  let ltss =
+    Pool.parallel_map ?jobs (project t) (List.init t.nconfigs Fun.id)
+  in
+  let arr = Array.of_list ltss in
+  let total =
+    Array.fold_left (fun acc (l : Lts.t) -> acc + l.Lts.num_states) 0 arr
+  in
+  if total > 0 then
+    Dpma_obs.Metrics.set Dpma_obs.Instruments.family_sharing_ratio
+      (float_of_int t.num_states /. float_of_int total);
+  arr

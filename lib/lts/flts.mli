@@ -1,0 +1,121 @@
+(** Featured labelled transition systems: one state-space build shared by
+    a whole family of configurations, with per-configuration projection.
+
+    A family is an array of specifications (see [Dpma_pa.Feature]) that
+    differ in a few constant definitions — DPM timeout values, awake
+    periods, buffer bounds. {!build_family} explores the {e union} state
+    space once with the level-synchronous parallel BFS discipline of
+    {!Lts.build}: states are numbered in frontier-merge order, so the
+    featured system — states, edge order, and guards — is bit-identical
+    for any job count. Each transition carries an interned {e feature
+    guard}: the sorted set of configuration indices under which the
+    transition exists from that state.
+
+    {!project} slices one configuration's LTS back out of the shared CSR
+    without re-deriving anything: a FIFO traversal from that
+    configuration's initial state following only the edges whose guard
+    admits the configuration, numbering states in discovery order. That
+    traversal reproduces the level-synchronous numbering of {!Lts.build},
+    and the derivation layer guarantees that the guard-filtered edge list
+    of every shared state equals the configuration's own SOS derivation
+    (same multiset, same order) — so the projected LTS is bit-identical
+    to [Lts.of_spec] on the member specification: same state count, same
+    CSR arrays, same rates. The family differential tests assert exactly
+    this.
+
+    Guards over-approximate on {e insensitive} states (states whose
+    derivation cannot observe any configuration difference get the
+    all-configurations guard even if only some configurations reach
+    them); the projection traversal never visits a state unreachable
+    under its configuration, so the over-approximation is invisible. *)
+
+(** Interned feature guards: sorted arrays of configuration indices,
+    hash-consed into small integer ids. Id {!Guard.all} always denotes
+    the full configuration set. *)
+module Guard : sig
+  type table
+
+  val create : nconfigs:int -> table
+  (** A fresh table for [nconfigs] configurations, with {!all} already
+      interned. *)
+
+  val all : int
+  (** The guard id of the full configuration set (always [0]). *)
+
+  val intern : table -> int array -> int
+  (** Intern a sorted array of distinct configuration indices. Content
+      equality: interning equal sets returns equal ids regardless of
+      interning order. The array is copied. *)
+
+  val inter : table -> int -> int -> int
+  (** Guard conjunction (set intersection), interned. Commutative and
+      associative — the id of a conjunction is independent of the order
+      the conjuncts were derived or combined in. *)
+
+  val mem : table -> int -> int -> bool
+  (** [mem tbl g c]: does guard [g] admit configuration [c]? *)
+
+  val configs : table -> int -> int array
+  (** The sorted configuration set of a guard id (a copy). *)
+
+  val count : table -> int
+  (** Distinct guards interned so far. *)
+end
+
+type t = private {
+  nconfigs : int;
+  num_states : int;  (** union states *)
+  init : int array;  (** initial state of each configuration *)
+  row : int array;  (** CSR row offsets, length [num_states + 1] *)
+  lab : int array;  (** edge label ids *)
+  tgt : int array;  (** edge target states *)
+  rate_kind : int array;
+      (** 1 = exponential, 2 = immediate, 3 = passive (as {!Lts.t}) *)
+  rate_val : float array;
+  rate_prio : int array;
+  guard : int array;  (** interned guard id per edge *)
+  guards : Guard.table;
+  terms : Dpma_pa.Term.t array;  (** the state terms, by union id *)
+}
+
+type family_stats = {
+  jobs : int;
+  rounds : int;  (** level-synchronous BFS rounds *)
+  peak_frontier : int;
+  merge_seconds : float;
+  build_seconds : float;
+  guard_count : int;  (** distinct interned guards *)
+}
+
+val build_family :
+  ?max_states:int ->
+  ?jobs:int ->
+  ?par_threshold:int ->
+  Dpma_pa.Term.spec array ->
+  t * family_stats
+(** Explore the union state space of the family once. Parameters mirror
+    {!Lts.build} ([max_states], default 500_000, bounds the {e union}
+    state count; raises {!Lts.Too_many_states} beyond it). Deterministic
+    for any [jobs]/[par_threshold]. Raises [Invalid_argument] on an empty
+    family. *)
+
+val of_specs :
+  ?max_states:int ->
+  ?jobs:int ->
+  ?par_threshold:int ->
+  Dpma_pa.Term.spec array ->
+  t
+(** {!build_family} without the statistics. *)
+
+val num_transitions : t -> int
+
+val project : t -> int -> Lts.t
+(** [project fam c] slices configuration [c]'s LTS out of the shared
+    CSR — bit-identical to [Lts.of_spec] on the member specification (see
+    the module preamble). O(reachable states + edges) with no SOS
+    derivation. Safe to call concurrently from several domains. *)
+
+val project_all : ?jobs:int -> t -> Lts.t array
+(** Every configuration's projection, dealt to the domain pool; also
+    records the family sharing ratio (union states / summed projected
+    states) in the metrics registry. *)

@@ -224,6 +224,43 @@ let advance_slots pool st memo rename slots =
               st.invalidations <- st.invalidations + 1))
     slots
 
+(* Reusable int scratch for the closure recompute paths: pushes are
+   amortized O(1) into a growable array, and [scratch_flush_sorted]
+   sorts the live prefix, dedups in place, and copies out an
+   exact-length array — replacing a cons-cell list plus [List.sort_uniq]
+   per recompute. The output is the same sorted duplicate-free content,
+   so signatures are bit-identical. *)
+type scratch = { mutable sbuf : int array; mutable slen : int }
+
+let scratch_create () = { sbuf = Array.make 256 0; slen = 0 }
+
+let scratch_push sc x =
+  let n = Array.length sc.sbuf in
+  if sc.slen = n then begin
+    let nb = Array.make (2 * n) 0 in
+    Array.blit sc.sbuf 0 nb 0 n;
+    sc.sbuf <- nb
+  end;
+  sc.sbuf.(sc.slen) <- x;
+  sc.slen <- sc.slen + 1
+
+let scratch_flush_sorted sc =
+  let a = Array.sub sc.sbuf 0 sc.slen in
+  sc.slen <- 0;
+  Array.sort Int.compare a;
+  let n = Array.length a in
+  if n <= 1 then a
+  else begin
+    let k = ref 1 in
+    for i = 1 to n - 1 do
+      if a.(i) <> a.(!k - 1) then begin
+        a.(!k) <- a.(i);
+        incr k
+      end
+    done;
+    if !k = n then a else Array.sub a 0 !k
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Weak signatures: per-component C / W caches                          *)
 
@@ -239,7 +276,10 @@ module Weak = struct
 
   (* A view abstracts where lookups and stores go: the parent cache
      itself (sequential refinement, coordinator recomputation) or a
-     worker shard layered over a frozen parent (parallel rounds). *)
+     worker shard layered over a frozen parent (parallel rounds). Each
+     view owns two scratch buffers — one per recompute path, since a
+     [compute_w] in flight triggers nested [compute_c] calls through
+     [ensure_c]; neither function nests with itself. *)
   type view = {
     vt : t;
     get_c : int -> int array option;
@@ -247,6 +287,8 @@ module Weak = struct
     get_w : int -> int array option;
     set_w : int -> int array -> int array;
     vstats : stats;
+    sc_c : scratch;
+    sc_w : scratch;
   }
 
   let create (lts : Lts.t) =
@@ -270,16 +312,27 @@ module Weak = struct
 
   let compute_c v ~block c =
     let cond = v.vt.cond in
-    let acc = ref [] in
-    for i = cond.mem_row.(c) to cond.mem_row.(c + 1) - 1 do
-      acc := block.(cond.members.(i)) :: !acc
-    done;
-    for i = cond.tau_row.(c) to cond.tau_row.(c + 1) - 1 do
-      match v.get_c cond.tau_tgt.(i) with
-      | Some ca -> Array.iter (fun b -> acc := b :: !acc) ca
-      | None -> assert false (* dependencies settled by [ensure_c] *)
-    done;
-    Array.of_list (List.sort_uniq Int.compare !acc)
+    if
+      cond.mem_row.(c + 1) - cond.mem_row.(c) = 1
+      && cond.tau_row.(c + 1) = cond.tau_row.(c)
+    then
+      (* Singleton fast path — the overwhelmingly common shape on
+         tau-thin models, where nearly every component is one state
+         with no condensed tau successors: C is its own block,
+         already sorted and deduped. *)
+      [| block.(cond.members.(cond.mem_row.(c))) |]
+    else begin
+      let sc = v.sc_c in
+      for i = cond.mem_row.(c) to cond.mem_row.(c + 1) - 1 do
+        scratch_push sc block.(cond.members.(i))
+      done;
+      for i = cond.tau_row.(c) to cond.tau_row.(c + 1) - 1 do
+        match v.get_c cond.tau_tgt.(i) with
+        | Some ca -> Array.iter (fun b -> scratch_push sc b) ca
+        | None -> assert false (* dependencies settled by [ensure_c] *)
+      done;
+      scratch_flush_sorted sc
+    end
 
   (* Iterative (explicit-stack) DFS over the condensed tau DAG — a tau
      chain can be as deep as the state count, so no native recursion. *)
@@ -314,13 +367,13 @@ module Weak = struct
   let compute_w v ~block c =
     let cond = v.vt.cond in
     let lts = v.vt.lts in
-    let acc = ref [] in
+    let sc = v.sc_w in
     Array.iter
-      (fun b -> acc := pack_pair Lts.tau b :: !acc)
+      (fun b -> scratch_push sc (pack_pair Lts.tau b))
       (ensure_c v ~block c);
     for i = cond.tau_row.(c) to cond.tau_row.(c + 1) - 1 do
       match v.get_w cond.tau_tgt.(i) with
-      | Some wa -> Array.iter (fun p -> acc := p :: !acc) wa
+      | Some wa -> Array.iter (fun p -> scratch_push sc p) wa
       | None -> assert false (* dependencies settled by [ensure_w] *)
     done;
     for i = cond.mem_row.(c) to cond.mem_row.(c + 1) - 1 do
@@ -329,11 +382,11 @@ module Weak = struct
         let l = lts.lab.(j) in
         if l <> Lts.tau then
           Array.iter
-            (fun b -> acc := pack_pair l b :: !acc)
+            (fun b -> scratch_push sc (pack_pair l b))
             (ensure_c v ~block cond.comp_of.(lts.tgt.(j)))
       done
     done;
-    Array.of_list (List.sort_uniq Int.compare !acc)
+    scratch_flush_sorted sc
 
   let ensure_w v ~block c0 =
     (match v.get_w c0 with
@@ -389,6 +442,8 @@ module Weak = struct
           t.stats.misses <- t.stats.misses + 1;
           a);
       vstats = t.stats;
+      sc_c = scratch_create ();
+      sc_w = scratch_create ();
     }
 
   let signature_fn t =
@@ -434,6 +489,8 @@ module Weak = struct
           sh.sh_stats.misses <- sh.sh_stats.misses + 1;
           a);
       vstats = sh.sh_stats;
+      sc_c = scratch_create ();
+      sc_w = scratch_create ();
     }
 
   let shard_signature_fn sh =
@@ -483,6 +540,80 @@ module Weak = struct
     t.stats.remaps <- 0;
     t.stats.invalidations <- 0
 end
+
+(* ------------------------------------------------------------------ *)
+(* Materialized saturation                                              *)
+
+(* The lazy caches above answer signature queries without ever building
+   the double-arrow relation; the functions below build it, for the few
+   places that need actual weak transitions: [Bisim.minimize_weak]'s
+   output (saturated at quotient size) and the diagnostics replay of a
+   distinguishing formula over a small model. *)
+
+let tau_closure (lts : Lts.t) =
+  (* For each state, the set of states reachable through tau transitions,
+     including itself, as a sorted int list. *)
+  let n = lts.num_states in
+  let closure = Array.make n [] in
+  let scratch = Array.make n false in
+  for s = 0 to n - 1 do
+    let seen = scratch in
+    let stack = ref [ s ] in
+    let acc = ref [] in
+    seen.(s) <- true;
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | x :: rest ->
+          stack := rest;
+          acc := x :: !acc;
+          for i = lts.row.(x) to lts.row.(x + 1) - 1 do
+            let t = lts.tgt.(i) in
+            if lts.lab.(i) = Lts.tau && not seen.(t) then begin
+              seen.(t) <- true;
+              stack := t :: !stack
+            end
+          done
+    done;
+    List.iter (fun x -> scratch.(x) <- false) !acc;
+    closure.(s) <- List.sort Int.compare !acc
+  done;
+  closure
+
+let saturate_impl (lts : Lts.t) =
+  let n = lts.num_states in
+  let closure = tau_closure lts in
+  let trans = Array.make n [] in
+  let seen = Int_tbl.create 256 in
+  for s = 0 to n - 1 do
+    Int_tbl.reset seen;
+    let add label target =
+      let key = pack_pair label target in
+      if not (Int_tbl.mem seen key) then begin
+        Int_tbl.add seen key ();
+        trans.(s) <- { Lts.label; rate = None; target } :: trans.(s)
+      end
+    in
+    (* s =tau*=> s' gives weak internal moves to everything in closure. *)
+    List.iter (fun s' -> add Lts.tau s') closure.(s);
+    (* s =tau*=> s1 -a-> s2 =tau*=> t gives weak observable moves. *)
+    List.iter
+      (fun s1 ->
+        for i = lts.row.(s1) to lts.row.(s1 + 1) - 1 do
+          let l = lts.lab.(i) in
+          if l <> Lts.tau then
+            List.iter (fun t -> add l t) closure.(lts.tgt.(i))
+        done)
+      closure.(s)
+  done;
+  Lts.make ~init:lts.init ~state_name:lts.state_name trans
+
+let saturate ?(traced = true) lts =
+  if traced then
+    Dpma_obs.Trace.with_span "bisim.saturate"
+      ~attrs:[ ("states", Dpma_obs.Trace.Int lts.Lts.num_states) ] (fun () ->
+        saturate_impl lts)
+  else saturate_impl lts
 
 (* ------------------------------------------------------------------ *)
 (* Branching signatures: per-state cache                                *)

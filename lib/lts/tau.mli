@@ -105,6 +105,32 @@ module Weak : sig
   val record : t -> unit
 end
 
+(** {1 Materialized saturation}
+
+    The caches above never build the double-arrow relation; the
+    functions here do, for the few consumers that need actual weak
+    transitions rather than signatures. *)
+
+val tau_closure : Lts.t -> int list array
+(** [tau_closure lts] is, per state, the sorted list of states reachable
+    through tau transitions (including the state itself). Quadratic
+    output in the worst case — callers are the subset construction and
+    {!saturate}, both of which run on small or already-minimized
+    models. *)
+
+val saturate : ?traced:bool -> Lts.t -> Lts.t
+(** Weak-transition closure: in the result, an [Obs a] transition
+    [s -> t] exists iff [s =tau*=> . -a-> . =tau*=> t] in the input, and
+    a [Tau] transition [s -> t] iff [s =tau*=> t] (including [s = t]).
+    Rates are dropped. [~traced:false] skips the ["bisim.saturate"]
+    tracing span — for callers (diagnostics) that account the closure
+    under a span of their own.
+
+    The weak equivalence entry points never call this: it is the final
+    materialization step of {!Bisim.minimize_weak} (at quotient size,
+    one state per weak class) and the small-model closure used by the
+    diagnostics replay. *)
+
 (** {1 Branching signature cache} *)
 
 (** Per-state cache of branching signatures (the same-block tau closure

@@ -112,6 +112,7 @@ let archi ?policy p =
   in
   {
     Ast.name = base.Ast.name ^ "_BATTERY";
+    features = base.Ast.features;
     elem_types = elem_types @ [ battery ];
     instances =
       base.Ast.instances
@@ -162,16 +163,26 @@ let lifetime_sweep ?policy ?jobs p ~timeouts =
     let lts = Lts.of_spec el.Elaborate.spec in
     lifetime_of_lts (Markov.without_dpm lts ~high:Rpc.high_actions)
   in
+  (* The sweep points differ only in the DPM timeout rate: build the
+     featured union once, project each point's LTS, and solve the
+     first-passage problems in parallel. *)
+  let specs =
+    Array.of_list
+      (List.map
+         (fun timeout ->
+           (Elaborate.elaborate
+              (archi ?policy
+                 { p with rpc = { p.rpc with Rpc.shutdown_mean = timeout } }))
+             .Elaborate.spec)
+         timeouts)
+  in
+  let ltss = Markov.family_ltss ?jobs specs in
   Pool.parallel_map ?jobs
-    (fun timeout ->
-      let el =
-        Elaborate.elaborate
-          (archi ?policy { p with rpc = { p.rpc with Rpc.shutdown_mean = timeout } })
-      in
-      let with_dpm = lifetime_of_lts (Lts.of_spec el.Elaborate.spec) in
+    (fun (i, timeout) ->
+      let with_dpm = lifetime_of_lts ltss.(i) in
       ( timeout,
         { with_dpm; without_dpm; extension = (with_dpm /. without_dpm) -. 1.0 } ))
-    timeouts
+    (List.mapi (fun i t -> (i, t)) timeouts)
 
 let power_of_state (ctmc : Ctmc.t) s =
   let enables a = List.exists (String.equal a) ctmc.Ctmc.enabled_actions.(s) in

@@ -6,12 +6,17 @@ module Elaborate = Dpma_adl.Elaborate
 module Stats = Dpma_util.Stats
 module Pool = Dpma_util.Pool
 
-(* Every sweep below is embarrassingly parallel: one elaborate -> LTS ->
-   CTMC-solve/simulate chain per sweep point, with no shared mutable
-   state (the elaboration caches in [Rpc]/[Streaming] are mutex-guarded).
-   [?jobs] defaults to [Pool.default_jobs]; results are independent of the
-   job count because each point's work is deterministic and the rows are
-   returned in sweep order. *)
+(* Every sweep below used to be embarrassingly parallel — one elaborate ->
+   LTS -> CTMC-solve/simulate chain per sweep point. The sweep points of
+   one figure differ only in a DPM constant (a timeout, an awake period),
+   so their state spaces overlap almost entirely: the sweeps now elaborate
+   every point, run ONE featured build over the whole family
+   ([Markov.family_ltss]), and project each point's LTS out of the shared
+   structure. Each projected LTS is bit-identical to [Lts.of_spec] on
+   that point's spec, so every figure is unchanged. [?jobs] defaults to
+   [Pool.default_jobs]; results are independent of the job count because
+   the featured build is deterministic and the rows are returned in sweep
+   order. *)
 
 (* ------------------------------------------------------------------ *)
 (* Section 3                                                           *)
@@ -90,16 +95,19 @@ let fig3_markov ?jobs ?(timeouts = default_rpc_timeouts) () =
   let without_dpm =
     Rpc.metrics_of_values (Markov.analyze_lts without_lts rpc_measures).Markov.values
   in
-  Pool.parallel_map ?jobs
-    (fun shutdown_timeout ->
-      let el =
-        Rpc.elaborate ~mode:Rpc.Markovian ~monitors:true
-          { Rpc.default_params with shutdown_mean = shutdown_timeout }
-      in
-      let lts = Lts.of_spec el.Elaborate.spec in
-      let with_dpm =
-        Rpc.metrics_of_values (Markov.analyze_lts lts rpc_measures).Markov.values
-      in
+  let specs =
+    Array.of_list
+      (List.map
+         (fun t ->
+           (Rpc.elaborate ~mode:Rpc.Markovian ~monitors:true
+              { Rpc.default_params with shutdown_mean = t })
+             .Elaborate.spec)
+         timeouts)
+  in
+  let analyses = Markov.analyze_family ?jobs specs rpc_measures in
+  List.mapi
+    (fun i shutdown_timeout ->
+      let with_dpm = Rpc.metrics_of_values analyses.(i).Markov.values in
       { shutdown_timeout; with_dpm; without_dpm })
     timeouts
 
@@ -126,16 +134,27 @@ let fig3_general ?jobs ?(timeouts = default_rpc_timeouts)
   let without_dpm =
     simulate_metrics (Markov.without_dpm base_lts ~high:Rpc.high_actions) base_timing
   in
-  Pool.parallel_map ?jobs
-    (fun shutdown_timeout ->
-      let el =
+  let els =
+    List.map
+      (fun t ->
         Rpc.elaborate ~mode:Rpc.General ~monitors:true
-          { Rpc.default_params with shutdown_mean = shutdown_timeout }
-      in
-      let lts = Lts.of_spec el.Elaborate.spec in
+          { Rpc.default_params with shutdown_mean = t })
+      timeouts
+  in
+  let ltss =
+    Markov.family_ltss ?jobs
+      (Array.of_list (List.map (fun el -> el.Elaborate.spec) els))
+  in
+  Pool.parallel_map ?jobs
+    (fun (i, shutdown_timeout) ->
+      let el = List.nth els i in
       let timing = General.timing_of_list el.Elaborate.general_timings in
-      { shutdown_timeout; with_dpm = simulate_metrics lts timing; without_dpm })
-    timeouts
+      {
+        shutdown_timeout;
+        with_dpm = simulate_metrics ltss.(i) timing;
+        without_dpm;
+      })
+    (List.mapi (fun i t -> (i, t)) timeouts)
 
 let pp_rpc_rows ~title ppf rows =
   Format.fprintf ppf "@[<v>== %s ==@," title;
@@ -164,13 +183,21 @@ type validation_row = {
 
 let fig5_validation ?jobs ?(timeouts = [ 1.0; 5.0; 10.0; 15.0; 20.0; 25.0 ])
     ?(sim = general_rpc_sim_defaults) () =
-  Pool.parallel_map ?jobs
-    (fun v_timeout ->
-      let el =
+  let els =
+    List.map
+      (fun t ->
         Rpc.elaborate ~mode:Rpc.General ~monitors:true
-          { Rpc.default_params with shutdown_mean = v_timeout }
-      in
-      let lts = Lts.of_spec el.Elaborate.spec in
+          { Rpc.default_params with shutdown_mean = t })
+      timeouts
+  in
+  let ltss =
+    Markov.family_ltss ?jobs
+      (Array.of_list (List.map (fun el -> el.Elaborate.spec) els))
+  in
+  Pool.parallel_map ?jobs
+    (fun (i, v_timeout) ->
+      let el = List.nth els i in
+      let lts = ltss.(i) in
       let timing =
         Dpma_sim.Sim.exponential_assignment
           (General.timing_of_list el.Elaborate.general_timings)
@@ -184,7 +211,7 @@ let fig5_validation ?jobs ?(timeouts = [ 1.0; 5.0; 10.0; 15.0; 20.0; 25.0 ])
           .General.summary
       in
       { v_timeout; markov_energy = Markov.value markov "energy"; sim_energy })
-    timeouts
+    (List.mapi (fun i t -> (i, t)) timeouts)
 
 let pp_validation_rows ppf rows =
   Format.fprintf ppf
@@ -224,16 +251,20 @@ let fig4_markov ?jobs ?(awake_periods = default_awake_periods) () =
     Streaming.metrics_of_values
       (Markov.analyze_lts without_lts measures).Markov.values
   in
-  Pool.parallel_map ?jobs
-    (fun awake_period ->
-      let el =
-        Streaming.elaborate ~mode:Streaming.Markovian ~monitors:true
-          { p0 with awake_period_mean = awake_period }
-      in
-      let lts = Lts.of_spec el.Elaborate.spec in
+  let specs =
+    Array.of_list
+      (List.map
+         (fun a ->
+           (Streaming.elaborate ~mode:Streaming.Markovian ~monitors:true
+              { p0 with awake_period_mean = a })
+             .Elaborate.spec)
+         awake_periods)
+  in
+  let analyses = Markov.analyze_family ?jobs specs measures in
+  List.mapi
+    (fun i awake_period ->
       let s_with_dpm =
-        Streaming.metrics_of_values
-          (Markov.analyze_lts lts measures).Markov.values
+        Streaming.metrics_of_values analyses.(i).Markov.values
       in
       { awake_period; s_with_dpm; s_without_dpm })
     awake_periods
@@ -262,16 +293,27 @@ let fig6_general ?jobs ?(awake_periods = default_awake_periods)
       (Markov.without_dpm base_lts ~high:Streaming.high_actions)
       base_timing
   in
-  Pool.parallel_map ?jobs
-    (fun awake_period ->
-      let el =
+  let els =
+    List.map
+      (fun a ->
         Streaming.elaborate ~mode:Streaming.General ~monitors:true
-          { p0 with awake_period_mean = awake_period }
-      in
-      let lts = Lts.of_spec el.Elaborate.spec in
+          { p0 with awake_period_mean = a })
+      awake_periods
+  in
+  let ltss =
+    Markov.family_ltss ?jobs
+      (Array.of_list (List.map (fun el -> el.Elaborate.spec) els))
+  in
+  Pool.parallel_map ?jobs
+    (fun (i, awake_period) ->
+      let el = List.nth els i in
       let timing = General.timing_of_list el.Elaborate.general_timings in
-      { awake_period; s_with_dpm = simulate_metrics lts timing; s_without_dpm })
-    awake_periods
+      {
+        awake_period;
+        s_with_dpm = simulate_metrics ltss.(i) timing;
+        s_without_dpm;
+      })
+    (List.mapi (fun i a -> (i, a)) awake_periods)
 
 let pp_streaming_rows ~title ppf rows =
   Format.fprintf ppf "@[<v>== %s ==@," title;
@@ -334,22 +376,31 @@ type policy_row = {
 }
 
 let ablation_rpc_policy ?jobs ?(timeouts = [ 0.5; 2.0; 5.0; 10.0; 25.0 ]) () =
-  let metrics_of policy shutdown_mean =
-    let el =
-      Rpc.elaborate ~mode:Rpc.Markovian ~monitors:true ~policy
-        { Rpc.default_params with shutdown_mean }
-    in
-    Rpc.metrics_of_values
-      (Markov.analyze_lts (Lts.of_spec el.Elaborate.spec) rpc_measures)
-        .Markov.values
+  (* One family across BOTH axes: the three policy classes only replace
+     the DPM element's equations, so even cross-policy configurations
+     share the client/server/channel behaviors. *)
+  let policies = [ Rpc.Timeout; Rpc.Trivial; Rpc.Predictive ] in
+  let specs =
+    Array.of_list
+      (List.concat_map
+         (fun t ->
+           List.map
+             (fun policy ->
+               (Rpc.elaborate ~mode:Rpc.Markovian ~monitors:true ~policy
+                  { Rpc.default_params with shutdown_mean = t })
+                 .Elaborate.spec)
+             policies)
+         timeouts)
   in
-  Pool.parallel_map ?jobs
-    (fun p_timeout ->
+  let analyses = Markov.analyze_family ?jobs specs rpc_measures in
+  List.mapi
+    (fun i p_timeout ->
+      let m j = Rpc.metrics_of_values analyses.((3 * i) + j).Markov.values in
       {
         p_timeout;
-        timeout_policy = metrics_of Rpc.Timeout p_timeout;
-        trivial_policy = metrics_of Rpc.Trivial p_timeout;
-        predictive_policy = metrics_of Rpc.Predictive p_timeout;
+        timeout_policy = m 0;
+        trivial_policy = m 1;
+        predictive_policy = m 2;
       })
     timeouts
 

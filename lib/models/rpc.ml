@@ -122,6 +122,7 @@ let simplified_archi () =
   in
   {
     Ast.name = "RPC_DPM_Untimed";
+    features = [];
     elem_types = [ server; channel; client; dpm ];
     instances =
       [
@@ -382,6 +383,7 @@ let archi ?(mode = Markovian) ?(monitors = true) ?(policy = Timeout) p =
   in
   {
     Ast.name = "RPC_DPM";
+    features = [];
     elem_types = [ server; channel; client; dpm ];
     instances =
       [

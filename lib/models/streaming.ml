@@ -285,6 +285,7 @@ let archi ?(mode = Markovian) ?(monitors = true) p =
   in
   {
     Ast.name = "STREAMING_DPM";
+    features = [];
     elem_types = [ server; ap; channel; nic; buffer; client; dpm ];
     instances =
       [
@@ -400,6 +401,7 @@ let scaled_archi ?(mode = Markovian) ?(monitors = false) sp =
   let stations = List.init n (fun k -> k + 1) in
   {
     Ast.name = "STREAMING_DPM_SCALED";
+    features = [];
     elem_types =
       [ server; ap ]
       @ (if sp.radio_channel then [ channel ] else [])

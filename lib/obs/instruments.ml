@@ -257,6 +257,44 @@ let sim_ci_rel_half_width =
     ~desc:"relative CI half-width of each estimate (half_width / |mean|)"
     "sim.ci.rel_half_width"
 
+(* Featured configuration families *)
+
+let family_builds =
+  c ~unit_:"builds" ~desc:"featured family state-space builds" "family.builds"
+
+let family_configs =
+  g ~unit_:"configurations"
+    ~desc:"configuration count of the last featured build" "family.configs"
+
+let family_states =
+  g ~unit_:"states" ~desc:"union states of the last featured build"
+    "family.states"
+
+let family_edges =
+  g ~unit_:"edges" ~desc:"guarded transitions of the last featured build"
+    "family.edges"
+
+let family_guards =
+  g ~unit_:"guards"
+    ~desc:"distinct interned feature guards of the last featured build"
+    "family.guard_table"
+
+let family_build_seconds =
+  h ~unit_:"seconds" ~desc:"wall-clock time of each featured family build"
+    "family.build.seconds"
+
+let family_project_seconds =
+  h ~unit_:"seconds"
+    ~desc:"wall-clock time of each per-configuration projection"
+    "family.project.seconds"
+
+let family_sharing_ratio =
+  g ~unit_:"ratio"
+    ~desc:
+      "union states / summed projected states of the last full projection \
+       (lower is more sharing)"
+    "family.sharing_ratio"
+
 (* Domain pool *)
 
 let pool_parallel_maps =

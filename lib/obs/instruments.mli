@@ -229,6 +229,38 @@ val sim_ci_rel_half_width : Metrics.histogram
     ([half_width / |mean|]) of each estimated measure, recorded once per
     replication or batch-means estimate with a non-zero mean. *)
 
+(** {1 Featured configuration families (family)} *)
+
+val family_builds : Metrics.counter
+(** [family.builds] — featured family state-space builds (one union BFS
+    shared by every configuration of a policy family). *)
+
+val family_configs : Metrics.gauge
+(** [family.configs] — configuration count of the last featured build. *)
+
+val family_states : Metrics.gauge
+(** [family.states] — union states of the last featured build. *)
+
+val family_edges : Metrics.gauge
+(** [family.edges] — guarded transitions of the last featured build. *)
+
+val family_guards : Metrics.gauge
+(** [family.guard_table] — distinct interned feature guards of the last
+    featured build (the guard table size). *)
+
+val family_build_seconds : Metrics.histogram
+(** [family.build.seconds] — wall-clock time of each featured family
+    build. *)
+
+val family_project_seconds : Metrics.histogram
+(** [family.project.seconds] — wall-clock time of each per-configuration
+    projection out of a featured system. *)
+
+val family_sharing_ratio : Metrics.gauge
+(** [family.sharing_ratio] — union states divided by the summed state
+    counts of all projections, for the last full projection; 1/N is
+    perfect sharing across N configurations, 1.0 means no sharing. *)
+
 (** {1 Domain pool (pool)} *)
 
 val pool_parallel_maps : Metrics.counter

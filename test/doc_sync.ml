@@ -19,10 +19,9 @@
    (docs/WEAK_EQUIVALENCE.md). Its checks differ from the primary doc's:
    every metric it documents must exist in the registry (no stale rows),
    every registered `bisim.tau.*` instrument must appear in it (the
-   tau-closure cache counters are that doc's contract), no duplicates,
-   and the literal `--saturate` flag name must occur somewhere in the
-   text — so neither the instrument rows nor the deprecated oracle flag
-   can drift from the implementation. *)
+   tau-closure cache counters are that doc's contract), and no
+   duplicates — so the instrument rows cannot drift from the
+   implementation. *)
 
 let read_lines path =
   let ic = open_in path in
@@ -70,11 +69,6 @@ let duplicates names =
       Hashtbl.replace seen n ();
       d)
     names
-
-let contains_sub line sub =
-  let n = String.length line and m = String.length sub in
-  let rec go i = i + m <= n && (String.sub line i m = sub || go (i + 1)) in
-  go 0
 
 let () =
   let doc, weak_doc =
@@ -126,13 +120,7 @@ let () =
            registered);
       report
         (Printf.sprintf "metrics documented more than once in %s" wpath)
-        (duplicates wdocumented);
-      if not (List.exists (fun l -> contains_sub l "--saturate") wlines)
-      then begin
-        fail := true;
-        Printf.eprintf
-          "doc_sync: %s never mentions the deprecated --saturate flag\n" wpath
-      end);
+        (duplicates wdocumented));
   if !fail then exit 1;
   Printf.printf "doc_sync: %d metrics, registry and %s%s agree\n"
     (List.length registered) (Filename.basename doc)

@@ -1,0 +1,311 @@
+(* Differential tests for the featured-LTS family pipeline: one featured
+   build + N projections must be BIT-identical to N independent builds —
+   same CSR arrays, same CTMCs, same figures — for any job count. *)
+
+module Lts = Dpma_lts.Lts
+module Flts = Dpma_lts.Flts
+module Ctmc = Dpma_ctmc.Ctmc
+module Markov = Dpma_core.Markov
+module Elaborate = Dpma_adl.Elaborate
+module Parser = Dpma_adl.Parser
+module Rpc = Dpma_models.Rpc
+module Streaming = Dpma_models.Streaming
+module Battery = Dpma_models.Battery
+
+let check_lts_identical name (a : Lts.t) (b : Lts.t) =
+  Alcotest.(check int) (name ^ ": num_states") a.Lts.num_states b.Lts.num_states;
+  Alcotest.(check int) (name ^ ": init") a.Lts.init b.Lts.init;
+  let arr what x y =
+    Alcotest.(check (array int)) (name ^ ": " ^ what) x y
+  in
+  arr "row" a.Lts.row b.Lts.row;
+  arr "lab" a.Lts.lab b.Lts.lab;
+  arr "tgt" a.Lts.tgt b.Lts.tgt;
+  arr "rate_kind" a.Lts.rate_kind b.Lts.rate_kind;
+  arr "rate_prio" a.Lts.rate_prio b.Lts.rate_prio;
+  Alcotest.(check (array (float 0.0)))
+    (name ^ ": rate_val") a.Lts.rate_val b.Lts.rate_val;
+  (* State names feed diagnostics and weak-equivalence replays. *)
+  for s = 0 to a.Lts.num_states - 1 do
+    if a.Lts.state_name s <> b.Lts.state_name s then
+      Alcotest.failf "%s: state %d named %s vs %s" name s (a.Lts.state_name s)
+        (b.Lts.state_name s)
+  done
+
+let check_ctmc_identical name (a : Ctmc.t) (b : Ctmc.t) =
+  Alcotest.(check int) (name ^ ": tangible") a.Ctmc.n b.Ctmc.n;
+  Alcotest.(check bool)
+    (name ^ ": initial") true
+    (a.Ctmc.initial = b.Ctmc.initial);
+  Alcotest.(check bool)
+    (name ^ ": transitions") true
+    (a.Ctmc.transitions = b.Ctmc.transitions);
+  Alcotest.(check bool)
+    (name ^ ": immediate_rates") true
+    (a.Ctmc.immediate_rates = b.Ctmc.immediate_rates);
+  Alcotest.(check bool)
+    (name ^ ": enabled_actions") true
+    (a.Ctmc.enabled_actions = b.Ctmc.enabled_actions)
+
+(* ------------------------------------------------------------------ *)
+(* Model families                                                      *)
+
+let rpc_timeouts = [ 1.0; 5.0; 20.0 ]
+
+let rpc_specs () =
+  Array.of_list
+    (List.map
+       (fun t ->
+         (Rpc.elaborate ~mode:Rpc.Markovian ~monitors:true
+            { Rpc.default_params with shutdown_mean = t })
+           .Elaborate.spec)
+       rpc_timeouts)
+
+let streaming_params =
+  {
+    Streaming.default_params with
+    ap_buffer_size = 2;
+    client_buffer_size = 2;
+  }
+
+let streaming_specs () =
+  Array.of_list
+    (List.map
+       (fun a ->
+         (Streaming.elaborate ~mode:Streaming.Markovian ~monitors:true
+            { streaming_params with awake_period_mean = a })
+           .Elaborate.spec)
+       [ 10.0; 100.0; 400.0 ])
+
+let test_projection_identity_rpc () =
+  let specs = rpc_specs () in
+  let fam = Flts.of_specs specs in
+  Array.iteri
+    (fun c spec ->
+      let name = Printf.sprintf "rpc config %d" c in
+      check_lts_identical name (Flts.project fam c) (Lts.of_spec spec);
+      check_ctmc_identical name (Ctmc.project fam c)
+        (Ctmc.of_lts (Lts.of_spec spec)))
+    specs
+
+let test_projection_identity_streaming () =
+  let specs = streaming_specs () in
+  let fam = Flts.of_specs specs in
+  Array.iteri
+    (fun c spec ->
+      let name = Printf.sprintf "streaming config %d" c in
+      check_lts_identical name (Flts.project fam c) (Lts.of_spec spec))
+    specs
+
+let test_sharing () =
+  (* The point of the featured build: the union is much smaller than the
+     sum of the members. *)
+  let specs = rpc_specs () in
+  let fam, stats = Flts.build_family specs in
+  let sum =
+    Array.fold_left
+      (fun acc spec -> acc + (Lts.of_spec spec).Lts.num_states)
+      0 specs
+  in
+  if fam.Flts.num_states * 2 >= sum then
+    Alcotest.failf "no sharing: union %d vs summed %d" fam.Flts.num_states sum;
+  Alcotest.(check bool) "some guards" true (stats.Flts.guard_count > 1)
+
+let test_jobs_identity () =
+  let specs = streaming_specs () in
+  let reference, _ = Flts.build_family ~jobs:1 specs in
+  List.iter
+    (fun jobs ->
+      let fam, stats = Flts.build_family ~jobs ~par_threshold:1 specs in
+      let name = Printf.sprintf "jobs %d" jobs in
+      Alcotest.(check int) (name ^ ": jobs used") jobs stats.Flts.jobs;
+      Alcotest.(check int)
+        (name ^ ": states") reference.Flts.num_states fam.Flts.num_states;
+      Alcotest.(check (array int)) (name ^ ": row") reference.Flts.row fam.Flts.row;
+      Alcotest.(check (array int)) (name ^ ": lab") reference.Flts.lab fam.Flts.lab;
+      Alcotest.(check (array int)) (name ^ ": tgt") reference.Flts.tgt fam.Flts.tgt;
+      Alcotest.(check (array int))
+        (name ^ ": guard") reference.Flts.guard fam.Flts.guard;
+      Alcotest.(check (array int))
+        (name ^ ": init") reference.Flts.init fam.Flts.init)
+    [ 1; 2; 4 ]
+
+let test_figure_identity () =
+  (* The sweep values produced through the family path must equal the
+     per-config pipeline bit for bit. *)
+  let measures = Rpc.measures () in
+  let specs = rpc_specs () in
+  let family = Markov.analyze_family specs measures in
+  Array.iteri
+    (fun c spec ->
+      let solo = Markov.analyze spec measures in
+      Alcotest.(check bool)
+        (Printf.sprintf "figure values, config %d" c)
+        true
+        (family.(c).Markov.values = solo.Markov.values))
+    specs
+
+let test_battery_sweep_identity () =
+  let p = { Battery.default_params with capacity = 10 } in
+  let timeouts = [ 2.0; 10.0 ] in
+  let swept = Battery.lifetime_sweep p ~timeouts in
+  List.iter2
+    (fun timeout (t, (l : Battery.lifetime)) ->
+      Alcotest.(check (float 0.0)) "sweep timeout" timeout t;
+      let solo =
+        Battery.expected_lifetime
+          { p with rpc = { p.rpc with Rpc.shutdown_mean = timeout } }
+      in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "lifetime at %g" timeout)
+        solo.Battery.with_dpm l.Battery.with_dpm)
+    timeouts swept
+
+(* ------------------------------------------------------------------ *)
+(* ADL families                                                        *)
+
+let family_aem =
+  {|
+ARCHI_TYPE Pinger(void)
+
+feature period in {1, 2, 5}
+feature burst in {1, 3}
+
+ARCHI_ELEM_TYPES
+
+ELEM_TYPE Ping_Type(const integer limit)
+BEHAVIOR
+Ping(void; void) = Run(0);
+Run(integer n; void) =
+choice {
+  cond(n < limit * burst) -> <fire, exp_mean(period)> . Run(n + 1),
+  cond(n >= limit * burst) -> <rest, exp(1)> . Run(0)
+}
+INPUT_INTERACTIONS void
+OUTPUT_INTERACTIONS void
+
+ARCHI_TOPOLOGY
+
+ARCHI_ELEM_INSTANCES
+P : Ping_Type(2)
+
+ARCHI_ATTACHMENTS void
+
+END
+|}
+
+let test_adl_family () =
+  let archi = Parser.parse family_aem in
+  Alcotest.(check int) "features" 2 (List.length archi.Dpma_adl.Ast.features);
+  let fam = Elaborate.elaborate_family archi in
+  Alcotest.(check int) "members" 6 (Array.length fam.Elaborate.members);
+  (* Declaration order, last feature fastest. *)
+  Alcotest.(check bool)
+    "binding order" true
+    (fam.Elaborate.bindings.(0) = [ ("period", 1); ("burst", 1) ]
+    && fam.Elaborate.bindings.(1) = [ ("period", 1); ("burst", 3) ]
+    && fam.Elaborate.bindings.(5) = [ ("period", 5); ("burst", 3) ]);
+  let swept = Elaborate.elaborate_family ~sweep:"period" archi in
+  Alcotest.(check int) "swept members" 3 (Array.length swept.Elaborate.members);
+  (* The representative member of [elaborate] is the first binding. *)
+  let first = Elaborate.elaborate archi in
+  Alcotest.(check bool)
+    "first member" true
+    (Dpma_pa.Term.equal
+       fam.Elaborate.members.(0).Elaborate.spec.Dpma_pa.Term.init
+       first.Elaborate.spec.Dpma_pa.Term.init);
+  (* Projection identity holds for ADL families too. *)
+  let specs =
+    Array.map (fun m -> m.Elaborate.spec) fam.Elaborate.members
+  in
+  let ffam = Flts.of_specs specs in
+  Array.iteri
+    (fun c spec ->
+      check_lts_identical
+        (Printf.sprintf "adl config %d" c)
+        (Flts.project ffam c) (Lts.of_spec spec))
+    specs
+
+let test_adl_family_errors () =
+  let no_features = Parser.parse {|
+ARCHI_TYPE Solo(void)
+ARCHI_ELEM_TYPES
+ELEM_TYPE T(void)
+BEHAVIOR
+B(void; void) = <tick, exp(1)> . B()
+INPUT_INTERACTIONS void
+OUTPUT_INTERACTIONS void
+ARCHI_TOPOLOGY
+ARCHI_ELEM_INSTANCES
+I : T()
+ARCHI_ATTACHMENTS void
+END
+|} in
+  (match Elaborate.elaborate_family no_features with
+  | exception Elaborate.Check_error _ -> ()
+  | _ -> Alcotest.fail "family without features should be rejected");
+  let archi = Parser.parse family_aem in
+  (match Elaborate.elaborate_family ~sweep:"nope" archi with
+  | exception Elaborate.Check_error _ -> ()
+  | _ -> Alcotest.fail "unknown sweep feature should be rejected")
+
+(* ------------------------------------------------------------------ *)
+(* Guard interning                                                     *)
+
+let guard_prop =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 0 10) (int_range 0 11)
+      >|= fun l -> List.sort_uniq Int.compare l)
+  in
+  let arb_set = QCheck.make ~print:QCheck.Print.(list int) gen in
+  QCheck.Test.make ~count:200
+    ~name:"family: guard conjunction is order-independent"
+    (QCheck.triple arb_set arb_set arb_set)
+    (fun (a, b, c) ->
+      let tbl = Flts.Guard.create ~nconfigs:12 in
+      let ia = Flts.Guard.intern tbl (Array.of_list a) in
+      let ib = Flts.Guard.intern tbl (Array.of_list b) in
+      let ic = Flts.Guard.intern tbl (Array.of_list c) in
+      (* Commutativity and associativity at the id level: conjunction
+         reaches the same interned guard no matter the derivation
+         order. *)
+      let ab = Flts.Guard.inter tbl ia ib in
+      let ba = Flts.Guard.inter tbl ib ia in
+      let abc = Flts.Guard.inter tbl ab ic in
+      let bca = Flts.Guard.inter tbl (Flts.Guard.inter tbl ib ic) ia in
+      (* Re-interning the same content is the identity. *)
+      let ia' = Flts.Guard.intern tbl (Flts.Guard.configs tbl ia) in
+      ab = ba && abc = bca && ia = ia'
+      && Flts.Guard.configs tbl abc
+         = Array.of_list
+             (List.filter (fun x -> List.mem x b && List.mem x c) a))
+
+let test_guard_mem () =
+  let tbl = Flts.Guard.create ~nconfigs:4 in
+  let g = Flts.Guard.intern tbl [| 1; 3 |] in
+  Alcotest.(check bool) "mem 1" true (Flts.Guard.mem tbl g 1);
+  Alcotest.(check bool) "mem 2" false (Flts.Guard.mem tbl g 2);
+  Alcotest.(check bool) "all mem" true (Flts.Guard.mem tbl Flts.Guard.all 2);
+  Alcotest.(check bool)
+    "all configs" true
+    (Flts.Guard.configs tbl Flts.Guard.all = [| 0; 1; 2; 3 |])
+
+let suite =
+  [
+    Alcotest.test_case "rpc projections bit-identical" `Quick
+      test_projection_identity_rpc;
+    Alcotest.test_case "streaming projections bit-identical" `Quick
+      test_projection_identity_streaming;
+    Alcotest.test_case "union shares states" `Quick test_sharing;
+    Alcotest.test_case "featured build independent of jobs" `Quick
+      test_jobs_identity;
+    Alcotest.test_case "figure values identical through family path" `Quick
+      test_figure_identity;
+    Alcotest.test_case "battery sweep identical through family path" `Quick
+      test_battery_sweep_identity;
+    Alcotest.test_case "ADL feature families" `Quick test_adl_family;
+    Alcotest.test_case "ADL family errors" `Quick test_adl_family_errors;
+    Alcotest.test_case "guard membership" `Quick test_guard_mem;
+    QCheck_alcotest.to_alcotest ~long:false guard_prop;
+  ]

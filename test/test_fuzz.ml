@@ -112,6 +112,7 @@ let gen_archi =
   return
     {
       Ast.name = "FUZZ_RING";
+      features = [];
       elem_types = List.map fst stations;
       instances;
       attachments;

@@ -5,6 +5,7 @@ module Rate = Dpma_pa.Rate
 module Term = Dpma_pa.Term
 module Lts = Dpma_lts.Lts
 module Bisim = Dpma_lts.Bisim
+module Tau = Dpma_lts.Tau
 module Hml = Dpma_lts.Hml
 module Diagnose = Dpma_lts.Diagnose
 
@@ -166,7 +167,7 @@ let test_strong_implies_weak () =
 
 let test_saturate_shape () =
   let lts = lts_of (tau (pre "a" (tau Term.stop))) in
-  let sat = Bisim.saturate lts in
+  let sat = Tau.saturate lts in
   (* init =a=> final through the taus, and =tau=> itself reflexively. *)
   Alcotest.(check bool) "weak a from init" true
     (List.exists
@@ -312,7 +313,7 @@ let test_weak_distinguishing_formula () =
   | None -> Alcotest.fail "expected weak distinguishing formula"
   | Some f ->
       let union, ia, ib = Lts.disjoint_union lhs rhs in
-      let sat = Bisim.saturate union in
+      let sat = Tau.saturate union in
       Alcotest.(check bool) "holds on one side only" true
         (Hml.sat sat ia f <> Hml.sat sat ib f)
 
@@ -392,15 +393,15 @@ let prop_weak_formula_sound =
       | None -> Bisim.weak_equivalent a b
       | Some f ->
           let union, ia, ib = Lts.disjoint_union a b in
-          let sat = Bisim.saturate union in
+          let sat = Tau.saturate union in
           Hml.sat sat ia f && not (Hml.sat sat ib f))
 
 let prop_saturate_idempotent =
   QCheck.Test.make ~count:200 ~name:"saturation is idempotent"
     arb_lts
     (fun lts ->
-      let sat = Bisim.saturate ~traced:false lts in
-      let sat2 = Bisim.saturate ~traced:false sat in
+      let sat = Tau.saturate ~traced:false lts in
+      let sat2 = Tau.saturate ~traced:false sat in
       (* Re-saturating adds no transition: the weak closure is a fixed
          point, not merely an equivalent system. *)
       Lts.num_transitions sat2 = Lts.num_transitions sat

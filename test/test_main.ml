@@ -19,6 +19,7 @@ let () =
       ("measures", Test_measures.suite);
       ("noninterference", Test_noninterference.suite);
       ("models", Test_models.suite);
+      ("family", Test_family.suite);
       ("pipeline", Test_pipeline.suite);
       ("fuzz", Test_fuzz.suite);
       ("goldens", Test_goldens.suite);

@@ -6,6 +6,7 @@ module Rate = Dpma_pa.Rate
 module Term = Dpma_pa.Term
 module Lts = Dpma_lts.Lts
 module Bisim = Dpma_lts.Bisim
+module Tau = Dpma_lts.Tau
 module Hml = Dpma_lts.Hml
 module NI = Dpma_core.Noninterference
 module Rpc = Dpma_models.Rpc
@@ -95,7 +96,7 @@ let test_simplified_rpc_formula_is_sound () =
   | NI.Secure -> Alcotest.fail "expected insecure"
   | NI.Insecure formula ->
       let union, ia, ib = Lts.disjoint_union hidden removed in
-      let sat = Bisim.saturate union in
+      let sat = Tau.saturate union in
       Alcotest.(check bool) "formula holds with DPM hidden" true
         (Hml.sat sat ia formula);
       Alcotest.(check bool) "formula fails with DPM removed" false
@@ -254,7 +255,7 @@ let reference_check hidden removed =
   if Bisim.weak_equivalent hidden removed then None
   else
     let union, ia, ib = Lts.disjoint_union hidden removed in
-    let sat = Bisim.saturate ~traced:false union in
+    let sat = Tau.saturate ~traced:false union in
     match Diagnose.distinguishing_formula sat ia ib with
     | Some f -> Some f
     | None -> Alcotest.fail "reference pipeline disagrees with itself"
@@ -336,7 +337,7 @@ let test_streaming_mutant_insecure () =
         in
         Lts.disjoint_union hidden removed
       in
-      let sat = Bisim.saturate ~traced:false union in
+      let sat = Tau.saturate ~traced:false union in
       Alcotest.(check bool) "formula holds with DPM observable" true
         (Hml.sat sat ia formula);
       Alcotest.(check bool) "formula fails with DPM removed" false
@@ -344,12 +345,10 @@ let test_streaming_mutant_insecure () =
   Alcotest.(check bool) "insecure early exit taken" true
     (Metrics.count Instruments.ni_product_insecure_exits > before)
 
-(* Satellite: no saturation per check. The verdict's product refiner
-   runs the lazy weak pass (exactly one "bisim.tau.condense" span, zero
-   "bisim.saturate"); the deprecated ~saturate:true oracle path is the
-   only one that saturates, exactly once. The INSECURE diagnostic pass
-   accounts its own small-model saturation under "diagnose.saturate"
-   either way. *)
+(* No saturation per check: the verdict's product refiner runs the lazy
+   weak pass (exactly one "bisim.tau.condense" span, zero
+   "bisim.saturate"). The INSECURE diagnostic pass accounts its own
+   small-model saturation under "diagnose.saturate". *)
 let count_spans name =
   let rec go acc (s : Trace.span) =
     let acc = if String.equal s.Trace.name name then acc + 1 else acc in
@@ -366,7 +365,7 @@ let with_tracing f =
       Trace.reset ())
     f
 
-let test_single_saturation_secure_path () =
+let test_no_saturation_secure_path () =
   let defs =
     [
       ("P", Term.choice [ pre "low" (Term.call "P"); pre "high" (Term.call "Q") ]);
@@ -383,17 +382,9 @@ let test_single_saturation_secure_path () =
       Alcotest.(check int) "one tau condensation" 1
         (count_spans "bisim.tau.condense");
       Alcotest.(check int) "no diagnostic saturation" 0
-        (count_spans "diagnose.saturate"));
-  with_tracing (fun () ->
-      (match NI.check_spec ~saturate:true spec ~high:[ "high" ] ~low:[ "low" ] with
-      | NI.Secure -> ()
-      | NI.Insecure _ -> Alcotest.fail "toy system must be secure");
-      Alcotest.(check int) "oracle path: one bisim.saturate span" 1
-        (count_spans "bisim.saturate");
-      Alcotest.(check int) "oracle path: no tau condensation" 0
-        (count_spans "bisim.tau.condense"))
+        (count_spans "diagnose.saturate"))
 
-let test_single_saturation_insecure_path () =
+let test_diagnose_saturation_insecure_path () =
   let defs =
     [
       ("P", Term.choice [ pre "low" (Term.call "P"); pre "high" (Term.call "Off") ]);
@@ -410,14 +401,6 @@ let test_single_saturation_insecure_path () =
       Alcotest.(check int) "one tau condensation" 1
         (count_spans "bisim.tau.condense");
       Alcotest.(check int) "one diagnostic saturation" 1
-        (count_spans "diagnose.saturate"));
-  with_tracing (fun () ->
-      (match NI.check_spec ~saturate:true spec ~high:[ "high" ] ~low:[ "low" ] with
-      | NI.Secure -> Alcotest.fail "toy system must be insecure"
-      | NI.Insecure _ -> ());
-      Alcotest.(check int) "oracle path: one bisim.saturate span" 1
-        (count_spans "bisim.saturate");
-      Alcotest.(check int) "oracle path: one diagnostic saturation" 1
         (count_spans "diagnose.saturate"))
 
 let test_product_counters () =
@@ -446,10 +429,10 @@ let product_suite =
       test_rpc_mutant_insecure;
     Alcotest.test_case "streaming mutant: early-exit insecure" `Quick
       test_streaming_mutant_insecure;
-    Alcotest.test_case "one saturation span (secure path)" `Quick
-      test_single_saturation_secure_path;
-    Alcotest.test_case "one saturation span (insecure path)" `Quick
-      test_single_saturation_insecure_path;
+    Alcotest.test_case "no saturation span (secure path)" `Quick
+      test_no_saturation_secure_path;
+    Alcotest.test_case "diagnose-only saturation (insecure path)" `Quick
+      test_diagnose_saturation_insecure_path;
     Alcotest.test_case "product refiner counters" `Quick test_product_counters;
   ]
 

@@ -1,10 +1,12 @@
 (* Differential tests for the on-the-fly weak saturation (lib/lts/tau.ml
    + the lazy passes in lib/lts/bisim.ml): the lazy tau-closure path must
-   be bit-identical to the retired materialized-saturation path — kept
-   for one release behind [~saturate:true] as the oracle — on partitions,
-   minimized LTSs, product verdicts, trails and distinguishing formulas;
-   identical for any job count; and the cross-round cache advance must
-   never change a signature compared to a cold cache. *)
+   be bit-identical to strong refinement of the materialized saturation —
+   reconstructed here from [Tau.saturate] and the public refinement API,
+   now that the [--saturate] oracle branches are gone — on partitions,
+   minimized LTSs and equivalence verdicts; product verdicts, trails and
+   distinguishing formulas must be identical for any job count; and the
+   cross-round cache advance must never change a signature compared to a
+   cold cache. *)
 
 module Lts = Dpma_lts.Lts
 module Bisim = Dpma_lts.Bisim
@@ -61,7 +63,20 @@ let check_partition name p q =
   Alcotest.(check bool) (name ^ ": partitions identical") true (p = q)
 
 (* ------------------------------------------------------------------ *)
-(* Partition and minimization differentials against the oracle          *)
+(* Partition and minimization differentials against a reconstructed
+   materialized-saturation oracle: pre-reduce exactly like
+   [weak_partition] (strong quotient, then tau-SCC collapse via
+   [Tau.condense]), materialize the saturation of the reduced LTS with
+   [Tau.saturate], refine it with strong signatures, and compose. This
+   is the retired [--saturate] path, rebuilt from the public API. *)
+
+let oracle_weak_partition lts =
+  let p1 = Bisim.strong_partition lts in
+  let l1 = Lts.quotient lts p1 in
+  let p2 = (Tau.condense l1).Tau.comp_of in
+  let l2 = Lts.quotient l1 p2 in
+  let p3 = Bisim.strong_partition (Tau.saturate ~traced:false l2) in
+  Array.init (Array.length p1) (fun s -> p3.(p2.(p1.(s))))
 
 let test_partition_differentials () =
   List.iter
@@ -69,7 +84,7 @@ let test_partition_differentials () =
       let lts = Lazy.force lts in
       check_partition (name ^ " lazy vs oracle")
         (Bisim.weak_partition lts)
-        (Bisim.weak_partition ~saturate:true lts))
+        (oracle_weak_partition lts))
     [
       ("rpc", rpc_lts);
       ("simplified rpc", simplified_rpc_lts);
@@ -77,12 +92,19 @@ let test_partition_differentials () =
       ("scaled", scaled_lts);
     ]
 
+(* Saturation commutes with disjoint union, so strong bisimilarity of
+   the saturated union decides weak bisimilarity — Milner's reduction,
+   materialized. *)
+let oracle_weak_equivalent x y =
+  let union, ia, ib = Lts.disjoint_union x y in
+  let p = Bisim.strong_partition (Tau.saturate ~traced:false union) in
+  p.(ia) = p.(ib)
+
 let test_equivalent_agrees () =
   let a = Lazy.force rpc_lts and b = Lazy.force small_streaming_lts in
   List.iter
     (fun (name, x, y) ->
-      Alcotest.(check bool) name
-        (Bisim.weak_equivalent ~saturate:true x y)
+      Alcotest.(check bool) name (oracle_weak_equivalent x y)
         (Bisim.weak_equivalent x y))
     [
       ("rpc ~ rpc", a, a);
@@ -106,7 +128,10 @@ let test_minimize_differentials () =
     (fun (name, lts) ->
       let lts = Lazy.force lts in
       let lazy_min = Bisim.minimize_weak lts in
-      let oracle = Bisim.minimize_weak ~saturate:true lts in
+      let oracle =
+        let sat = Tau.saturate ~traced:false lts in
+        Lts.quotient sat (Bisim.strong_partition sat)
+      in
       Alcotest.(check int) (name ^ ": num_states") oracle.Lts.num_states
         lazy_min.Lts.num_states;
       Alcotest.(check int) (name ^ ": init") oracle.Lts.init lazy_min.Lts.init;
@@ -115,7 +140,9 @@ let test_minimize_differentials () =
     [ ("rpc", rpc_lts); ("streaming", small_streaming_lts) ]
 
 (* ------------------------------------------------------------------ *)
-(* Product checks: verdicts, trails, formulas                           *)
+(* Product checks: verdicts, trails and formulas must be identical for
+   any job count (the watched early exit runs in the coordinator on the
+   deterministically merged round result).                              *)
 
 let test_product_insecure_differential () =
   let high a = List.mem a Rpc.high_actions in
@@ -123,21 +150,21 @@ let test_product_insecure_differential () =
   let hidden, removed =
     NI.observed_pair (Lazy.force simplified_rpc_lts) ~high ~low
   in
-  let trail saturate =
-    match Bisim.weak_product_check ~saturate hidden removed with
+  let trail jobs =
+    match Bisim.weak_product_check ~jobs ~par_cutoff:0 hidden removed with
     | Bisim.Product_secure _ -> Alcotest.fail "simplified rpc must be insecure"
     | Bisim.Product_insecure trail -> trail
   in
-  let lazy_t = trail false and oracle_t = trail true in
-  Alcotest.(check int) "split round" oracle_t.Bisim.split_round
-    lazy_t.Bisim.split_round;
+  let seq_t = trail 1 and par_t = trail 4 in
+  Alcotest.(check int) "split round" seq_t.Bisim.split_round
+    par_t.Bisim.split_round;
   Alcotest.(check bool) "left signature" true
-    (oracle_t.Bisim.left_signature = lazy_t.Bisim.left_signature);
+    (seq_t.Bisim.left_signature = par_t.Bisim.left_signature);
   Alcotest.(check bool) "right signature" true
-    (oracle_t.Bisim.right_signature = lazy_t.Bisim.right_signature);
+    (seq_t.Bisim.right_signature = par_t.Bisim.right_signature);
   Alcotest.(check string) "distinguishing formula"
-    (Hml.to_string ~weak:true (Diagnose.of_product_trail oracle_t))
-    (Hml.to_string ~weak:true (Diagnose.of_product_trail lazy_t))
+    (Hml.to_string ~weak:true (Diagnose.of_product_trail seq_t))
+    (Hml.to_string ~weak:true (Diagnose.of_product_trail par_t))
 
 let test_product_secure_differential () =
   let high a = List.mem a Streaming.high_actions in
@@ -145,29 +172,29 @@ let test_product_secure_differential () =
   let hidden, removed =
     NI.observed_pair (Lazy.force small_streaming_lts) ~high ~low
   in
-  let result saturate =
-    match Bisim.weak_product_check ~saturate hidden removed with
+  let result jobs =
+    match Bisim.weak_product_check ~jobs ~par_cutoff:0 hidden removed with
     | Bisim.Product_secure { partition; rounds } -> (partition, rounds)
     | Bisim.Product_insecure _ -> Alcotest.fail "streaming must be secure"
   in
-  let lp, lr = result false and op, orr = result true in
-  Alcotest.(check int) "secure exit round" orr lr;
-  check_partition "secure product partition" op lp
+  let sp, sr = result 1 and pp, pr = result 4 in
+  Alcotest.(check int) "secure exit round" sr pr;
+  check_partition "secure product partition" sp pp
 
 (* Declassified mutants (high actions made observable): the early
-   INSECURE exit must produce the same formula on both paths. *)
+   INSECURE exit must produce the same formula at any job count. *)
 let test_mutant_formula_differential () =
   let spec =
     (Rpc.elaborate ~mode:Rpc.Markovian ~monitors:false Rpc.default_params)
       .Elaborate.spec
   in
   let high = Rpc.high_actions and low = Rpc.low_actions @ Rpc.high_actions in
-  let formula saturate =
-    match NI.check_spec ~saturate spec ~high ~low with
+  let formula jobs =
+    match NI.check_spec ~jobs spec ~high ~low with
     | NI.Secure -> Alcotest.fail "declassified DPM action must be observable"
     | NI.Insecure f -> Hml.to_string ~weak:true f
   in
-  Alcotest.(check string) "mutant formula" (formula true) (formula false)
+  Alcotest.(check string) "mutant formula" (formula 1) (formula 4)
 
 (* ------------------------------------------------------------------ *)
 (* Parallel identity of the cached weak path                            *)
@@ -271,11 +298,11 @@ let suite =
       test_equivalent_agrees;
     Alcotest.test_case "minimize_weak lazy = oracle" `Quick
       test_minimize_differentials;
-    Alcotest.test_case "insecure product trail lazy = oracle" `Quick
+    Alcotest.test_case "insecure product trail jobs-identical" `Quick
       test_product_insecure_differential;
-    Alcotest.test_case "secure product lazy = oracle" `Quick
+    Alcotest.test_case "secure product jobs-identical" `Quick
       test_product_secure_differential;
-    Alcotest.test_case "mutant formula lazy = oracle" `Quick
+    Alcotest.test_case "mutant formula jobs-identical" `Quick
       test_mutant_formula_differential;
     Alcotest.test_case "lazy weak jobs-identical" `Quick
       test_weak_jobs_identity;
