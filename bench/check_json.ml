@@ -32,6 +32,11 @@ let required =
     "lts.par.merge.seconds";
     "lts.par.segments";
     "lts.par.segment_bytes_peak";
+    "lts.spill.segments";
+    "lts.spill.bytes";
+    "lts.spill.write_seconds";
+    "guard.polls";
+    "guard.trips";
     "bisim.refine.rounds";
     "bisim.tau.components";
     "bisim.tau.cache_hits";
@@ -126,8 +131,29 @@ let () =
               (* peak interned tau-closure payload of the weak sweep: the
                  lazy pass must report its memory footprint *)
               "bisim.tau.closure_bytes_peak"; "lts.states";
-              "lts.transitions"; "lts.segment_bytes_peak" ]
+              "lts.transitions"; "lts.segment_bytes_peak";
+              (* the forced-spill differential leg: bit-identical CSR,
+                 and it must actually have spilled *)
+              "lts.spill.segments"; "lts.spill.bytes";
+              "lts.spill.build_seconds" ]
       | _ -> fail "study_seconds misses study streaming_scaled");
+      (* The N-node ad hoc network chain: built under a resident segment
+         budget through the spill path, with a deliberately tripped
+         wall-clock guard leg. *)
+      (match Json.member "adhoc_net" studies with
+      | Some (Json.Obj _ as entry) ->
+          List.iter
+            (fun key ->
+              match Json.member key entry with
+              | Some (Json.Num v) when v > 0.0 -> ()
+              | Some j ->
+                  fail "study_seconds.adhoc_net.%s should be positive, got %s"
+                    key (Json.to_string j)
+              | None -> fail "study_seconds.adhoc_net misses %s" key)
+            [ "lts.build_seconds"; "lts.states"; "lts.transitions";
+              "lts.segment_bytes_peak"; "lts.spill.segments";
+              "lts.spill.bytes"; "guard.trips" ]
+      | _ -> fail "study_seconds misses study adhoc_net");
       (* The featured-family sweep: one shared build plus four
          per-configuration projections of the streaming awake-period
          family, raced against four independent pipelines. The bench
@@ -196,5 +222,9 @@ let () =
       "lts.par.segment_bytes_peak";
       (* the lazy weak pass must actually have exercised its tau-closure
          cache and reported a memory high-water mark *)
-      "bisim.tau.cache_hits"; "bisim.tau.closure_bytes_peak" ];
+      "bisim.tau.cache_hits"; "bisim.tau.closure_bytes_peak";
+      (* the forced-spill legs and the deliberate guard trip of the tiny
+         run must land in the central registry *)
+      "lts.spill.segments"; "lts.spill.bytes"; "guard.polls";
+      "guard.trips" ];
   print_endline "bench json report ok"

@@ -18,6 +18,13 @@
      metrics print the metrics registry to stderr on exit
      trace   record span timings and print the tree to stderr on exit
      -j N    run sweeps on N domains (same as DPMA_JOBS=N)
+     --max-seconds S   wall-clock budget; on a trip the run prints a
+                       machine-readable degraded verdict and exits 3
+     --max-mb MB       resident-memory budget, same degraded contract
+     --spill-dir DIR   spill full storage segments beyond the resident
+                       budget to a mapped temp file in DIR
+     --spill-mb MB     resident segment budget for --spill-dir
+                       (default: half of --max-mb, else 64)
 
    Figure tables go to stdout and are bit-identical for any job count;
    wall-clock timing lines go to stderr. In json mode stdout carries the
@@ -27,6 +34,7 @@
 module Figures = Dpma_models.Figures
 module Rpc = Dpma_models.Rpc
 module Streaming = Dpma_models.Streaming
+module Adhoc = Dpma_models.Adhoc
 module General = Dpma_core.General
 module Markov = Dpma_core.Markov
 module NI = Dpma_core.Noninterference
@@ -39,9 +47,33 @@ module Flts = Dpma_lts.Flts
 module Prng = Dpma_util.Prng
 module Pool = Dpma_util.Pool
 
+module Rguard = Dpma_util.Guard
+
 let quick, json_mode, smoke, tiny =
   let quick = ref false and json = ref false in
   let smoke = ref false and tiny = ref false in
+  let max_seconds = ref None and max_mb = ref None in
+  let spill_dir = ref None and spill_mb = ref None in
+  let num kind conv name rest k =
+    match rest with
+    | v :: rest -> (
+        match conv v with
+        | Some x -> k x; rest
+        | None ->
+            Printf.eprintf "bench: %s expects a %s\n" name kind;
+            exit 2)
+    | [] ->
+        Printf.eprintf "bench: %s expects an argument\n" name;
+        exit 2
+  in
+  let pos_int s =
+    match int_of_string_opt s with Some v when v >= 1 -> Some v | _ -> None
+  in
+  let pos_float s =
+    match float_of_string_opt s with
+    | Some v when v >= 0.0 && Float.is_finite v -> Some v
+    | _ -> None
+  in
   let rec parse = function
     | [] -> ()
     | "-j" :: n :: rest ->
@@ -51,6 +83,22 @@ let quick, json_mode, smoke, tiny =
             prerr_endline "bench: -j expects a positive integer";
             exit 2);
         parse rest
+    | "--max-seconds" :: rest ->
+        parse
+          (num "non-negative number" pos_float "--max-seconds" rest (fun s ->
+               max_seconds := Some s))
+    | "--max-mb" :: rest ->
+        parse
+          (num "positive integer" pos_int "--max-mb" rest (fun m ->
+               max_mb := Some m))
+    | "--spill-dir" :: rest ->
+        parse
+          (num "directory" (fun d -> Some d) "--spill-dir" rest (fun d ->
+               spill_dir := Some d))
+    | "--spill-mb" :: rest ->
+        parse
+          (num "positive integer" pos_int "--spill-mb" rest (fun m ->
+               spill_mb := Some m))
     | "quick" :: rest ->
         quick := true;
         parse rest
@@ -78,6 +126,25 @@ let quick, json_mode, smoke, tiny =
   in
   Dpma_obs.Report.init_from_env ();
   parse (List.tl (Array.to_list Sys.argv));
+  (* Same resolution as dpma's --spill-dir/--max-* flags: spill budget
+     defaults to half the memory budget, and the guard is ambient so it
+     covers every build and refinement phase of the run. *)
+  (match !spill_dir with
+  | Some dir ->
+      let budget_mb =
+        match (!spill_mb, !max_mb) with
+        | Some b, _ -> max 1 b
+        | None, Some m -> max 1 (m / 2)
+        | None, None -> 64
+      in
+      Dpma_lts.Segstore.set_defaults ~spill_dir:dir
+        ~max_resident_bytes:(budget_mb * 1024 * 1024) ()
+  | None -> ());
+  if !max_seconds <> None || !max_mb <> None then
+    Rguard.install
+      (Rguard.create ?max_seconds:!max_seconds
+         ?max_resident_bytes:(Option.map (fun m -> m * 1024 * 1024) !max_mb)
+         ());
   (!quick, !json, !smoke, !tiny)
 
 (* ------------------------------------------------------------------ *)
@@ -378,15 +445,50 @@ let scaled_study () =
         ]
     else []
   in
+  (* Spill differential: the same build forced through the disk-backed
+     segment path (resident budget 0, so every full segment spills) must
+     produce a bit-identical CSR, leave no temp file behind, and report
+     its spill traffic. Tiny runs shrink the segments (seg_bits 8) so the
+     530-state model still crosses segment boundaries. *)
+  let spill_dir = Filename.temp_dir "dpma-bench" ".spill" in
+  Gc.full_major ();
+  let slts, sst =
+    Lts.build ~max_states
+      ?seg_bits:(if tiny then Some 8 else None)
+      ~spill_dir ~max_resident_bytes:0 spec
+  in
+  if csr_digest slts <> sweep.sw_digest then begin
+    Printf.eprintf
+      "[bench] SPILL MISMATCH streaming_scaled: CSR digest differs with \
+       spill forced\n\
+       %!";
+    exit 1
+  end;
+  if sst.Lts.spilled_segments = 0 then begin
+    Printf.eprintf
+      "[bench] SPILL MISMATCH streaming_scaled: forced spill spilled no \
+       segments\n\
+       %!";
+    exit 1
+  end;
+  (match Sys.readdir spill_dir with
+  | [||] -> Unix.rmdir spill_dir
+  | leftovers ->
+      Printf.eprintf
+        "[bench] SPILL LEAK streaming_scaled: %d temp files left in %s\n%!"
+        (Array.length leftovers) spill_dir;
+      exit 1);
   let st = match sweep.sw_legs with (_, _, st) :: _ -> st | [] -> assert false in
   Printf.eprintf
     "[bench] %-16s %d states, %d transitions, %d segments, %.1f MiB peak, \
-     lts.build %.3f s\n\
+     lts.build %.3f s, spilled %d segs (%.1f MiB, %.3f s)\n\
      %!"
     "streaming_scaled" lts.Lts.num_states (Lts.num_transitions lts)
     st.Lts.segments
     (float_of_int st.Lts.segment_bytes_peak /. 1048576.0)
-    st.Lts.build_seconds;
+    st.Lts.build_seconds sst.Lts.spilled_segments
+    (float_of_int sst.Lts.spilled_bytes /. 1048576.0)
+    sst.Lts.spill_write_seconds;
   study_seconds :=
     !study_seconds
     @ [
@@ -398,6 +500,9 @@ let scaled_study () =
               ("lts.transitions", float_of_int (Lts.num_transitions lts));
               ("lts.segment_bytes_peak",
                float_of_int st.Lts.segment_bytes_peak);
+              ("lts.spill.segments", float_of_int sst.Lts.spilled_segments);
+              ("lts.spill.bytes", float_of_int sst.Lts.spilled_bytes);
+              ("lts.spill.build_seconds", sst.Lts.build_seconds);
             ] );
       ]
 
@@ -497,6 +602,114 @@ let family_sweep () =
               ("baseline.build_seconds", base_s);
               ("family.speedup", base_s /. fam_total);
             ] );
+      ]
+
+(* The N-node ad hoc network chain (lib/models/adhoc.ml): the
+   million-state scenario the spill store and the resource guards exist
+   for. Smoke and full runs build the calibrated 4-node instance — over
+   2 million states whose in-memory edge segments peak near 500 MiB —
+   under a 64-MiB resident segment budget, which only the spill path can
+   satisfy. Tiny runs shrink the chain to 2 nodes and the segments to
+   seg_bits 8 so the same spill machinery (and the JSON contract keys)
+   is exercised in milliseconds, and add two checks the big instance
+   would pay for twice: a bit-identity differential against the
+   in-memory build, and a deliberately tripped wall-clock guard whose
+   structured verdict must carry the partial build progress. *)
+let adhoc_study () =
+  let p, expected_states, max_states, cap_mb =
+    if tiny then
+      ( { Adhoc.default_params with Adhoc.nodes = 2; queue_size = 1 },
+        1_232, 100_000, 0 )
+    else
+      ( { Adhoc.default_params with
+          Adhoc.nodes = 4; queue_size = 1; head_queue_size = Some 2 },
+        2_025_289, 2_500_000, 64 )
+  in
+  let spec = Adhoc.spec ~monitors:false p in
+  let seg_bits = if tiny then Some 8 else None in
+  let spill_dir = Filename.temp_dir "dpma-bench" ".adhoc" in
+  Gc.full_major ();
+  let lts, st =
+    Lts.build ~max_states ?seg_bits ~spill_dir
+      ~max_resident_bytes:(cap_mb * 1024 * 1024) spec
+  in
+  if lts.Lts.num_states <> expected_states then begin
+    Printf.eprintf
+      "[bench] GOLDEN MISMATCH adhoc_net: expected %d states, got %d\n%!"
+      expected_states lts.Lts.num_states;
+    exit 1
+  end;
+  if st.Lts.spilled_segments = 0 then begin
+    Printf.eprintf
+      "[bench] SPILL MISMATCH adhoc_net: capped build spilled no segments\n%!";
+    exit 1
+  end;
+  if tiny then begin
+    (* Differential against the in-memory path (cheap at 2 nodes; the
+       big instance relies on the streaming_scaled spill differential,
+       which runs in every mode). *)
+    let mem = Lts.of_spec ~max_states spec in
+    if csr_digest mem <> csr_digest lts then begin
+      Printf.eprintf
+        "[bench] SPILL MISMATCH adhoc_net: CSR digest differs from the \
+         in-memory build\n\
+         %!";
+      exit 1
+    end
+  end;
+  (match Sys.readdir spill_dir with
+  | [||] -> Unix.rmdir spill_dir
+  | leftovers ->
+      Printf.eprintf
+        "[bench] SPILL LEAK adhoc_net: %d temp files left in %s\n%!"
+        (Array.length leftovers) spill_dir;
+      exit 1);
+  (* Deliberate guard trip: an exhausted wall-clock budget must abort
+     the build with the structured trip — right resource, right phase,
+     partial progress attached — not a crash. [Guard.poll] clears a
+     tripped guard, so the rest of the run is unaffected. *)
+  let trip =
+    try
+      Rguard.with_guard
+        (Rguard.create ~max_seconds:0.0 ())
+        (fun () -> ignore (Lts.build ~max_states:10_000 spec));
+      Printf.eprintf
+        "[bench] GUARD MISMATCH adhoc_net: exhausted wall-clock budget did \
+         not trip\n\
+         %!";
+      exit 1
+    with Rguard.Resource_exceeded trip -> trip
+  in
+  if trip.Rguard.resource <> Rguard.Wall_clock
+     || trip.Rguard.phase <> "lts.build"
+     || trip.Rguard.partial = []
+  then begin
+    Printf.eprintf "[bench] GUARD MISMATCH adhoc_net: malformed trip %s\n%!"
+      (Rguard.verdict_line trip);
+    exit 1
+  end;
+  Printf.eprintf
+    "[bench] %-16s %d states, %d transitions under a %d-MiB cap: %.1f MiB \
+     resident peak, spilled %d segs (%.1f MiB, %.3f s), lts.build %.3f s\n\
+     %!"
+    "adhoc_net" lts.Lts.num_states (Lts.num_transitions lts) cap_mb
+    (float_of_int st.Lts.segment_bytes_peak /. 1048576.0)
+    st.Lts.spilled_segments
+    (float_of_int st.Lts.spilled_bytes /. 1048576.0)
+    st.Lts.spill_write_seconds st.Lts.build_seconds;
+  study_seconds :=
+    !study_seconds
+    @ [
+        ( "adhoc_net",
+          [
+            ("lts.build_seconds", st.Lts.build_seconds);
+            ("lts.states", float_of_int lts.Lts.num_states);
+            ("lts.transitions", float_of_int (Lts.num_transitions lts));
+            ("lts.segment_bytes_peak", float_of_int st.Lts.segment_bytes_peak);
+            ("lts.spill.segments", float_of_int st.Lts.spilled_segments);
+            ("lts.spill.bytes", float_of_int st.Lts.spilled_bytes);
+            ("guard.trips", 1.0);
+          ] );
       ]
 
 (* ------------------------------------------------------------------ *)
@@ -812,17 +1025,27 @@ let () =
   if json_mode then Format.set_formatter_out_channel stderr;
   at_exit (fun () -> Dpma_obs.Report.emit stderr);
   Printf.eprintf "[bench] jobs = %d\n%!" (Pool.default_jobs ());
-  if tiny then figures_tiny () else figures ();
-  if smoke then timed "study-timings" study_timings;
-  if smoke then timed "family-sweep" family_sweep;
-  timed "scaled-study" scaled_study;
-  let micro = if smoke then [] else run_micro () in
-  if json_mode then begin
-    let report = json_report ~jobs:(Pool.default_jobs ()) ~micro in
-    let oc = open_out "BENCH_results.json" in
-    output_string oc report;
-    close_out oc;
-    Printf.eprintf "[bench] wrote BENCH_results.json\n%!";
-    print_string report;
-    flush stdout
-  end
+  (* A tripped --max-seconds/--max-mb guard degrades the run instead of
+     crashing it: human rendering to stderr, the machine-readable
+     dpma.degraded/1 verdict to stdout, exit 3 — the same contract as
+     the dpma front end. *)
+  try
+    if tiny then figures_tiny () else figures ();
+    if smoke then timed "study-timings" study_timings;
+    if smoke then timed "family-sweep" family_sweep;
+    timed "scaled-study" scaled_study;
+    timed "adhoc-study" adhoc_study;
+    let micro = if smoke then [] else run_micro () in
+    if json_mode then begin
+      let report = json_report ~jobs:(Pool.default_jobs ()) ~micro in
+      let oc = open_out "BENCH_results.json" in
+      output_string oc report;
+      close_out oc;
+      Printf.eprintf "[bench] wrote BENCH_results.json\n%!";
+      print_string report;
+      flush stdout
+    end
+  with Rguard.Resource_exceeded trip ->
+    Format.eprintf "%a@." Rguard.pp_trip trip;
+    print_endline (Rguard.verdict_line trip);
+    exit 3

@@ -29,16 +29,29 @@ let read_file path =
   close_in ic;
   s
 
-(* Shared error handling: turn toolset exceptions into exit code 1 with a
-   one-line diagnostic. *)
+module Rguard = Dpma_util.Guard
+
+(* Shared error handling: toolset exceptions become one-line diagnostics.
+   Exit codes: 1 for semantic and runtime errors, 2 for .aem/.measures
+   syntax errors — rendered "line L, column C: message", the same
+   human-readable form as [Parser.parse_result] — and 3 for a degraded
+   run: a resource guard tripped, the machine-readable verdict went to
+   stdout, and the exit is clean and distinct from a crash. *)
 let handle f =
   try f () with
   | Parser.Parse_error { line; col; message } ->
-      Printf.eprintf "syntax error at line %d, column %d: %s\n" line col message;
-      exit 1
+      Printf.eprintf "line %d, column %d: %s\n" line col message;
+      exit 2
   | Dpma_adl.Lexer.Lex_error { line; col; message } ->
-      Printf.eprintf "lexical error at line %d, column %d: %s\n" line col message;
-      exit 1
+      Printf.eprintf "line %d, column %d: %s\n" line col message;
+      exit 2
+  | Measure.Parse_error msg ->
+      Printf.eprintf "measure syntax error: %s\n" msg;
+      exit 2
+  | Rguard.Resource_exceeded trip ->
+      Format.eprintf "%a@." Rguard.pp_trip trip;
+      print_endline (Rguard.verdict_line trip);
+      exit 3
   | Elaborate.Check_error msg ->
       Printf.eprintf "static error: %s\n" msg;
       exit 1
@@ -47,9 +60,6 @@ let handle f =
       exit 1
   | Dpma_sim.Sim.Simulation_error msg ->
       Printf.eprintf "simulation error: %s\n" msg;
-      exit 1
-  | Measure.Parse_error msg ->
-      Printf.eprintf "measure syntax error: %s\n" msg;
       exit 1
   | Lts.Too_many_states n ->
       Printf.eprintf "state space exceeds %d states (raise --max-states)\n" n;
@@ -147,6 +157,79 @@ let obs_term =
   in
   Term.(const setup $ metrics $ trace)
 
+(* Resource limits and spill, on every subcommand: --max-seconds/--max-mb
+   install the ambient Dpma_util.Guard (polled between BFS and refinement
+   rounds; a trip degrades cleanly, exit 3), --spill-dir/--spill-mb set
+   the ambient Segstore defaults so every build of the run spills full
+   segments to disk beyond the resident budget. *)
+let limits_term =
+  let max_seconds =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-seconds" ] ~docv:"S"
+          ~doc:
+            "Wall-clock budget for the whole run. When exceeded, the \
+             running phase aborts with a machine-readable degraded \
+             verdict on stdout and exit code 3 (never a crash or an OOM \
+             kill).")
+  in
+  let max_mb =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-mb" ] ~docv:"MB"
+          ~doc:
+            "Resident-memory budget (major heap) for the whole run; \
+             exceeding it degrades like $(b,--max-seconds). Combine with \
+             $(b,--spill-dir) to stay under the budget on builds that \
+             would otherwise exceed it.")
+  in
+  let spill_dir =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "spill-dir" ] ~docv:"DIR"
+          ~doc:
+            "Spill full state-space storage segments to a memory-mapped \
+             temp file in $(docv) once they exceed the resident budget \
+             ($(b,--spill-mb)). Results are bit-identical with or \
+             without spilling; the temp file is removed on exit.")
+  in
+  let spill_mb =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "spill-mb" ] ~docv:"MB"
+          ~doc:
+            "Resident segment budget that triggers spilling (only with \
+             $(b,--spill-dir)). Defaults to half of $(b,--max-mb) when \
+             that is set, else 64.")
+  in
+  let setup max_seconds max_mb spill_dir spill_mb =
+    (match spill_dir with
+    | Some dir ->
+        let budget_mb =
+          match (spill_mb, max_mb) with
+          | Some b, _ -> max 1 b
+          | None, Some m -> max 1 (m / 2)
+          | None, None -> 64
+        in
+        Dpma_lts.Segstore.set_defaults ~spill_dir:dir
+          ~max_resident_bytes:(budget_mb * 1024 * 1024) ()
+    | None -> ());
+    if max_seconds <> None || max_mb <> None then
+      Rguard.install
+        (Rguard.create ?max_seconds
+           ?max_resident_bytes:(Option.map (fun m -> m * 1024 * 1024) max_mb)
+           ())
+  in
+  Term.(const setup $ max_seconds $ max_mb $ spill_dir $ spill_mb)
+
+(* The unit-valued tail argument of every subcommand: observability and
+   resource-limit setup. *)
+let common_term = Term.(const (fun () () -> ()) $ obs_term $ limits_term)
+
 let sim_params runs duration warmup seed =
   { General.default_sim_params with runs; duration; warmup; seed }
 
@@ -184,7 +267,7 @@ let cmd_parse =
   in
   Cmd.v
     (Cmd.info "parse" ~doc:"Parse and statically check an architectural description")
-    Term.(const run $ file_arg $ pretty $ obs_term)
+    Term.(const run $ file_arg $ pretty $ common_term)
 
 (* lts *)
 
@@ -206,6 +289,11 @@ let cmd_lts =
           Format.printf "peak segment mem : %d bytes (%.1f MiB)@."
             build.Lts.segment_bytes_peak
             (float_of_int build.Lts.segment_bytes_peak /. (1024.0 *. 1024.0));
+          if build.Lts.spilled_segments > 0 then
+            Format.printf "spilled          : %d segments (%.1f MiB, %.3f s)@."
+              build.Lts.spilled_segments
+              (float_of_int build.Lts.spilled_bytes /. (1024.0 *. 1024.0))
+              build.Lts.spill_write_seconds;
           Format.printf "build time       : %.6f s@." build.Lts.build_seconds
         end;
         (match Lts.deadlock_states lts with
@@ -248,7 +336,7 @@ let cmd_lts =
     (Cmd.info "lts" ~doc:"Build the labelled transition system and report its size")
     Term.(
       const run $ file_arg $ max_states_arg $ verbose $ dot $ stats $ jobs_arg
-      $ obs_term)
+      $ common_term)
 
 (* minimize *)
 
@@ -270,7 +358,7 @@ let cmd_minimize =
   in
   Cmd.v
     (Cmd.info "minimize" ~doc:"Minimize the state space up to (weak) bisimulation")
-    Term.(const run $ file_arg $ max_states_arg $ weak $ jobs_arg $ obs_term)
+    Term.(const run $ file_arg $ max_states_arg $ weak $ jobs_arg $ common_term)
 
 (* noninterference *)
 
@@ -332,7 +420,7 @@ let cmd_noninterference =
        ~doc:"Check that the high actions are transparent to the low observer")
     Term.(
       const run $ file_arg $ max_states_arg $ high $ low $ branching $ jobs_arg
-      $ obs_term)
+      $ common_term)
 
 (* solve *)
 
@@ -351,7 +439,7 @@ let cmd_solve =
   Cmd.v
     (Cmd.info "solve"
        ~doc:"Solve the underlying CTMC and evaluate reward-based measures")
-    Term.(const run $ file_arg $ max_states_arg $ measures_arg $ obs_term)
+    Term.(const run $ file_arg $ max_states_arg $ measures_arg $ common_term)
 
 (* simulate *)
 
@@ -414,7 +502,7 @@ let cmd_simulate =
     Term.(
       const run $ file_arg $ max_states_arg $ measures_arg $ runs_arg
       $ duration_arg $ warmup_arg $ seed_arg $ exponential $ batches $ jobs_arg
-      $ obs_term)
+      $ common_term)
 
 (* validate *)
 
@@ -437,7 +525,7 @@ let cmd_validate =
        ~doc:"Cross-validate the general model against the Markovian solution")
     Term.(
       const run $ file_arg $ max_states_arg $ measures_arg $ runs_arg
-      $ duration_arg $ warmup_arg $ seed_arg $ jobs_arg $ obs_term)
+      $ duration_arg $ warmup_arg $ seed_arg $ jobs_arg $ common_term)
 
 (* assess: the full three-phase pipeline *)
 
@@ -483,7 +571,7 @@ let cmd_assess =
       $ Arg.(
           value & opt (list string) []
           & info [ "low" ] ~docv:"ACTIONS" ~doc:"Client-observable actions.")
-      $ runs_arg $ duration_arg $ warmup_arg $ seed_arg $ jobs_arg $ obs_term)
+      $ runs_arg $ duration_arg $ warmup_arg $ seed_arg $ jobs_arg $ common_term)
 
 (* trace *)
 
@@ -528,7 +616,7 @@ let cmd_trace =
           value & flag
           & info [ "exponential" ]
               ~doc:"Exponentialize the general distributions first.")
-      $ obs_term)
+      $ common_term)
 
 (* transient *)
 
@@ -572,7 +660,7 @@ let cmd_transient =
   Cmd.v
     (Cmd.info "transient"
        ~doc:"Evaluate state-reward measures at a time point (uniformization)")
-    Term.(const run $ file_arg $ max_states_arg $ measures_arg $ time $ obs_term)
+    Term.(const run $ file_arg $ max_states_arg $ measures_arg $ time $ common_term)
 
 (* firstpassage *)
 
@@ -616,7 +704,7 @@ let cmd_firstpassage =
   Cmd.v
     (Cmd.info "firstpassage"
        ~doc:"Mean time until a state enabling the given action is first reached")
-    Term.(const run $ file_arg $ max_states_arg $ action $ obs_term)
+    Term.(const run $ file_arg $ max_states_arg $ action $ common_term)
 
 (* family *)
 
@@ -722,7 +810,7 @@ let cmd_family =
           one cheap projection per configuration")
     Term.(
       const run $ file_arg $ max_states_arg $ sweep $ measures_opt $ stats_flag
-      $ jobs_arg $ obs_term)
+      $ jobs_arg $ common_term)
 
 (* sec3 / figures *)
 
@@ -734,7 +822,7 @@ let cmd_sec3 =
   in
   Cmd.v
     (Cmd.info "sec3" ~doc:"Reproduce the Sect. 3 noninterference results of the paper")
-    Term.(const run $ jobs_arg $ obs_term)
+    Term.(const run $ jobs_arg $ common_term)
 
 let cmd_figures =
   let run which fast jobs () =
@@ -828,7 +916,7 @@ let cmd_figures =
   in
   Cmd.v
     (Cmd.info "figures" ~doc:"Regenerate the paper's evaluation figures")
-    Term.(const run $ which $ fast $ jobs_arg $ obs_term)
+    Term.(const run $ which $ fast $ jobs_arg $ common_term)
 
 let () =
   Report.init_from_env ();

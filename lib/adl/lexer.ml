@@ -64,7 +64,30 @@ let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '_'
 
 let is_digit c = c >= '0' && c <= '9'
 
+(* Reported positions must match what an editor shows, so line endings
+   are normalized before counting: "\r\n" (and a lone "\r") is one line
+   break, not a phantom column — without this, columns drift right of
+   every CRLF and "\r"-only files lex as a single line. Tabs count as one
+   column, like byte-oriented editors. *)
+let normalize_newlines src =
+  if not (String.contains src '\r') then src
+  else begin
+    let n = String.length src in
+    let b = Buffer.create n in
+    let i = ref 0 in
+    while !i < n do
+      (if src.[!i] = '\r' then begin
+         Buffer.add_char b '\n';
+         if !i + 1 < n && src.[!i + 1] = '\n' then incr i
+       end
+       else Buffer.add_char b src.[!i]);
+      incr i
+    done;
+    Buffer.contents b
+  end
+
 let tokenize src =
+  let src = normalize_newlines src in
   let n = String.length src in
   let tokens = ref [] in
   let line = ref 1 and col = ref 1 in
@@ -84,7 +107,7 @@ let tokenize src =
   let peek_is offset c = !pos + offset < n && src.[!pos + offset] = c in
   while !pos < n do
     let c = src.[!pos] in
-    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    if c = ' ' || c = '\t' || c = '\n' then advance ()
     else if c = '%' then
       while !pos < n && src.[!pos] <> '\n' do
         advance ()

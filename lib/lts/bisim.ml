@@ -158,8 +158,14 @@ let refine_loop ?watch (lts : Lts.t) ~pass ~jobs ~par_cutoff =
   let num_blocks = ref 1 in
   let rounds = ref 0 in
   let split = ref None in
+  let partial () =
+    [ ("states", float_of_int n);
+      ("rounds", float_of_int !rounds);
+      ("blocks", float_of_int !num_blocks) ]
+  in
   let continue_ = ref (n > 0) in
   while !continue_ do
+    Dpma_util.Guard.poll ~partial ~phase:"bisim.refine" ();
     M.incr I.bisim_rounds;
     incr rounds;
     let new_block = Array.make n 0 in

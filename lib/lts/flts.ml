@@ -141,6 +141,9 @@ type family_stats = {
   merge_seconds : float;
   build_seconds : float;
   guard_count : int;
+  spilled_segments : int;
+  spilled_bytes : int;
+  spill_write_seconds : float;
 }
 
 let num_transitions t = Array.length t.lab
@@ -150,7 +153,8 @@ let num_transitions t = Array.length t.lab
 let par_round_threshold ~jobs =
   if Pool.hardware_parallelism () <= 1 then max_int else 256 * jobs
 
-let build_family ?(max_states = 500_000) ?jobs ?par_threshold specs =
+let build_family ?(max_states = 500_000) ?jobs ?par_threshold ?spill_dir
+    ?max_resident_bytes ?seg_bits specs =
   Dpma_obs.Trace.with_span "family.build" (fun () ->
   let t0 = Dpma_obs.Clock.now_s () in
   let nconfigs = Array.length specs in
@@ -165,6 +169,9 @@ let build_family ?(max_states = 500_000) ?jobs ?par_threshold specs =
   in
   let fe = Feature.make specs in
   let guards = Guard.create ~nconfigs in
+  let pol = Segstore.policy ?spill_dir ?max_resident_bytes ?seg_bits () in
+  (* Spill temp file removed on every exit, tripped guards included. *)
+  Fun.protect ~finally:(fun () -> Segstore.finish pol) @@ fun () ->
   let table : int Int_tbl.t = Int_tbl.create 1024 in
   let terms = ref (Array.make 1024 Term.stop) in
   let count = ref 0 in
@@ -187,66 +194,45 @@ let build_family ?(max_states = 500_000) ?jobs ?par_threshold specs =
   (* Seed with every configuration's initial term; hash-consing
      deduplicates structurally equal initials in configuration order. *)
   let init = Array.map id_of (Feature.inits fe) in
-  (* Growable edge arrays (lab/tgt/rates/guard grow in lockstep). *)
-  let cap = ref 1024 in
-  let e_n = ref 0 in
-  let e_lab = ref (Array.make !cap 0) in
-  let e_tgt = ref (Array.make !cap 0) in
-  let e_kind = ref (Array.make !cap 0) in
-  let e_prio = ref (Array.make !cap 0) in
-  let e_val = ref (Array.make !cap 0.0) in
-  let e_guard = ref (Array.make !cap 0) in
+  (* Edge columns (lab/tgt/kind/prio/guard + the float value) and row
+     offsets live in spill-capable segment stores shared with
+     [Lts.build]; one row offset per state in id order (processing order
+     is id order because the BFS is level-synchronous and numbering is
+     merge order). *)
+  let edges = Segstore.create pol ~int_cols:5 ~float_col:true in
+  let rows = Segstore.create pol ~int_cols:1 ~float_col:false in
   let push_edge label target rate g =
-    if !e_n = !cap then begin
-      let nc = 2 * !cap in
-      let grow_i a =
-        let b = Array.make nc 0 in
-        Array.blit !a 0 b 0 !e_n;
-        a := b
-      in
-      grow_i e_lab;
-      grow_i e_tgt;
-      grow_i e_kind;
-      grow_i e_prio;
-      grow_i e_guard;
-      let b = Array.make nc 0.0 in
-      Array.blit !e_val 0 b 0 !e_n;
-      e_val := b;
-      cap := nc
-    end;
-    let i = !e_n in
-    !e_lab.(i) <- label;
-    !e_tgt.(i) <- target;
-    (match (rate : Rate.t) with
+    let seg, o = Segstore.push_slot edges in
+    let ints = seg.Segstore.ints in
+    ints.(0).(o) <- label;
+    ints.(1).(o) <- target;
+    ints.(4).(o) <- g;
+    match (rate : Rate.t) with
     | Rate.Exp l ->
-        !e_kind.(i) <- 1;
-        !e_val.(i) <- l
+        ints.(2).(o) <- 1;
+        seg.Segstore.floats.(o) <- l
     | Rate.Imm { prio; weight } ->
-        !e_kind.(i) <- 2;
-        !e_val.(i) <- weight;
-        !e_prio.(i) <- prio
+        ints.(2).(o) <- 2;
+        ints.(3).(o) <- prio;
+        seg.Segstore.floats.(o) <- weight
     | Rate.Passive { weight } ->
-        !e_kind.(i) <- 3;
-        !e_val.(i) <- weight);
-    !e_guard.(i) <- g;
-    e_n := i + 1
+        ints.(2).(o) <- 3;
+        seg.Segstore.floats.(o) <- weight
   in
-  (* Row offsets, one per state in id order (processing order is id order
-     because the BFS is level-synchronous and numbering is merge order). *)
-  let rows = ref (Array.make 1024 0) in
-  let rows_n = ref 0 in
   let push_row v =
-    if !rows_n = Array.length !rows then begin
-      let bigger = Array.make (2 * !rows_n) 0 in
-      Array.blit !rows 0 bigger 0 !rows_n;
-      rows := bigger
-    end;
-    !rows.(!rows_n) <- v;
-    incr rows_n
+    let seg, o = Segstore.push_slot rows in
+    seg.Segstore.ints.(0).(o) <- v
   in
   let rounds = ref 0 and peak_frontier = ref 0 and merge_s = ref 0.0 in
+  let partial () =
+    [ ("configs", float_of_int nconfigs);
+      ("states", float_of_int !count);
+      ("transitions", float_of_int (Segstore.total edges));
+      ("rounds", float_of_int !rounds) ]
+  in
   let lo = ref 0 in
   while !lo < !count do
+    Dpma_util.Guard.poll ~partial ~phase:"family.build" ();
     let hi = !count in
     incr rounds;
     let fsize = hi - !lo in
@@ -273,7 +259,7 @@ let build_family ?(max_states = 500_000) ?jobs ?par_threshold specs =
        guard interning order are pinned for any job count. *)
     let tm = Dpma_obs.Clock.now_s () in
     for i = 0 to fsize - 1 do
-      push_row !e_n;
+      push_row (Segstore.total edges);
       List.iter
         (fun (g : Feature.group) ->
           let gid = Guard.intern guards g.Feature.configs in
@@ -286,22 +272,31 @@ let build_family ?(max_states = 500_000) ?jobs ?par_threshold specs =
     lo := hi
   done;
   let n = !count in
-  let nedges = !e_n in
+  let nedges = Segstore.total edges in
   let row = Array.make (n + 1) 0 in
-  Array.blit !rows 0 row 0 n;
+  Segstore.compact_into rows ~ints:[| row |] ~floats:[||] ~n;
   row.(n) <- nedges;
+  let lab = Array.make nedges 0 in
+  let tgt = Array.make nedges 0 in
+  let rate_kind = Array.make nedges 0 in
+  let rate_prio = Array.make nedges 0 in
+  let guard = Array.make nedges 0 in
+  let rate_val = Array.make nedges 0.0 in
+  Segstore.compact_into edges
+    ~ints:[| lab; tgt; rate_kind; rate_prio; guard |]
+    ~floats:[| rate_val |] ~n:nedges;
   let fam =
     {
       nconfigs;
       num_states = n;
       init;
       row;
-      lab = Array.sub !e_lab 0 nedges;
-      tgt = Array.sub !e_tgt 0 nedges;
-      rate_kind = Array.sub !e_kind 0 nedges;
-      rate_val = Array.sub !e_val 0 nedges;
-      rate_prio = Array.sub !e_prio 0 nedges;
-      guard = Array.sub !e_guard 0 nedges;
+      lab;
+      tgt;
+      rate_kind;
+      rate_val;
+      rate_prio;
+      guard;
       guards;
       terms = Array.sub !terms 0 n;
     }
@@ -318,6 +313,8 @@ let build_family ?(max_states = 500_000) ?jobs ?par_threshold specs =
   let stats = Feature.sos_stats fe in
   M.add I.sos_memo_hits stats.Dpma_pa.Semantics.hits;
   M.add I.sos_memo_misses stats.Dpma_pa.Semantics.misses;
+  Segstore.record_metrics pol;
+  let sp = Segstore.stats pol in
   ( fam,
     {
       jobs;
@@ -326,10 +323,16 @@ let build_family ?(max_states = 500_000) ?jobs ?par_threshold specs =
       merge_seconds = !merge_s;
       build_seconds;
       guard_count = Guard.count guards;
+      spilled_segments = sp.Segstore.spilled_segments;
+      spilled_bytes = sp.Segstore.spilled_bytes;
+      spill_write_seconds = sp.Segstore.spill_write_seconds;
     } ))
 
-let of_specs ?max_states ?jobs ?par_threshold specs =
-  fst (build_family ?max_states ?jobs ?par_threshold specs)
+let of_specs ?max_states ?jobs ?par_threshold ?spill_dir ?max_resident_bytes
+    ?seg_bits specs =
+  fst
+    (build_family ?max_states ?jobs ?par_threshold ?spill_dir
+       ?max_resident_bytes ?seg_bits specs)
 
 (* --- Per-configuration projection ------------------------------------ *)
 

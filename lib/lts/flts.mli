@@ -85,24 +85,37 @@ type family_stats = {
   merge_seconds : float;
   build_seconds : float;
   guard_count : int;  (** distinct interned guards *)
+  spilled_segments : int;  (** full segments spilled to the temp file *)
+  spilled_bytes : int;
+  spill_write_seconds : float;
 }
 
 val build_family :
   ?max_states:int ->
   ?jobs:int ->
   ?par_threshold:int ->
+  ?spill_dir:string ->
+  ?max_resident_bytes:int ->
+  ?seg_bits:int ->
   Dpma_pa.Term.spec array ->
   t * family_stats
 (** Explore the union state space of the family once. Parameters mirror
     {!Lts.build} ([max_states], default 500_000, bounds the {e union}
-    state count; raises {!Lts.Too_many_states} beyond it). Deterministic
-    for any [jobs]/[par_threshold]. Raises [Invalid_argument] on an empty
-    family. *)
+    state count; raises {!Lts.Too_many_states} beyond it;
+    [spill_dir]/[max_resident_bytes]/[seg_bits] configure the same
+    spill-capable {!Segstore} policy, covering the edge and row-offset
+    columns of the union build). Deterministic for any
+    [jobs]/[par_threshold], spilling included. Polls the ambient
+    {!Dpma_util.Guard} between BFS rounds (phase ["family.build"]).
+    Raises [Invalid_argument] on an empty family. *)
 
 val of_specs :
   ?max_states:int ->
   ?jobs:int ->
   ?par_threshold:int ->
+  ?spill_dir:string ->
+  ?max_resident_bytes:int ->
+  ?seg_bits:int ->
   Dpma_pa.Term.spec array ->
   t
 (** {!build_family} without the statistics. *)

@@ -109,10 +109,11 @@ let out_degree lts s = lts.row.(s + 1) - lts.row.(s)
 (* The builder accumulates edges, row offsets, and state terms in
    fixed-size segments instead of contiguous grow-by-doubling arrays: no
    O(n) copy spikes while exploring, and peak memory is (data + one
-   segment) instead of (data + a 2x copy) right at the growth points. The
-   outer directory array still doubles, but it holds one pointer per 64k
-   entries — negligible. Everything is compacted into the flat CSR arrays
-   exactly once, at the end of the build. *)
+   segment) instead of (data + a 2x copy) right at the growth points.
+   Edge and row segments live in a {!Segstore} (shared with the featured
+   builder), which can spill full segments to a memory-mapped temp file
+   under a resident-byte budget; term segments stay resident here — the
+   frontier and the lazy [state_name] closure read them at random. *)
 
 let seg_bits = 16
 
@@ -120,89 +121,7 @@ let seg_size = 1 lsl seg_bits
 
 let seg_mask = seg_size - 1
 
-type edge_seg = {
-  s_lab : int array;
-  s_tgt : int array;
-  s_kind : int array;
-  s_prio : int array;
-  s_val : float array;
-}
-
-let edge_seg () =
-  { s_lab = Array.make seg_size 0;
-    s_tgt = Array.make seg_size 0;
-    s_kind = Array.make seg_size 0;
-    s_prio = Array.make seg_size 0;
-    s_val = Array.make seg_size 0.0 }
-
-(* One OCaml word (8 bytes) per array slot. *)
-let edge_seg_bytes = 5 * 8 * seg_size
-
 let word_seg_bytes = 8 * seg_size
-
-type edge_store = {
-  mutable e_segs : edge_seg array;  (* directory; slots >= e_nsegs unused *)
-  mutable e_nsegs : int;
-  mutable e_total : int;
-}
-
-let edge_store () =
-  let s0 = edge_seg () in
-  { e_segs = Array.make 4 s0; e_nsegs = 1; e_total = 0 }
-
-let push_edge st lab tgt (rate : Dpma_pa.Rate.t) =
-  let i = st.e_total in
-  let si = i lsr seg_bits in
-  if si = st.e_nsegs then begin
-    if si = Array.length st.e_segs then begin
-      let bigger = Array.make (2 * si) st.e_segs.(0) in
-      Array.blit st.e_segs 0 bigger 0 si;
-      st.e_segs <- bigger
-    end;
-    st.e_segs.(si) <- edge_seg ();
-    st.e_nsegs <- si + 1
-  end;
-  let seg = st.e_segs.(si) and o = i land seg_mask in
-  seg.s_lab.(o) <- lab;
-  seg.s_tgt.(o) <- tgt;
-  (match rate with
-  | Dpma_pa.Rate.Exp lambda ->
-      seg.s_kind.(o) <- 1;
-      seg.s_val.(o) <- lambda
-  | Dpma_pa.Rate.Imm { prio; weight } ->
-      seg.s_kind.(o) <- 2;
-      seg.s_val.(o) <- weight;
-      seg.s_prio.(o) <- prio
-  | Dpma_pa.Rate.Passive { weight } ->
-      seg.s_kind.(o) <- 3;
-      seg.s_val.(o) <- weight);
-  st.e_total <- i + 1
-
-type int_store = {
-  mutable i_segs : int array array;
-  mutable i_nsegs : int;
-  mutable i_total : int;
-}
-
-let int_store () =
-  { i_segs = Array.make 4 [||]; i_nsegs = 0; i_total = 0 }
-
-let push_int st v =
-  let i = st.i_total in
-  let si = i lsr seg_bits in
-  if si = st.i_nsegs then begin
-    if si = Array.length st.i_segs then begin
-      let bigger = Array.make (2 * si) [||] in
-      Array.blit st.i_segs 0 bigger 0 si;
-      st.i_segs <- bigger
-    end;
-    st.i_segs.(si) <- Array.make seg_size 0;
-    st.i_nsegs <- si + 1
-  end;
-  st.i_segs.(si).(i land seg_mask) <- v;
-  st.i_total <- i + 1
-
-let get_int st i = st.i_segs.(i lsr seg_bits).(i land seg_mask)
 
 type term_store = {
   mutable t_segs : Term.t array array;
@@ -239,6 +158,9 @@ type build_stats = {
   merge_seconds : float;
   segments : int;
   segment_bytes_peak : int;
+  spilled_segments : int;
+  spilled_bytes : int;
+  spill_write_seconds : float;
   build_seconds : float;
 }
 
@@ -252,7 +174,8 @@ type build_stats = {
 let par_round_threshold ~jobs =
   if Pool.hardware_parallelism () <= 1 then max_int else 256 * jobs
 
-let build ?(max_states = 500_000) ?jobs ?par_threshold (spec : Term.spec) =
+let build ?(max_states = 500_000) ?jobs ?par_threshold ?spill_dir
+    ?max_resident_bytes ?seg_bits:store_seg_bits (spec : Term.spec) =
   Dpma_obs.Trace.with_span "lts.build" (fun () ->
   let t0 = Dpma_obs.Clock.now_s () in
   let jobs =
@@ -267,8 +190,35 @@ let build ?(max_states = 500_000) ?jobs ?par_threshold (spec : Term.spec) =
   (* Hash-consed terms: the state table is keyed by unique id. *)
   let table : int Int_tbl.t = Int_tbl.create 1024 in
   let terms = term_store () in
-  let edges = edge_store () in
-  let rows = int_store () in
+  let pol =
+    Segstore.policy ?spill_dir ?max_resident_bytes ?seg_bits:store_seg_bits ()
+  in
+  (* The spill temp file must be gone on every exit — normal completion,
+     Too_many_states, and a tripped resource guard alike. *)
+  Fun.protect ~finally:(fun () -> Segstore.finish pol) @@ fun () ->
+  let edges = Segstore.create pol ~int_cols:4 ~float_col:true in
+  let rows = Segstore.create pol ~int_cols:1 ~float_col:false in
+  let push_edge lab tgt (rate : Dpma_pa.Rate.t) =
+    let seg, o = Segstore.push_slot edges in
+    let ints = seg.Segstore.ints in
+    ints.(0).(o) <- lab;
+    ints.(1).(o) <- tgt;
+    match rate with
+    | Dpma_pa.Rate.Exp lambda ->
+        ints.(2).(o) <- 1;
+        seg.Segstore.floats.(o) <- lambda
+    | Dpma_pa.Rate.Imm { prio; weight } ->
+        ints.(2).(o) <- 2;
+        ints.(3).(o) <- prio;
+        seg.Segstore.floats.(o) <- weight
+    | Dpma_pa.Rate.Passive { weight } ->
+        ints.(2).(o) <- 3;
+        seg.Segstore.floats.(o) <- weight
+  in
+  let push_row v =
+    let seg, o = Segstore.push_slot rows in
+    seg.Segstore.ints.(0).(o) <- v
+  in
   let count = ref 0 in
   let id_of (term : Term.t) =
     match Int_tbl.find_opt table term.Term.uid with
@@ -291,8 +241,14 @@ let build ?(max_states = 500_000) ?jobs ?par_threshold (spec : Term.spec) =
      buffers (with private SOS memo shards); the coordinator then merges
      the slices in frontier order, which pins state numbering and edge
      order to the sequential ones for any job count. *)
+  let partial () =
+    [ ("states", float_of_int !count);
+      ("transitions", float_of_int (Segstore.total edges));
+      ("rounds", float_of_int !rounds) ]
+  in
   let lo = ref 0 in
   while !lo < !count do
+    Dpma_util.Guard.poll ~partial ~phase:"lts.build" ();
     let hi = !count in
     incr rounds;
     let fsize = hi - !lo in
@@ -324,40 +280,30 @@ let build ?(max_states = 500_000) ?jobs ?par_threshold (spec : Term.spec) =
     in
     let tm = Dpma_obs.Clock.now_s () in
     for i = 0 to fsize - 1 do
-      push_int rows edges.e_total;
+      push_row (Segstore.total edges);
       List.iter
-        (fun (label, rate, k) -> push_edge edges label (id_of k) rate)
+        (fun (label, rate, k) -> push_edge label (id_of k) rate)
         derived.(i)
     done;
     merge_s := !merge_s +. (Dpma_obs.Clock.now_s () -. tm);
     lo := hi
   done;
   let n = !count in
-  let nedges = edges.e_total in
-  (* Compact the segments into the flat CSR arrays, once. *)
+  let nedges = Segstore.total edges in
+  (* Compact the segments into the flat CSR arrays, once; spilled
+     segments are read back from the temp file here, bit-identical. *)
   let t_pack = Dpma_obs.Clock.now_s () in
   let row = Array.make (n + 1) 0 in
-  for s = 0 to n - 1 do
-    row.(s) <- get_int rows s
-  done;
+  Segstore.compact_into rows ~ints:[| row |] ~floats:[||] ~n;
   row.(n) <- nedges;
   let lab = Array.make nedges 0 in
   let tgt = Array.make nedges 0 in
   let rate_kind = Array.make nedges 0 in
   let rate_val = Array.make nedges 0.0 in
   let rate_prio = Array.make nedges 0 in
-  for si = 0 to edges.e_nsegs - 1 do
-    let pos = si * seg_size in
-    let len = min seg_size (nedges - pos) in
-    if len > 0 then begin
-      let seg = edges.e_segs.(si) in
-      Array.blit seg.s_lab 0 lab pos len;
-      Array.blit seg.s_tgt 0 tgt pos len;
-      Array.blit seg.s_kind 0 rate_kind pos len;
-      Array.blit seg.s_prio 0 rate_prio pos len;
-      Array.blit seg.s_val 0 rate_val pos len
-    end
-  done;
+  Segstore.compact_into edges
+    ~ints:[| lab; tgt; rate_kind; rate_prio |]
+    ~floats:[| rate_val |] ~n:nedges;
   M.observe I.lts_csr_pack_seconds (Dpma_obs.Clock.now_s () -. t_pack);
   M.incr I.lts_builds;
   M.add I.lts_states n;
@@ -369,15 +315,16 @@ let build ?(max_states = 500_000) ?jobs ?par_threshold (spec : Term.spec) =
   M.set I.pa_labels (float_of_int (Label.count ()));
   M.add I.lts_par_rounds !rounds;
   M.observe I.lts_par_merge_seconds !merge_s;
-  let segments = edges.e_nsegs + rows.i_nsegs + terms.t_nsegs in
-  (* Segments are only freed at the end of the build, so the peak is the
-     final allocation. *)
+  let segments = Segstore.nsegs edges + Segstore.nsegs rows + terms.t_nsegs in
+  let sp = Segstore.stats pol in
+  (* Resident high-water of the edge/row segments (spilled segments leave
+     it), plus the term segments, which are only freed at the end. *)
   let segment_bytes_peak =
-    (edges.e_nsegs * edge_seg_bytes)
-    + ((rows.i_nsegs + terms.t_nsegs) * word_seg_bytes)
+    sp.Segstore.resident_bytes_peak + (terms.t_nsegs * word_seg_bytes)
   in
   M.add I.lts_par_segments segments;
   M.set I.lts_par_segment_bytes (float_of_int segment_bytes_peak);
+  Segstore.record_metrics pol;
   (* State names are rendered lazily: they are only needed in diagnostics. *)
   let lts =
     { init; num_states = n;
@@ -389,10 +336,16 @@ let build ?(max_states = 500_000) ?jobs ?par_threshold (spec : Term.spec) =
   ( lts,
     { jobs; rounds = !rounds; peak_frontier = !peak_frontier;
       merge_seconds = !merge_s; segments; segment_bytes_peak;
+      spilled_segments = sp.Segstore.spilled_segments;
+      spilled_bytes = sp.Segstore.spilled_bytes;
+      spill_write_seconds = sp.Segstore.spill_write_seconds;
       build_seconds } ))
 
-let of_spec ?max_states ?jobs ?par_threshold spec =
-  fst (build ?max_states ?jobs ?par_threshold spec)
+let of_spec ?max_states ?jobs ?par_threshold ?spill_dir ?max_resident_bytes
+    ?seg_bits spec =
+  fst
+    (build ?max_states ?jobs ?par_threshold ?spill_dir ?max_resident_bytes
+       ?seg_bits spec)
 
 let num_transitions lts = lts.row.(lts.num_states)
 

@@ -75,7 +75,14 @@ type build_stats = {
       (** time spent merging worker slices in frontier order *)
   segments : int;  (** fixed-size storage segments allocated *)
   segment_bytes_peak : int;
-      (** peak bytes held in segment storage before CSR compaction *)
+      (** peak bytes held resident in segment storage before CSR
+          compaction (spilled segments leave this figure) *)
+  spilled_segments : int;
+      (** full edge/row segments spilled to the temp file (0 without a
+          spill directory or under budget) *)
+  spilled_bytes : int;  (** bytes written to the spill temp file *)
+  spill_write_seconds : float;
+      (** wall-clock time spent writing spilled segments *)
   build_seconds : float;  (** wall-clock time of the whole build *)
 }
 
@@ -83,6 +90,9 @@ val build :
   ?max_states:int ->
   ?jobs:int ->
   ?par_threshold:int ->
+  ?spill_dir:string ->
+  ?max_resident_bytes:int ->
+  ?seg_bits:int ->
   Dpma_pa.Term.spec ->
   t * build_stats
 (** Enumerate the reachable states of a process-algebra specification by
@@ -102,10 +112,24 @@ val build :
     coordinating domain — below it the per-round domain traffic outweighs
     the work being dealt. Defaults to [256 * jobs], or to never
     parallelizing when {!Dpma_util.Pool.hardware_parallelism} is 1;
-    scheduling only, results are identical for any value. *)
+    scheduling only, results are identical for any value.
+
+    [spill_dir]/[max_resident_bytes]/[seg_bits] configure the
+    {!Segstore} policy: with a spill directory, full edge/row segments
+    exceeding the resident budget are written oldest-first to a
+    memory-mapped temp file and read back once during CSR compaction —
+    numbering, labels, and rates are bit-identical whether or not spill
+    triggered, and the temp file is removed on success and abort alike.
+    Omitted knobs fall back to {!Segstore.set_defaults}.
+
+    The build polls the ambient {!Dpma_util.Guard} between BFS rounds
+    (phase ["lts.build"]); a tripped budget aborts with
+    {!Dpma_util.Guard.Resource_exceeded} carrying the states,
+    transitions, and rounds explored so far. *)
 
 val of_spec :
-  ?max_states:int -> ?jobs:int -> ?par_threshold:int -> Dpma_pa.Term.spec -> t
+  ?max_states:int -> ?jobs:int -> ?par_threshold:int -> ?spill_dir:string ->
+  ?max_resident_bytes:int -> ?seg_bits:int -> Dpma_pa.Term.spec -> t
 (** [build] without the statistics. *)
 
 val num_transitions : t -> int

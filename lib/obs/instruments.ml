@@ -98,6 +98,36 @@ let lts_par_segment_bytes =
     ~desc:"peak bytes held in chunked segments by the last build"
     "lts.par.segment_bytes_peak"
 
+(* Spill-to-disk segment store *)
+
+let lts_spill_segments =
+  c ~unit_:"segments"
+    ~desc:"full segments spilled to memory-mapped temp files, summed over \
+           builds"
+    "lts.spill.segments"
+
+let lts_spill_bytes =
+  c ~unit_:"bytes" ~desc:"bytes written to spill files, summed over builds"
+    "lts.spill.bytes"
+
+let lts_spill_write_seconds =
+  h ~unit_:"seconds"
+    ~desc:"wall-clock time each build spent writing spilled segments"
+    "lts.spill.write_seconds"
+
+(* Resource guards *)
+
+let guard_polls =
+  c ~unit_:"polls"
+    ~desc:"resource-guard checks performed between BFS and refinement rounds"
+    "guard.polls"
+
+let guard_trips =
+  c ~unit_:"trips"
+    ~desc:"resource-guard limit violations (phases aborted with a degraded \
+           verdict)"
+    "guard.trips"
+
 (* Equivalence checking *)
 
 let bisim_refines =

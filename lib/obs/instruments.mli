@@ -96,7 +96,31 @@ val lts_par_segments : Metrics.counter
 
 val lts_par_segment_bytes : Metrics.gauge
 (** [lts.par.segment_bytes_peak] — peak bytes held in chunked segment
-    storage by the last build, before compaction into CSR. *)
+    storage by the last build, before compaction into CSR (resident
+    segments only: spilled segments leave this figure). *)
+
+val lts_spill_segments : Metrics.counter
+(** [lts.spill.segments] — full edge/row segments spilled to
+    memory-mapped temp files under a [max_resident_bytes] budget, summed
+    over builds. *)
+
+val lts_spill_bytes : Metrics.counter
+(** [lts.spill.bytes] — bytes written to spill files, summed over
+    builds. *)
+
+val lts_spill_write_seconds : Metrics.histogram
+(** [lts.spill.write_seconds] — wall-clock time each build spent writing
+    spilled segments to its temp file (one sample per build that
+    spilled). *)
+
+val guard_polls : Metrics.counter
+(** [guard.polls] — resource-guard checks performed between BFS rounds
+    and refinement rounds while a guard was installed. *)
+
+val guard_trips : Metrics.counter
+(** [guard.trips] — resource-guard limit violations: each one aborts the
+    running phase with {!Dpma_util.Guard.Resource_exceeded} and ends in
+    a degraded verdict, never an OOM kill. *)
 
 (** {1 Equivalence checking (bisim)} *)
 

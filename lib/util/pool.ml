@@ -32,13 +32,31 @@ let recommended_chunk ~n ~jobs =
   let target = n / (jobs * 8) in
   if target < 32 then min 32 (max 1 n) else min 4096 target
 
+(* A malformed or non-positive DPMA_JOBS falls back to the hardware
+   default, with one stderr warning per distinct value — not one per
+   lookup: [default_jobs] runs before every parallel phase, and silent
+   fallback would leave a broken export undiagnosed. *)
+let warned : (string, unit) Hashtbl.t = Hashtbl.create 4
+
+let warned_mu = Mutex.create ()
+
 let env_jobs () =
   match Sys.getenv_opt "DPMA_JOBS" with
   | None -> None
   | Some s -> (
       match int_of_string_opt (String.trim s) with
       | Some j when j >= 1 -> Some j
-      | Some _ | None -> None)
+      | Some _ | None ->
+          Mutex.lock warned_mu;
+          if not (Hashtbl.mem warned s) then begin
+            Hashtbl.add warned s ();
+            Printf.eprintf
+              "dpma: ignoring DPMA_JOBS=%s (expected a positive integer); \
+               falling back to the hardware count\n%!"
+              s
+          end;
+          Mutex.unlock warned_mu;
+          None)
 
 (* Priority: set_default_jobs (-j flags) > DPMA_JOBS > hardware count. *)
 let override : int option Atomic.t = Atomic.make None

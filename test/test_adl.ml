@@ -240,6 +240,33 @@ let test_lexer_comments () =
   in
   Alcotest.(check (list string)) "comments stripped" [ "a"; "b"; "c" ] idents
 
+(* CRLF and lone-CR line endings are normalized before position
+   counting, and a tab advances one column: a DOS-edited specification
+   must lex, parse, and report errors at the same positions as its
+   Unix twin. *)
+let test_lexer_crlf_positions () =
+  List.iter
+    (fun (name, src) ->
+      try
+        ignore (Lexer.tokenize src);
+        Alcotest.fail "expected lex error"
+      with Lexer.Lex_error { line; col; _ } ->
+        Alcotest.(check int) (name ^ ": line") 2 line;
+        Alcotest.(check int) (name ^ ": col") 3 col)
+    [ ("crlf", "abc\r\n  @"); ("lone cr", "abc\r  @") ];
+  try
+    ignore (Lexer.tokenize "\t\t@");
+    Alcotest.fail "expected lex error"
+  with Lexer.Lex_error { line; col; _ } ->
+    Alcotest.(check int) "tab line" 1 line;
+    Alcotest.(check int) "tab col" 3 col
+
+let test_crlf_roundtrip () =
+  let to_crlf s = String.concat "\r\n" (String.split_on_char '\n' s) in
+  let unix = Parser.parse paper_text in
+  let dos = Parser.parse (to_crlf paper_text) in
+  Alcotest.(check bool) "CRLF parse equals LF parse" true (unix = dos)
+
 (* ------------------------------------------------------------------ *)
 (* Static checks *)
 
@@ -423,6 +450,9 @@ let suite =
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
     Alcotest.test_case "lexer positions" `Quick test_lexer_positions;
     Alcotest.test_case "lexer comments" `Quick test_lexer_comments;
+    Alcotest.test_case "lexer CRLF/tab positions" `Quick
+      test_lexer_crlf_positions;
+    Alcotest.test_case "CRLF round-trip" `Quick test_crlf_roundtrip;
     Alcotest.test_case "check undefined call" `Quick test_check_undefined_call;
     Alcotest.test_case "check undeclared interaction" `Quick
       test_check_undeclared_interaction_used;

@@ -11,6 +11,7 @@ let () =
       ("compiled-core", Test_compiled_core.suite);
       ("lts", Test_lts.suite);
       ("parallel-build", Test_parallel_build.suite);
+      ("spill", Test_spill.suite);
       ("parallel-refine", Test_parallel_refine.suite);
       ("weak-lazy", Test_weak_lazy.suite);
       ("ctmc", Test_ctmc.suite);

@@ -10,6 +10,7 @@ module Elaborate = Dpma_adl.Elaborate
 module Rpc = Dpma_models.Rpc
 module Streaming = Dpma_models.Streaming
 module Figures = Dpma_models.Figures
+module Adhoc = Dpma_models.Adhoc
 
 let rpc_lts mode monitors p =
   Lts.of_spec (Rpc.elaborate ~mode ~monitors p).Elaborate.spec
@@ -221,6 +222,57 @@ let test_scaled_model () =
   Alcotest.(check int) "low actions scale" 16
     (List.length (Streaming.scaled_low_actions sp4))
 
+(* The N-node ad hoc chain (examples/specs/adhoc_net.aem is its default
+   3-node rendering; the bench scales it past 2M states). The 2-node,
+   queue-1 instance is the golden the bench's tiny study builds through
+   the spill path — the count must not drift. *)
+let test_adhoc_model () =
+  let p = { Adhoc.default_params with Adhoc.nodes = 2; queue_size = 1 } in
+  let lts = Lts.of_spec (Adhoc.spec ~monitors:false p) in
+  Alcotest.(check int) "2-node states" 1_232 lts.Lts.num_states;
+  Alcotest.(check (list int)) "deadlock free" [] (Lts.deadlock_states lts);
+  (* The pretty-printed text elaborates back to the same state space
+     (with monitors, like the shipped .aem file). *)
+  let text = Format.asprintf "%a" Dpma_adl.Ast.pp (Adhoc.archi p) in
+  let el = Elaborate.elaborate (Dpma_adl.Parser.parse text) in
+  let direct = Lts.of_spec (Adhoc.spec p) in
+  Alcotest.(check int)
+    "pretty-printed text round-trips to the same state space"
+    direct.Lts.num_states
+    (Lts.of_spec el.Elaborate.spec).Lts.num_states;
+  (* DPM channels are the high actions, end-to-end traffic the low ones;
+     both scale with the node count. *)
+  Alcotest.(check int) "high actions per node" 4
+    (List.length (Adhoc.high_actions p));
+  let p4 = { p with Adhoc.nodes = 4 } in
+  Alcotest.(check int) "high actions scale" 8
+    (List.length (Adhoc.high_actions p4));
+  let widened =
+    Lts.of_spec
+      (Adhoc.spec ~monitors:false { p with Adhoc.head_queue_size = Some 3 })
+  in
+  Alcotest.(check bool) "head_queue_size grows the space" true
+    (widened.Lts.num_states > lts.Lts.num_states)
+
+let test_adhoc_metrics_and_validation () =
+  let m =
+    Adhoc.metrics_of_values
+      [ ("power", 1.2); ("hop_energy", 0.3); ("generated", 0.02);
+        ("delivered", 0.01); ("dropped", 0.005) ]
+  in
+  Alcotest.(check (float 1e-9)) "energy per delivery" 150.0
+    m.Adhoc.energy_per_delivery;
+  Alcotest.(check (float 1e-9)) "delivery ratio" 0.5 m.Adhoc.delivery_ratio;
+  List.iter
+    (fun p ->
+      try
+        ignore (Adhoc.archi p);
+        Alcotest.fail "expected invalid_arg"
+      with Invalid_argument _ -> ())
+    [ { Adhoc.default_params with Adhoc.nodes = 0 };
+      { Adhoc.default_params with Adhoc.queue_size = 0 };
+      { Adhoc.default_params with Adhoc.head_queue_size = Some 0 } ]
+
 let test_buffer_size_validation () =
   (try
      ignore (Streaming.archi { small_streaming with ap_buffer_size = 0 });
@@ -314,6 +366,9 @@ let suite =
       test_streaming_general_no_loss_small_awake;
     Alcotest.test_case "streaming study wiring" `Quick test_streaming_study_wiring;
     Alcotest.test_case "scaled model" `Quick test_scaled_model;
+    Alcotest.test_case "adhoc model" `Quick test_adhoc_model;
+    Alcotest.test_case "adhoc metrics/validation" `Quick
+      test_adhoc_metrics_and_validation;
     Alcotest.test_case "buffer size validation" `Quick test_buffer_size_validation;
     Alcotest.test_case "trivial policy transparent" `Quick
       test_trivial_policy_transparent;

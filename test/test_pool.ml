@@ -135,6 +135,29 @@ let test_map_chunks_nested () =
     [ [ 11; 12; 13 ]; [ 21; 22; 23 ] ]
     (List.map Array.to_list rows)
 
+(* Must run before [test_default_jobs]: set_default_jobs installs a
+   process-wide override that shadows the environment for the rest of
+   the run, and there is deliberately no way to uninstall it. A
+   malformed or non-positive DPMA_JOBS must fall back to the hardware
+   count (with a one-line stderr warning), never crash the run. *)
+let test_env_jobs () =
+  let fallback = max 1 (Domain.recommended_domain_count () - 1) in
+  let with_env v f =
+    Unix.putenv "DPMA_JOBS" v;
+    Fun.protect ~finally:(fun () -> Unix.putenv "DPMA_JOBS" "") f
+  in
+  with_env "3" (fun () ->
+      Alcotest.(check int) "valid value respected" 3 (Pool.default_jobs ()));
+  with_env " 5 " (fun () ->
+      Alcotest.(check int) "whitespace trimmed" 5 (Pool.default_jobs ()));
+  List.iter
+    (fun bad ->
+      with_env bad (fun () ->
+          Alcotest.(check int)
+            (Printf.sprintf "DPMA_JOBS=%S falls back to the hardware count" bad)
+            fallback (Pool.default_jobs ())))
+    [ "banana"; "0"; "-2"; "3.5"; "" ]
+
 let test_default_jobs () =
   Alcotest.(check bool) "default >= 1" true (Pool.default_jobs () >= 1);
   Pool.set_default_jobs 3;
@@ -194,6 +217,7 @@ let suite =
     Alcotest.test_case "map_chunks_ordered exception" `Quick
       test_map_chunks_exception;
     Alcotest.test_case "map_chunks_ordered nested" `Quick test_map_chunks_nested;
+    Alcotest.test_case "DPMA_JOBS fallback" `Quick test_env_jobs;
     Alcotest.test_case "default_jobs" `Quick test_default_jobs;
     Alcotest.test_case "replicate jobs-independent" `Quick
       test_replicate_jobs_independent;
