@@ -47,6 +47,9 @@ let required =
     "ni.product.states_pruned";
     "ni.product.rounds";
     "ni.product.secure_exits";
+    "family.guard_words";
+    "family.distinct_quotients";
+    "family.solves_shared";
     "ctmc.states";
     "ctmc.solve.iterations";
     "ctmc.solve.residual";
@@ -177,6 +180,41 @@ let () =
               "family.project_seconds.c2"; "family.project_seconds.c3";
               "baseline.build_seconds"; "family.speedup" ]
       | _ -> fail "study_seconds misses study streaming_family");
+      (* The thousand-configuration grid: featured build + projections +
+         quotient-deduplicated solves raced against the per-member
+         pipeline. The bench aborts on any value mismatch; here the
+         contract is the keys, genuine solve sharing (strictly fewer
+         distinct quotients than members), and the >= 2x speedup the
+         acceptance bar demands (the bench's own abort threshold). *)
+      (match Json.member "family_scale" studies with
+      | Some (Json.Obj _ as entry) ->
+          let num key =
+            match Json.member key entry with
+            | Some (Json.Num v) -> v
+            | Some j ->
+                fail "study_seconds.family_scale.%s should be a number, \
+                      got %s"
+                  key (Json.to_string j)
+            | None -> fail "study_seconds.family_scale misses %s" key
+          in
+          List.iter
+            (fun key ->
+              if num key <= 0.0 then
+                fail "study_seconds.family_scale.%s should be positive" key)
+            [ "family.configs"; "family.states"; "family.distinct_quotients";
+              "family.solves_shared"; "family.guard_words";
+              "family.build_seconds"; "family.project_seconds";
+              "family.analyze_seconds"; "baseline.analyze_seconds";
+              "family.speedup" ];
+          if num "family.distinct_quotients" >= num "family.configs" then
+            fail
+              "family_scale: %g distinct quotients for %g members (no \
+               solve sharing)"
+              (num "family.distinct_quotients")
+              (num "family.configs");
+          if num "family.speedup" < 2.0 then
+            fail "family_scale: speedup %g, want >= 2" (num "family.speedup")
+      | _ -> fail "study_seconds misses study family_scale");
       (* The streaming DPM-removed side strands unreachable states, so the
          product refiner's reachability pruning must have fired there. *)
       (match Json.member "streaming" studies with

@@ -43,6 +43,8 @@ module Bisim = Dpma_lts.Bisim
 module Ctmc = Dpma_ctmc.Ctmc
 module Sim = Dpma_sim.Sim
 module Elaborate = Dpma_adl.Elaborate
+module Parser = Dpma_adl.Parser
+module Measure = Dpma_measures.Measure
 module Flts = Dpma_lts.Flts
 module Prng = Dpma_util.Prng
 module Pool = Dpma_util.Pool
@@ -604,6 +606,216 @@ let family_sweep () =
             ] );
       ]
 
+(* Thousand-configuration grid: an ADL sweep grid (dpm toggle x dozing
+   timeout x awake period) elaborated to 2 x T x A members, analyzed by
+   the featured path — one union build, per-member projections, and
+   quotient-deduplicated CTMC solves — against the per-member pipeline
+   (Lts.of_spec + analyze_lts each). The dpm=0 half of the grid never
+   reaches the timeout/awake-sensitive behaviors, so all those members
+   collapse to one lumped quotient and share a single solve. The run
+   aborts on any of: a sampled projection differing from its pipeline
+   build (full CSR compare), a measure value off by more than 1e-12, no
+   solve sharing, or the featured leg failing to finish in under half
+   the baseline time. The baseline runs second, so shared warmup favors
+   it. Tiny runs shrink the grid to 2 x 4 x 8 = 64 members; smoke and
+   full runs race the whole 1024-member grid. *)
+let family_scale () =
+  let t_max, a_max = if tiny then (4, 8) else (16, 32) in
+  let src =
+    Printf.sprintf
+      {|ARCHI_TYPE Streaming_Grid(void)
+
+feature dpm in {0, 1}
+feature timeout in {1 .. %d}
+feature awake in {1 .. %d}
+
+ARCHI_ELEM_TYPES
+
+ELEM_TYPE Source_Type(void)
+BEHAVIOR
+Source(void; void) =
+  <emit_frame, exp(0.5)> . Source()
+INPUT_INTERACTIONS void
+OUTPUT_INTERACTIONS UNI emit_frame
+
+ELEM_TYPE Buffer_Type(const integer size)
+BEHAVIOR
+Buffer(void; void) = Hold(0);
+Hold(integer h; void) =
+  choice {
+    cond(h < size) -> <put_frame, _> . Hold(h + 1),
+    cond(h > 0) -> <get_frame, _> . Hold(h - 1)
+  }
+INPUT_INTERACTIONS UNI put_frame; get_frame
+OUTPUT_INTERACTIONS void
+
+ELEM_TYPE Client_Type(void)
+BEHAVIOR
+Playing_Client(void; void) =
+  choice {
+    <fetch_frame, exp(1.0)> . <decode_frame, exp(8.0)> . Playing_Client(),
+    <doze_cmd, _> . Dozing_Client()
+  };
+Dozing_Client(void; void) =
+  <wake_client, exp_mean(timeout)> . Playing_Client()
+INPUT_INTERACTIONS UNI doze_cmd
+OUTPUT_INTERACTIONS UNI fetch_frame
+
+ELEM_TYPE Dpm_Type(void)
+BEHAVIOR
+Dpm(void; void) =
+  cond(dpm = 1) ->
+    <observe_idle, exp_mean(awake)> . <cmd_doze, inf> . Dpm()
+INPUT_INTERACTIONS void
+OUTPUT_INTERACTIONS UNI cmd_doze
+
+ARCHI_TOPOLOGY
+
+ARCHI_ELEM_INSTANCES
+SRC : Source_Type();
+BUF : Buffer_Type(2);
+CL  : Client_Type();
+PM  : Dpm_Type()
+
+ARCHI_ATTACHMENTS
+FROM SRC.emit_frame TO BUF.put_frame;
+FROM CL.fetch_frame TO BUF.get_frame;
+FROM PM.cmd_doze TO CL.doze_cmd
+
+END
+|}
+      t_max a_max
+  in
+  let measures =
+    Measure.parse
+      {|MEASURE frame_rate IS
+  ENABLED(CL.fetch_frame#BUF.get_frame) -> TRANS_REWARD(1);
+MEASURE doze_time IS
+  ENABLED(CL.wake_client) -> STATE_REWARD(1);
+MEASURE frames_per_doze IS
+  ENABLED(CL.fetch_frame#BUF.get_frame) -> TRANS_REWARD(1)
+  DIVIDED_BY
+  ENABLED(CL.wake_client) -> STATE_REWARD(1);|}
+  in
+  (* Elaboration is identical work for both legs, so it stays outside
+     the timers. *)
+  let fam_adl = Elaborate.elaborate_family (Parser.parse src) in
+  let specs =
+    Array.map (fun m -> m.Elaborate.spec) fam_adl.Elaborate.members
+  in
+  let members = Array.length specs in
+  assert (members = 2 * t_max * a_max);
+  (* Featured leg: one union build, every projection, dedup solves. *)
+  Gc.full_major ();
+  let t0 = Unix.gettimeofday () in
+  let fam, fstats = Flts.build_family specs in
+  let build_s = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let ltss = Flts.project_all fam in
+  let project_s = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let analyses, solve_stats = Markov.analyze_ltss_dedup ltss measures in
+  let analyze_s = Unix.gettimeofday () -. t0 in
+  let fam_total = build_s +. project_s +. analyze_s in
+  (* Baseline leg, second: one full pipeline per member. *)
+  Gc.full_major ();
+  let t0 = Unix.gettimeofday () in
+  let base =
+    Array.map (fun spec -> Markov.analyze_lts (Lts.of_spec spec) measures)
+      specs
+  in
+  let base_s = Unix.gettimeofday () -. t0 in
+  (* Sampled bit-identity: eight members spread across the grid must
+     project to exactly the pipeline's CSR. *)
+  let samples =
+    List.sort_uniq Int.compare
+      (List.init 8 (fun i -> i * (members - 1) / 7))
+  in
+  List.iter
+    (fun c ->
+      let p = ltss.(c) and b = Lts.of_spec specs.(c) in
+      let same =
+        p.Lts.num_states = b.Lts.num_states
+        && p.Lts.init = b.Lts.init
+        && p.Lts.row = b.Lts.row
+        && p.Lts.lab = b.Lts.lab
+        && p.Lts.tgt = b.Lts.tgt
+        && p.Lts.rate_kind = b.Lts.rate_kind
+        && p.Lts.rate_val = b.Lts.rate_val
+        && p.Lts.rate_prio = b.Lts.rate_prio
+      in
+      if not same then begin
+        Printf.eprintf
+          "[bench] FAMILY MISMATCH family_scale: member %d's projection \
+           differs from its pipeline build\n\
+           %!"
+          c;
+        exit 1
+      end)
+    samples;
+  (* Every member's dedup-solved measure values against its own solve. *)
+  let close a b =
+    (Float.is_nan a && Float.is_nan b) || abs_float (a -. b) <= 1e-12
+  in
+  Array.iteri
+    (fun c (a : Markov.analysis) ->
+      List.iter2
+        (fun (name, v) (bname, bv) ->
+          assert (String.equal name bname);
+          if not (close v bv) then begin
+            Printf.eprintf
+              "[bench] VALUE MISMATCH family_scale: member %d measure %s: \
+               dedup %.17g vs pipeline %.17g\n\
+               %!"
+              c name v bv;
+            exit 1
+          end)
+        a.Markov.values base.(c).Markov.values)
+    analyses;
+  if solve_stats.Markov.distinct_quotients >= members then begin
+    Printf.eprintf
+      "[bench] NO SHARING family_scale: %d distinct quotients for %d \
+       members\n\
+       %!"
+      solve_stats.Markov.distinct_quotients members;
+    exit 1
+  end;
+  if fam_total >= 0.5 *. base_s then begin
+    Printf.eprintf
+      "[bench] FAMILY REGRESSION family_scale: featured+dedup took %.3f s, \
+       %d pipelines took %.3f s (want < 0.5x)\n\
+       %!"
+      fam_total members base_s;
+    exit 1
+  end;
+  Printf.eprintf
+    "[bench] %-16s %d members, %d union states, %d distinct quotients \
+     (%d solves shared), %d guard words, featured %.3f s vs pipelines \
+     %.3f s (%.1fx)\n\
+     %!"
+    "family_scale" members fam.Flts.num_states
+    solve_stats.Markov.distinct_quotients solve_stats.Markov.solves_shared
+    fstats.Flts.guard_words fam_total base_s (base_s /. fam_total);
+  study_seconds :=
+    !study_seconds
+    @ [
+        ( "family_scale",
+          [
+            ("family.configs", float_of_int members);
+            ("family.states", float_of_int fam.Flts.num_states);
+            ("family.distinct_quotients",
+             float_of_int solve_stats.Markov.distinct_quotients);
+            ("family.solves_shared",
+             float_of_int solve_stats.Markov.solves_shared);
+            ("family.guard_words", float_of_int fstats.Flts.guard_words);
+            ("family.build_seconds", build_s);
+            ("family.project_seconds", project_s);
+            ("family.analyze_seconds", analyze_s);
+            ("baseline.analyze_seconds", base_s);
+            ("family.speedup", base_s /. fam_total);
+          ] );
+      ]
+
 (* The N-node ad hoc network chain (lib/models/adhoc.ml): the
    million-state scenario the spill store and the resource guards exist
    for. Smoke and full runs build the calibrated 4-node instance — over
@@ -1033,6 +1245,7 @@ let () =
     if tiny then figures_tiny () else figures ();
     if smoke then timed "study-timings" study_timings;
     if smoke then timed "family-sweep" family_sweep;
+    if smoke then timed "family-scale" family_scale;
     timed "scaled-study" scaled_study;
     timed "adhoc-study" adhoc_study;
     let micro = if smoke then [] else run_micro () in

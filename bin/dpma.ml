@@ -735,7 +735,9 @@ let cmd_family =
           Format.printf "bfs rounds       : %d@." stats.Flts.rounds;
           Format.printf "peak frontier    : %d states@." stats.Flts.peak_frontier;
           Format.printf "merge time       : %.6f s@." stats.Flts.merge_seconds;
-          Format.printf "build time       : %.6f s@." stats.Flts.build_seconds
+          Format.printf "build time       : %.6f s@." stats.Flts.build_seconds;
+          Format.printf "guard table      : %d guards, %d words@."
+            stats.Flts.guard_count stats.Flts.guard_words
         end;
         let ltss = Flts.project_all ?jobs flts in
         let summed =
@@ -763,17 +765,21 @@ let cmd_family =
               ltss
         | Some mf ->
             let measures = load_measures mf in
-            let analyses =
-              Pool.parallel_map ?jobs
-                (fun lts -> Markov.analyze_lts lts measures)
-                (Array.to_list ltss)
+            (* Quotient-deduplicated solves: members whose lumped CTMCs
+               coincide share one steady-state solution. *)
+            let analyses, solve_stats =
+              Markov.analyze_ltss_dedup ?jobs ltss measures
             in
+            Format.printf
+              "solves: %d distinct quotient(s) for %d member(s), %d shared@."
+              solve_stats.Markov.distinct_quotients solve_stats.Markov.members
+              solve_stats.Markov.solves_shared;
             Format.printf "@.%-28s" "binding";
             List.iter
               (fun m -> Format.printf " %-14s" m.Measure.name)
               measures;
             Format.printf "@.";
-            List.iteri
+            Array.iteri
               (fun c (a : Markov.analysis) ->
                 Format.printf "%-28s" (binding_string c);
                 List.iter (fun (_, v) -> Format.printf " %-14.6g" v) a.Markov.values;
@@ -783,11 +789,12 @@ let cmd_family =
   let sweep =
     Arg.(
       value
-      & opt (some string) None
-      & info [ "sweep" ] ~docv:"FEATURE"
+      & opt (some (list string)) None
+      & info [ "sweep" ] ~docv:"FEATURES"
           ~doc:
-            "Vary only $(docv); every other feature is pinned to the first \
-             value of its domain.")
+            "Vary only the comma-separated $(docv) (a cartesian sweep grid \
+             when several are named); every other feature is pinned to the \
+             first value of its domain.")
   in
   let measures_opt =
     Arg.(

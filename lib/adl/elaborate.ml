@@ -591,18 +591,23 @@ let elaborate_family ?(max_expansions = max_expansions_default) ?sweep
   if archi.features = [] then
     fail "architecture %s declares no features" archi.name;
   (match sweep with
-  | Some s
-    when not
-           (List.exists
-              (fun (f : Ast.feature) -> String.equal f.Ast.f_name s)
-              archi.features) ->
-      fail "architecture %s declares no feature %s" archi.name s
-  | Some _ | None -> ());
+  | Some names ->
+      List.iter
+        (fun s ->
+          if
+            not
+              (List.exists
+                 (fun (f : Ast.feature) -> String.equal f.Ast.f_name s)
+                 archi.features)
+          then fail "architecture %s declares no feature %s" archi.name s)
+        names
+  | None -> ());
   let domains =
     List.map
       (fun (f : Ast.feature) ->
         match sweep with
-        | Some s when not (String.equal s f.Ast.f_name) ->
+        | Some names when not (List.exists (String.equal f.Ast.f_name) names)
+          ->
             (f.Ast.f_name, [ List.hd f.Ast.f_domain ])
         | Some _ | None -> (f.Ast.f_name, f.Ast.f_domain))
       archi.features

@@ -56,16 +56,20 @@ type family = {
 }
 
 val elaborate_family :
-  ?max_expansions:int -> ?sweep:string -> Ast.archi -> family
+  ?max_expansions:int -> ?sweep:string list -> Ast.archi -> family
 (** One elaboration per point of the feature domain product, enumerated in
     declaration order with the last feature varying fastest. With
-    [~sweep:name], only that feature varies and every other one is pinned
-    to the first value of its domain. Because process-constant names do not
-    mention feature values, the members' definitions coincide on every
-    behavior a feature does not reach — which is what lets
-    [Dpma_pa.Feature.make] derive shared behaviors once for the whole
-    family. Raises {!Check_error} if no feature is declared, [sweep] names
-    an unknown feature, or the family exceeds 4096 members. *)
+    [~sweep:names], only the named features vary — a cartesian sweep
+    {e grid} — and every other one is pinned to the first value of its
+    domain; omitting [sweep] (or naming every feature) varies them all.
+    Feature domains may be written as ranges ([timeout in {1 .. 16}]),
+    so a 10^3-member grid is one declaration line. Because
+    process-constant names do not mention feature values, the members'
+    definitions coincide on every behavior a feature does not reach —
+    which is what lets [Dpma_pa.Feature.make] derive shared behaviors
+    once for the whole family. Raises {!Check_error} if no feature is
+    declared, [sweep] names an unknown feature, or the family exceeds
+    4096 members. *)
 
 val actions_of_instance : elaborated -> string -> string list
 (** Final action names of one instance ([Check_error] if unknown). *)

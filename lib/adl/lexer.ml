@@ -130,7 +130,11 @@ let tokenize src =
       let start_col = !col in
       while
         !pos < n
-        && (is_digit src.[!pos] || src.[!pos] = '.' || src.[!pos] = 'e'
+        && (is_digit src.[!pos]
+           (* A '.' followed by another '.' is a range ellipsis
+              ([1 .. 5]), not a decimal point. *)
+           || (src.[!pos] = '.' && not (peek_is 1 '.'))
+           || src.[!pos] = 'e'
            || src.[!pos] = 'E'
            || ((src.[!pos] = '+' || src.[!pos] = '-')
               && !pos > start

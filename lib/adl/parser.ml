@@ -468,7 +468,25 @@ let parse_features st =
       let t_dom = peek st in
       expect st LBRACE;
       let rec values acc =
-        let acc = parse_int st :: acc in
+        let t_lo = peek st in
+        let lo = parse_int st in
+        let acc =
+          (* a .. b expands to the inclusive integer range. *)
+          if (peek st).token = DOT then begin
+            ignore (next st);
+            expect st DOT;
+            let hi = parse_int st in
+            if hi < lo then
+              error_at t_lo
+                (Printf.sprintf "empty range %d .. %d in a feature domain" lo
+                   hi);
+            let rec push acc v =
+              if v > hi then acc else push (v :: acc) (v + 1)
+            in
+            push acc lo
+          end
+          else lo :: acc
+        in
         if (peek st).token = COMMA then begin
           ignore (next st);
           values acc

@@ -41,6 +41,113 @@ let analyze_family ?max_states ?jobs specs measures =
        (fun lts -> analyze_lts lts measures)
        (Array.to_list ltss))
 
+(* --- Quotient-deduplicated family solves ----------------------------- *)
+
+type family_solve_stats = {
+  members : int;
+  distinct_quotients : int;
+  solves_shared : int;
+}
+
+(* Canonical key of a CTMC's numeric solve structure: state count,
+   initial distribution, and the per-state ordered (target, rate) lists.
+   Action names are deliberately excluded — {!Ctmc.steady_state} never
+   reads them, so members differing only in labels share one solve.
+   Rates are keyed by their exact bit patterns, so equal keys mean the
+   solver runs on identical numbers. *)
+let ctmc_key (c : Ctmc.t) =
+  let num =
+    Array.map
+      (List.map (fun (t, r, _) -> (t, Int64.bits_of_float r)))
+      c.Ctmc.transitions
+  in
+  let init =
+    List.map (fun (s, p) -> (s, Int64.bits_of_float p)) c.Ctmc.initial
+  in
+  Marshal.to_string (c.Ctmc.n, init, num) []
+
+let analyze_ltss_dedup ?jobs ltss measures =
+  let members = Array.length ltss in
+  if members = 0 then invalid_arg "Markov.analyze_ltss_dedup: empty family";
+  (* Per member (dealt to the pool): lump by ordinary lumpability, build
+     the quotient CTMC, key it, and compile the measures into per-state
+     reward vectors on the member's own CTMC (which carries its action
+     names). *)
+  let prepped =
+    Array.of_list
+      (Dpma_util.Pool.parallel_map ?jobs
+         (fun lts ->
+           let partition = Dpma_lts.Bisim.markovian_partition ~jobs:1 lts in
+           let lumped = Lts.quotient_by_representative lts partition in
+           let ctmc = Ctmc.of_lts lumped in
+           ( lts.Lts.num_states,
+             ctmc,
+             ctmc_key ctmc,
+             Measure.compile_ctmc ctmc measures ))
+         (Array.to_list ltss))
+  in
+  (* Group members by key; representatives in first-appearance order so
+     the rep set (and thus every solve input) is deterministic. *)
+  let rep_of_key = Hashtbl.create 64 in
+  let rep_members = ref [] and nreps = ref 0 in
+  let rep_idx =
+    Array.mapi
+      (fun i (_, _, key, _) ->
+        match Hashtbl.find_opt rep_of_key key with
+        | Some r -> r
+        | None ->
+            let r = !nreps in
+            incr nreps;
+            Hashtbl.add rep_of_key key r;
+            rep_members := i :: !rep_members;
+            r)
+      prepped
+  in
+  let rep_members = Array.of_list (List.rev !rep_members) in
+  (* One steady-state solve per distinct quotient. *)
+  let pis =
+    Array.of_list
+      (Dpma_util.Pool.parallel_map ?jobs
+         (fun mi ->
+           let _, ctmc, _, _ = prepped.(mi) in
+           Ctmc.steady_state ctmc)
+         (Array.to_list rep_members))
+  in
+  (* Fan the shared solutions back out through each member's compiled
+     reward vectors. *)
+  let t0 = Dpma_obs.Clock.now_s () in
+  let results =
+    Array.mapi
+      (fun i (states, ctmc, _, compiled) ->
+        let pi = pis.(rep_idx.(i)) in
+        let vals = Measure.eval_compiled compiled pi in
+        let values =
+          List.mapi (fun j m -> (m.Measure.name, vals.(j))) measures
+        in
+        { states; tangible = ctmc.Ctmc.n; values })
+      prepped
+  in
+  if measures <> [] then
+    Dpma_obs.Metrics.observe Dpma_obs.Instruments.ctmc_reward_seconds
+      (Dpma_obs.Clock.now_s () -. t0);
+  let stats =
+    {
+      members;
+      distinct_quotients = !nreps;
+      solves_shared = members - !nreps;
+    }
+  in
+  let module I = Dpma_obs.Instruments in
+  Dpma_obs.Metrics.set I.family_distinct_quotients
+    (float_of_int stats.distinct_quotients);
+  Dpma_obs.Metrics.set I.family_solves_shared
+    (float_of_int stats.solves_shared);
+  (results, stats)
+
+let analyze_family_dedup ?max_states ?jobs specs measures =
+  let ltss = family_ltss ?max_states ?jobs specs in
+  analyze_ltss_dedup ?jobs ltss measures
+
 let without_dpm lts ~high =
   Lts.restrict lts ~remove:(fun a -> List.exists (String.equal a) high)
 

@@ -12,6 +12,13 @@ module Int_tbl = Hashtbl.Make (Int)
 (* --- Interned feature guards ----------------------------------------- *)
 
 module Guard = struct
+  (* Guards are packed bitsets over the configuration indices: 63 usable
+     bits per OCaml int word, so a 1024-configuration family needs 17
+     words per distinct guard instead of a sorted index array whose size
+     grows with the set. Intern/conjunction cost is O(words). *)
+
+  let bits_per_word = 63
+
   module Key = struct
     type t = int array
 
@@ -22,39 +29,60 @@ module Guard = struct
          let rec eq i = i < 0 || (a.(i) = b.(i) && eq (i - 1)) in
          eq (Array.length a - 1)
 
-    (* FNV-1a over the elements; guards are tiny sorted arrays. *)
+    (* FNV-1a over the words. *)
     let hash a =
       Array.fold_left (fun h x -> (h lxor x) * 0x01000193 land max_int) 0x811c9dc5 a
   end
 
   module Tbl = Hashtbl.Make (Key)
 
+  module Pair_key = struct
+    type t = int * int
+
+    let equal (a1, b1) (a2, b2) = a1 = a2 && b1 = b2
+    let hash (a, b) = (a * 0x9e3779b1) lxor b land max_int
+  end
+
+  module Pair_tbl = Hashtbl.Make (Pair_key)
+
   type table = {
     nconfigs : int;
+    words : int;  (* payload words per guard *)
     ids : int Tbl.t;
-    mutable rev : int array array;  (* id -> sorted configuration set *)
+    mutable rev : int array array;  (* id -> packed bitset *)
     mutable count : int;
+    inter_memo : int Pair_tbl.t;  (* (lo id, hi id) -> conjunction id *)
   }
 
   let all = 0
 
-  let add t cfgs =
+  let add t bits =
     let id = t.count in
     if id = Array.length t.rev then begin
       let bigger = Array.make (2 * id) [||] in
       Array.blit t.rev 0 bigger 0 id;
       t.rev <- bigger
     end;
-    t.rev.(id) <- cfgs;
+    t.rev.(id) <- bits;
     t.count <- id + 1;
-    Tbl.add t.ids cfgs id;
+    Tbl.add t.ids bits id;
     id
 
   let create ~nconfigs =
     if nconfigs < 1 then
       invalid_arg "Flts.Guard.create: need at least one configuration";
-    let t = { nconfigs; ids = Tbl.create 64; rev = Array.make 8 [||]; count = 0 } in
-    ignore (add t (Array.init nconfigs Fun.id) : int);
+    let words = (nconfigs + bits_per_word - 1) / bits_per_word in
+    let t =
+      { nconfigs; words; ids = Tbl.create 64; rev = Array.make 8 [||];
+        count = 0; inter_memo = Pair_tbl.create 64 }
+    in
+    (* The full set: every valid bit on. A full 63-bit word is [-1] (all
+       bits set on a 63-bit int); a partial last word masks to the
+       remaining configurations. *)
+    let full = Array.make words (-1) in
+    let r = nconfigs mod bits_per_word in
+    if r <> 0 then full.(words - 1) <- (1 lsl r) - 1;
+    ignore (add t full : int);
     t
 
   let validate t cfgs =
@@ -67,54 +95,78 @@ module Guard = struct
         invalid_arg "Flts.Guard.intern: configurations must be sorted strictly"
     done
 
-  let intern t cfgs =
-    match Tbl.find_opt t.ids cfgs with
-    | Some id -> id
-    | None ->
-        validate t cfgs;
-        add t (Array.copy cfgs)
+  (* Intern an already-packed payload; takes ownership of [bits]. *)
+  let intern_bits t bits =
+    match Tbl.find_opt t.ids bits with Some id -> id | None -> add t bits
 
-  let configs t g = Array.copy t.rev.(g)
+  let intern t cfgs =
+    (* Packing is order-insensitive, so validate unconditionally to keep
+       the sorted-input contract observable even on hits. *)
+    validate t cfgs;
+    let bits = Array.make t.words 0 in
+    Array.iter
+      (fun c ->
+        bits.(c / bits_per_word) <-
+          bits.(c / bits_per_word) lor (1 lsl (c mod bits_per_word)))
+      cfgs;
+    intern_bits t bits
+
+  let cardinal t g =
+    let bits = t.rev.(g) in
+    let n = ref 0 in
+    for w = 0 to t.words - 1 do
+      (* Kernighan popcount; clears the lowest set bit each step, which
+         is sign-safe on full (-1) words. *)
+      let x = ref bits.(w) in
+      while !x <> 0 do
+        x := !x land (!x - 1);
+        incr n
+      done
+    done;
+    !n
+
+  let configs t g =
+    let bits = t.rev.(g) in
+    let out = Array.make (cardinal t g) 0 in
+    let n = ref 0 in
+    for w = 0 to t.words - 1 do
+      let word = bits.(w) in
+      if word <> 0 then
+        for b = 0 to bits_per_word - 1 do
+          if word land (1 lsl b) <> 0 then begin
+            out.(!n) <- (w * bits_per_word) + b;
+            incr n
+          end
+        done
+    done;
+    out
 
   let mem t g c =
     g = all
-    ||
-    let a = t.rev.(g) in
-    (* Binary search; guard sets are sorted. *)
-    let rec go lo hi =
-      lo < hi
-      &&
-      let mid = (lo + hi) / 2 in
-      let v = a.(mid) in
-      if v = c then true else if v < c then go (mid + 1) hi else go lo mid
-    in
-    go 0 (Array.length a)
+    || t.rev.(g).(c / bits_per_word) land (1 lsl (c mod bits_per_word)) <> 0
 
   let inter t ga gb =
     if ga = gb then ga
     else if ga = all then gb
     else if gb = all then ga
     else begin
-      let a = t.rev.(ga) and b = t.rev.(gb) in
-      let la = Array.length a and lb = Array.length b in
-      let buf = Array.make (min la lb) 0 in
-      let n = ref 0 in
-      let i = ref 0 and j = ref 0 in
-      while !i < la && !j < lb do
-        let x = a.(!i) and y = b.(!j) in
-        if x = y then begin
-          buf.(!n) <- x;
-          incr n;
-          incr i;
-          incr j
-        end
-        else if x < y then incr i
-        else incr j
-      done;
-      intern t (Array.sub buf 0 !n)
+      let key = if ga < gb then (ga, gb) else (gb, ga) in
+      match Pair_tbl.find_opt t.inter_memo key with
+      | Some id -> id
+      | None ->
+          let a = t.rev.(ga) and b = t.rev.(gb) in
+          let bits = Array.make t.words 0 in
+          for w = 0 to t.words - 1 do
+            bits.(w) <- a.(w) land b.(w)
+          done;
+          let id = intern_bits t bits in
+          Pair_tbl.add t.inter_memo key id;
+          id
     end
 
   let count t = t.count
+  let words t = t.words
+  let table_words t = t.count * t.words
 end
 
 (* --- The featured system --------------------------------------------- *)
@@ -141,6 +193,7 @@ type family_stats = {
   merge_seconds : float;
   build_seconds : float;
   guard_count : int;
+  guard_words : int;
   spilled_segments : int;
   spilled_bytes : int;
   spill_write_seconds : float;
@@ -309,6 +362,7 @@ let build_family ?(max_states = 500_000) ?jobs ?par_threshold ?spill_dir
   M.set I.family_states (float_of_int n);
   M.set I.family_edges (float_of_int nedges);
   M.set I.family_guards (float_of_int (Guard.count guards));
+  M.set I.family_guard_words (float_of_int (Guard.table_words guards));
   M.observe I.family_build_seconds build_seconds;
   let stats = Feature.sos_stats fe in
   M.add I.sos_memo_hits stats.Dpma_pa.Semantics.hits;
@@ -323,6 +377,7 @@ let build_family ?(max_states = 500_000) ?jobs ?par_threshold ?spill_dir
       merge_seconds = !merge_s;
       build_seconds;
       guard_count = Guard.count guards;
+      guard_words = Guard.table_words guards;
       spilled_segments = sp.Segstore.spilled_segments;
       spilled_bytes = sp.Segstore.spilled_bytes;
       spill_write_seconds = sp.Segstore.spill_write_seconds;

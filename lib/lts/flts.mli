@@ -29,9 +29,14 @@
     them); the projection traversal never visits a state unreachable
     under its configuration, so the over-approximation is invisible. *)
 
-(** Interned feature guards: sorted arrays of configuration indices,
-    hash-consed into small integer ids. Id {!Guard.all} always denotes
-    the full configuration set. *)
+(** Interned feature guards: packed bitsets over the configuration
+    indices (63 usable bits per word), hash-consed into small integer
+    ids by payload content. Id {!Guard.all} always denotes the full
+    configuration set. Intern and conjunction cost is O(words) — a
+    1024-configuration family pays 17 words per distinct guard — and
+    the observable API (sorted-input [intern], sorted [configs],
+    [mem], [inter]) is unchanged from the sorted-index-array
+    representation, so projection stays bit-identical. *)
 module Guard : sig
   type table
 
@@ -43,23 +48,38 @@ module Guard : sig
   (** The guard id of the full configuration set (always [0]). *)
 
   val intern : table -> int array -> int
-  (** Intern a sorted array of distinct configuration indices. Content
-      equality: interning equal sets returns equal ids regardless of
-      interning order. The array is copied. *)
+  (** Intern a sorted array of distinct configuration indices, packed
+      into a bitset payload. Content equality: interning equal sets
+      returns equal ids regardless of interning order. The input array
+      is not retained. Raises [Invalid_argument] if the input is out of
+      range or not strictly sorted (checked on every call). *)
 
   val inter : table -> int -> int -> int
-  (** Guard conjunction (set intersection), interned. Commutative and
+  (** Guard conjunction (word-wise AND), interned. Commutative and
       associative — the id of a conjunction is independent of the order
-      the conjuncts were derived or combined in. *)
+      the conjuncts were derived or combined in. Non-trivial pairs are
+      memoized under a symmetric (lo, hi) key. *)
 
   val mem : table -> int -> int -> bool
-  (** [mem tbl g c]: does guard [g] admit configuration [c]? *)
+  (** [mem tbl g c]: does guard [g] admit configuration [c]? One bit
+      test. *)
 
   val configs : table -> int -> int array
-  (** The sorted configuration set of a guard id (a copy). *)
+  (** The sorted configuration set of a guard id (freshly unpacked). *)
+
+  val cardinal : table -> int -> int
+  (** Number of configurations a guard admits (popcount, no
+      materialized {!configs} array). *)
 
   val count : table -> int
   (** Distinct guards interned so far. *)
+
+  val words : table -> int
+  (** Payload words per guard: [(nconfigs + 62) / 63]. *)
+
+  val table_words : table -> int
+  (** Total payload words held by the table ([count * words]) — the
+      resident size of the guard store. *)
 end
 
 type t = private {
@@ -85,6 +105,7 @@ type family_stats = {
   merge_seconds : float;
   build_seconds : float;
   guard_count : int;  (** distinct interned guards *)
+  guard_words : int;  (** total bitset payload words in the guard table *)
   spilled_segments : int;  (** full segments spilled to the temp file *)
   spilled_bytes : int;
   spill_write_seconds : float;

@@ -325,6 +325,23 @@ let family_sharing_ratio =
        (lower is more sharing)"
     "family.sharing_ratio"
 
+let family_guard_words =
+  g ~unit_:"words"
+    ~desc:"total bitset payload words in the last featured build's guard table"
+    "family.guard_words"
+
+let family_distinct_quotients =
+  g ~unit_:"quotients"
+    ~desc:"distinct lumped CTMC quotients of the last dedup family solve"
+    "family.distinct_quotients"
+
+let family_solves_shared =
+  g ~unit_:"solves"
+    ~desc:
+      "members of the last dedup family solve served by another member's \
+       steady-state solution"
+    "family.solves_shared"
+
 (* Domain pool *)
 
 let pool_parallel_maps =

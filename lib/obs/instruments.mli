@@ -285,6 +285,21 @@ val family_sharing_ratio : Metrics.gauge
     counts of all projections, for the last full projection; 1/N is
     perfect sharing across N configurations, 1.0 means no sharing. *)
 
+val family_guard_words : Metrics.gauge
+(** [family.guard_words] — total bitset payload words held by the guard
+    table of the last featured build (distinct guards × words per
+    guard, 63 configuration bits per word). *)
+
+val family_distinct_quotients : Metrics.gauge
+(** [family.distinct_quotients] — distinct lumped CTMC quotients of the
+    last quotient-deduplicated family solve; members whose lumped
+    models coincide share one steady-state solve. *)
+
+val family_solves_shared : Metrics.gauge
+(** [family.solves_shared] — members of the last quotient-deduplicated
+    family solve that reused another member's steady-state solution
+    (members − distinct quotients). *)
+
 (** {1 Domain pool (pool)} *)
 
 val pool_parallel_maps : Metrics.counter

@@ -258,10 +258,22 @@ let state_key fe cs c =
   with Missing -> None
 
 type pre_group = {
-  gkey : (int * int) array;
   gfirst : int;
   mutable gconfigs : int list;  (* reversed *)
 }
+
+module Key_tbl = Hashtbl.Make (struct
+  type t = (int * int) array
+
+  let equal = key_equal
+
+  (* FNV-1a over both components of every pair. *)
+  let hash a =
+    Array.fold_left
+      (fun h (x, y) ->
+        (((h lxor x) * 0x01000193 land max_int) lxor y) * 0x01000193 land max_int)
+      0x811c9dc5 a
+end)
 
 let derive_in sh t =
   let fe = sh.parent in
@@ -272,16 +284,21 @@ let derive_in sh t =
     (* Group the configurations by key, in first-configuration order:
        every configuration of a group derives to the same transition
        list, so one derivation (under the group's first configuration)
-       serves them all. *)
+       serves them all. Hashtable lookup keeps the grouping O(configs),
+       not O(configs * groups); the emitted group order (first
+       appearance) is pinned by the side list. *)
+    let tbl = Key_tbl.create 16 in
     let groups = ref [] in
     for c = 0 to fe.nconfigs - 1 do
       match state_key fe cs c with
       | None -> ()
       | Some k -> (
-          match List.find_opt (fun g -> key_equal g.gkey k) !groups with
+          match Key_tbl.find_opt tbl k with
           | Some g -> g.gconfigs <- c :: g.gconfigs
-          | None -> groups := { gkey = k; gfirst = c; gconfigs = [ c ] } :: !groups
-          )
+          | None ->
+              let g = { gfirst = c; gconfigs = [ c ] } in
+              Key_tbl.add tbl k g;
+              groups := g :: !groups)
     done;
     List.rev_map
       (fun g ->

@@ -8,6 +8,7 @@ module Ctmc = Dpma_ctmc.Ctmc
 module Markov = Dpma_core.Markov
 module Elaborate = Dpma_adl.Elaborate
 module Parser = Dpma_adl.Parser
+module Measure = Dpma_measures.Measure
 module Rpc = Dpma_models.Rpc
 module Streaming = Dpma_models.Streaming
 module Battery = Dpma_models.Battery
@@ -205,7 +206,7 @@ let test_adl_family () =
     (fam.Elaborate.bindings.(0) = [ ("period", 1); ("burst", 1) ]
     && fam.Elaborate.bindings.(1) = [ ("period", 1); ("burst", 3) ]
     && fam.Elaborate.bindings.(5) = [ ("period", 5); ("burst", 3) ]);
-  let swept = Elaborate.elaborate_family ~sweep:"period" archi in
+  let swept = Elaborate.elaborate_family ~sweep:[ "period" ] archi in
   Alcotest.(check int) "swept members" 3 (Array.length swept.Elaborate.members);
   (* The representative member of [elaborate] is the first binding. *)
   let first = Elaborate.elaborate archi in
@@ -245,7 +246,7 @@ END
   | exception Elaborate.Check_error _ -> ()
   | _ -> Alcotest.fail "family without features should be rejected");
   let archi = Parser.parse family_aem in
-  (match Elaborate.elaborate_family ~sweep:"nope" archi with
+  (match Elaborate.elaborate_family ~sweep:[ "nope" ] archi with
   | exception Elaborate.Check_error _ -> ()
   | _ -> Alcotest.fail "unknown sweep feature should be rejected")
 
@@ -281,6 +282,73 @@ let guard_prop =
          = Array.of_list
              (List.filter (fun x -> List.mem x b && List.mem x c) a))
 
+(* Differential model check for the packed-bitset guard table: random
+   subsets at widths below, at, and far past the 63-bit word boundary
+   must behave exactly like the sorted-int-set reference semantics —
+   intern/configs round-trips, mem on every index, cardinal, and
+   conjunction. *)
+let test_guard_bitset_model () =
+  (* Deterministic xorshift so every run exercises the same subsets. *)
+  let rand = ref 0x2545F4914F6CDD1D in
+  let next () =
+    let x = !rand in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    rand := x;
+    x land max_int
+  in
+  List.iter
+    (fun nconfigs ->
+      let tbl = Flts.Guard.create ~nconfigs in
+      Alcotest.(check int)
+        (Printf.sprintf "width %d: all cardinal" nconfigs)
+        nconfigs
+        (Flts.Guard.cardinal tbl Flts.Guard.all);
+      let subset () =
+        Array.of_list
+          (List.filter
+             (fun _ -> next () mod 3 = 0)
+             (List.init nconfigs (fun c -> c)))
+      in
+      for _ = 1 to 25 do
+        let a = subset () and b = subset () in
+        let ga = Flts.Guard.intern tbl a and gb = Flts.Guard.intern tbl b in
+        if Flts.Guard.configs tbl ga <> a then
+          Alcotest.failf "width %d: configs does not round-trip" nconfigs;
+        Alcotest.(check int)
+          (Printf.sprintf "width %d: cardinal" nconfigs)
+          (Array.length a)
+          (Flts.Guard.cardinal tbl ga);
+        for c = 0 to nconfigs - 1 do
+          if Flts.Guard.mem tbl ga c <> Array.mem c a then
+            Alcotest.failf "width %d: mem %d disagrees with the set" nconfigs c
+        done;
+        let gi = Flts.Guard.inter tbl ga gb in
+        let expect =
+          Array.of_list
+            (List.filter (fun x -> Array.mem x b) (Array.to_list a))
+        in
+        if Flts.Guard.configs tbl gi <> expect then
+          Alcotest.failf "width %d: conjunction disagrees with the set"
+            nconfigs;
+        Alcotest.(check int)
+          (Printf.sprintf "width %d: conjunction cardinal" nconfigs)
+          (Array.length expect)
+          (Flts.Guard.cardinal tbl gi);
+        (* ALL is the conjunction identity, and hash-consing means the
+           reference intersection interns to the very same id. *)
+        Alcotest.(check bool)
+          (Printf.sprintf "width %d: inter all" nconfigs)
+          true
+          (Flts.Guard.inter tbl ga Flts.Guard.all = ga);
+        Alcotest.(check bool)
+          (Printf.sprintf "width %d: re-intern" nconfigs)
+          true
+          (Flts.Guard.intern tbl expect = gi)
+      done)
+    [ 3; 64; 100; 1024 ]
+
 let test_guard_mem () =
   let tbl = Flts.Guard.create ~nconfigs:4 in
   let g = Flts.Guard.intern tbl [| 1; 3 |] in
@@ -290,6 +358,167 @@ let test_guard_mem () =
   Alcotest.(check bool)
     "all configs" true
     (Flts.Guard.configs tbl Flts.Guard.all = [| 0; 1; 2; 3 |])
+
+(* ------------------------------------------------------------------ *)
+(* Sweep grids and deduplicated solves                                 *)
+
+let grid_aem ~t_max ~a_max =
+  Printf.sprintf
+    {|ARCHI_TYPE Streaming_Grid(void)
+
+feature dpm in {0, 1}
+feature timeout in {1 .. %d}
+feature awake in {1 .. %d}
+
+ARCHI_ELEM_TYPES
+
+ELEM_TYPE Source_Type(void)
+BEHAVIOR
+Source(void; void) =
+  <emit_frame, exp(0.5)> . Source()
+INPUT_INTERACTIONS void
+OUTPUT_INTERACTIONS UNI emit_frame
+
+ELEM_TYPE Buffer_Type(const integer size)
+BEHAVIOR
+Buffer(void; void) = Hold(0);
+Hold(integer h; void) =
+  choice {
+    cond(h < size) -> <put_frame, _> . Hold(h + 1),
+    cond(h > 0) -> <get_frame, _> . Hold(h - 1)
+  }
+INPUT_INTERACTIONS UNI put_frame; get_frame
+OUTPUT_INTERACTIONS void
+
+ELEM_TYPE Client_Type(void)
+BEHAVIOR
+Playing_Client(void; void) =
+  choice {
+    <fetch_frame, exp(1.0)> . <decode_frame, exp(8.0)> . Playing_Client(),
+    <doze_cmd, _> . Dozing_Client()
+  };
+Dozing_Client(void; void) =
+  <wake_client, exp_mean(timeout)> . Playing_Client()
+INPUT_INTERACTIONS UNI doze_cmd
+OUTPUT_INTERACTIONS UNI fetch_frame
+
+ELEM_TYPE Dpm_Type(void)
+BEHAVIOR
+Dpm(void; void) =
+  cond(dpm = 1) ->
+    <observe_idle, exp_mean(awake)> . <cmd_doze, inf> . Dpm()
+INPUT_INTERACTIONS void
+OUTPUT_INTERACTIONS UNI cmd_doze
+
+ARCHI_TOPOLOGY
+
+ARCHI_ELEM_INSTANCES
+SRC : Source_Type();
+BUF : Buffer_Type(2);
+CL  : Client_Type();
+PM  : Dpm_Type()
+
+ARCHI_ATTACHMENTS
+FROM SRC.emit_frame TO BUF.put_frame;
+FROM CL.fetch_frame TO BUF.get_frame;
+FROM PM.cmd_doze TO CL.doze_cmd
+
+END
+|}
+    t_max a_max
+
+let grid_measures_src =
+  {|MEASURE frame_rate IS
+  ENABLED(CL.fetch_frame#BUF.get_frame) -> TRANS_REWARD(1);
+MEASURE doze_time IS
+  ENABLED(CL.wake_client) -> STATE_REWARD(1);
+MEASURE frames_per_doze IS
+  ENABLED(CL.fetch_frame#BUF.get_frame) -> TRANS_REWARD(1)
+  DIVIDED_BY
+  ENABLED(CL.wake_client) -> STATE_REWARD(1);|}
+
+let grid_specs ~t_max ~a_max =
+  let fam =
+    Elaborate.elaborate_family (Parser.parse (grid_aem ~t_max ~a_max))
+  in
+  Array.map (fun m -> m.Elaborate.spec) fam.Elaborate.members
+
+let test_adl_feature_ranges () =
+  (* Range domains expand inclusively and mix with explicit values. *)
+  let archi = Parser.parse (grid_aem ~t_max:5 ~a_max:3) in
+  (match archi.Dpma_adl.Ast.features with
+  | [ dpm; timeout; awake ] ->
+      Alcotest.(check (list int)) "explicit domain" [ 0; 1 ] dpm.Dpma_adl.Ast.f_domain;
+      Alcotest.(check (list int))
+        "range domain" [ 1; 2; 3; 4; 5 ] timeout.Dpma_adl.Ast.f_domain;
+      Alcotest.(check (list int))
+        "second range" [ 1; 2; 3 ] awake.Dpma_adl.Ast.f_domain
+  | _ -> Alcotest.fail "expected three features");
+  (* A descending range is a syntax error, reported with a position. *)
+  let bad =
+    {|
+ARCHI_TYPE Bad(void)
+feature n in {5 .. 1}
+ARCHI_ELEM_TYPES
+ELEM_TYPE T(void)
+BEHAVIOR
+B(void; void) = <tick, exp(1)> . B()
+INPUT_INTERACTIONS void
+OUTPUT_INTERACTIONS void
+ARCHI_TOPOLOGY
+ARCHI_ELEM_INSTANCES
+I : T()
+ARCHI_ATTACHMENTS void
+END
+|}
+  in
+  match Parser.parse bad with
+  | exception Parser.Parse_error _ -> ()
+  | _ -> Alcotest.fail "empty range 5 .. 1 should be rejected"
+
+let test_grid_sampled_identity () =
+  (* The full thousand-member grid: eight members spread across it must
+     project bit-identically to their standalone builds. *)
+  let specs = grid_specs ~t_max:16 ~a_max:32 in
+  let members = Array.length specs in
+  Alcotest.(check int) "grid members" 1024 members;
+  let fam = Flts.of_specs specs in
+  List.iter
+    (fun c ->
+      check_lts_identical
+        (Printf.sprintf "grid member %d" c)
+        (Flts.project fam c)
+        (Lts.of_spec specs.(c)))
+    (List.sort_uniq Int.compare (List.init 8 (fun i -> i * (members - 1) / 7)))
+
+let test_dedup_solves () =
+  let specs = grid_specs ~t_max:4 ~a_max:8 in
+  let members = Array.length specs in
+  let measures = Measure.parse grid_measures_src in
+  let results, stats = Markov.analyze_family_dedup specs measures in
+  Alcotest.(check int) "stats members" members stats.Markov.members;
+  Alcotest.(check bool)
+    "genuinely fewer solves" true
+    (stats.Markov.distinct_quotients < members);
+  Alcotest.(check int)
+    "shared = members - distinct"
+    (members - stats.Markov.distinct_quotients)
+    stats.Markov.solves_shared;
+  (* Every member's measures agree with its own standalone pipeline —
+     dedup may only change summation order, so 1e-12 and nan-for-nan. *)
+  Array.iteri
+    (fun c spec ->
+      let solo = Markov.analyze_lts (Lts.of_spec spec) measures in
+      List.iter2
+        (fun (n, v) (n', v') ->
+          Alcotest.(check string)
+            (Printf.sprintf "member %d measure name" c)
+            n' n;
+          if not ((Float.is_nan v && Float.is_nan v') || abs_float (v -. v') <= 1e-12)
+          then
+            Alcotest.failf "member %d measure %s: %.17g vs %.17g" c n v v')
+        results.(c).Markov.values solo.Markov.values)
+    specs
 
 let suite =
   [
@@ -307,5 +536,13 @@ let suite =
     Alcotest.test_case "ADL feature families" `Quick test_adl_family;
     Alcotest.test_case "ADL family errors" `Quick test_adl_family_errors;
     Alcotest.test_case "guard membership" `Quick test_guard_mem;
+    Alcotest.test_case "guard bitsets match set semantics" `Quick
+      test_guard_bitset_model;
+    Alcotest.test_case "ADL feature range domains" `Quick
+      test_adl_feature_ranges;
+    Alcotest.test_case "1024-member grid projections bit-identical" `Quick
+      test_grid_sampled_identity;
+    Alcotest.test_case "deduplicated solves match per-member solves" `Quick
+      test_dedup_solves;
     QCheck_alcotest.to_alcotest ~long:false guard_prop;
   ]
